@@ -1,0 +1,97 @@
+// Ablation: hop-count routing (the paper's network manager) vs
+// ETX-weighted routing.
+//
+// Hop-count routes ride the longest — hence greyest — links; ETX routes
+// detour over strong links at the cost of more hops. More hops mean
+// more transmissions to schedule (lower schedulability); stronger links
+// mean fewer channel-induced losses (better PDR). This quantifies that
+// trade on the reproduction's testbeds.
+//
+// Usage: --flows N (default 45), --trials N (default 25), --runs N (40)
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "sim/simulator.h"
+#include "stats/summary.h"
+
+int main(int argc, char** argv) {
+  using namespace wsan;
+  const cli_args args(argc, argv);
+  const int flows = static_cast<int>(args.get_int("flows", 45));
+  const int trials = static_cast<int>(args.get_int("trials", 25));
+  const int runs = static_cast<int>(args.get_int("runs", 40));
+
+  bench::print_banner("Ablation routing",
+                      "hop-count vs ETX routes under RC (WUSTL, "
+                      "4 channels)");
+
+  const auto env = bench::make_env("wustl", 4);
+  const flow::etx_weights weights(env.comm, env.topology, env.channels);
+
+  std::cout << "\n" << flows << " flows, " << trials
+            << " flow sets per metric\n\n";
+  table t({"metric", "schedulable", "mean route links",
+           "mean median PDR", "mean worst-case PDR"});
+
+  for (const auto metric :
+       {flow::route_metric::hop_count, flow::route_metric::etx}) {
+    rng gen(23000);
+    int ok = 0;
+    int simulated = 0;
+    double links_sum = 0.0;
+    long long links_count = 0;
+    double med_sum = 0.0;
+    double min_sum = 0.0;
+    for (int trial = 0; trial < trials; ++trial) {
+      rng trial_gen = gen.fork();
+      flow::flow_set_params fsp;
+      fsp.type = flow::traffic_type::peer_to_peer;
+      fsp.num_flows = flows;
+      fsp.period_min_exp = -1;
+      fsp.period_max_exp = 0;
+      fsp.metric = metric;
+      flow::flow_set set;
+      try {
+        set = flow::generate_flow_set(env.comm, fsp, trial_gen, &weights);
+      } catch (const std::runtime_error&) {
+        continue;
+      }
+      for (const auto& f : set.flows) {
+        links_sum += static_cast<double>(f.route.size());
+        ++links_count;
+      }
+      const auto result = core::schedule_flows(
+          set.flows, env.reuse_hops,
+          core::make_config(core::algorithm::rc, 4));
+      if (!result.schedulable) continue;
+      ++ok;
+      if (simulated < 8) {
+        ++simulated;
+        sim::sim_config sim_config;
+        sim_config.runs = runs;
+        sim_config.seed = 700 + static_cast<std::uint64_t>(trial);
+        const auto sim_result = sim::run_simulation(
+            env.topology, result.sched, set.flows, env.channels,
+            sim_config);
+        const auto box = stats::make_box_stats(sim_result.flow_pdr);
+        med_sum += box.median;
+        min_sum += box.min;
+      }
+    }
+    t.add_row({metric == flow::route_metric::hop_count ? "hop-count"
+                                                       : "ETX",
+               cell(static_cast<double>(ok) / trials, 2),
+               links_count ? cell(links_sum / links_count, 2) : "-",
+               simulated ? cell(med_sum / simulated, 3) : "-",
+               simulated ? cell(min_sum / simulated, 3) : "-"});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: ETX routes are longer (lower schedulability "
+               "under load) but avoid grey links, lifting the simulated "
+               "worst-case PDR — the paper's hop-count choice trades "
+               "reliability headroom for capacity.\n";
+  return 0;
+}

@@ -1,0 +1,151 @@
+#include "bench_common.h"
+
+#include <chrono>
+#include <iostream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "stats/summary.h"
+#include "tsch/schedule_stats.h"
+
+namespace wsan::bench {
+
+experiment_env make_env(const std::string& testbed, int num_channels,
+                        double prr_threshold) {
+  experiment_env env;
+  if (testbed == "indriya") {
+    env.topology = topo::make_indriya();
+  } else if (testbed == "wustl") {
+    env.topology = topo::make_wustl();
+  } else {
+    WSAN_REQUIRE(false, "unknown testbed: " + testbed);
+  }
+  env.channels = phy::channels(num_channels);
+  graph::comm_graph_options comm_opts;
+  comm_opts.prr_threshold = prr_threshold;
+  env.comm = graph::build_communication_graph(env.topology, env.channels,
+                                              comm_opts);
+  env.reuse = graph::build_channel_reuse_graph(env.topology, env.channels);
+  env.reuse_hops = graph::hop_matrix(env.reuse);
+  return env;
+}
+
+ratio_point schedulable_ratio(const experiment_env& env,
+                              const flow::flow_set_params& fsp, int trials,
+                              std::uint64_t seed, int rho_t,
+                              efficiency_accumulator* acc) {
+  ratio_point point;
+  point.trials = trials;
+  rng gen(seed);
+  for (int t = 0; t < trials; ++t) {
+    rng trial_gen = gen.fork();
+    flow::flow_set set;
+    try {
+      set = flow::generate_flow_set(env.comm, fsp, trial_gen);
+    } catch (const std::runtime_error&) {
+      continue;  // unroutable workload counts as unschedulable for all
+    }
+
+    const int channels = static_cast<int>(env.channels.size());
+
+    const auto nr = core::schedule_flows(
+        set.flows, env.reuse_hops,
+        core::make_config(core::algorithm::nr, channels, rho_t));
+    point.nr_ok += nr.schedulable ? 1 : 0;
+
+    const auto ra = core::schedule_flows(
+        set.flows, env.reuse_hops,
+        core::make_config(core::algorithm::ra, channels, rho_t));
+    point.ra_ok += ra.schedulable ? 1 : 0;
+
+    const auto rc = core::schedule_flows(
+        set.flows, env.reuse_hops,
+        core::make_config(core::algorithm::rc, channels, rho_t));
+    point.rc_ok += rc.schedulable ? 1 : 0;
+
+    if (acc != nullptr) {
+      if (ra.schedulable) {
+        acc->ra_tx_per_channel.merge(
+            tsch::tx_per_channel_histogram(ra.sched));
+        acc->ra_hop_count.merge(
+            tsch::reuse_hop_count_histogram(ra.sched, env.reuse_hops));
+      }
+      if (rc.schedulable) {
+        acc->rc_tx_per_channel.merge(
+            tsch::tx_per_channel_histogram(rc.sched));
+        acc->rc_hop_count.merge(
+            tsch::reuse_hop_count_histogram(rc.sched, env.reuse_hops));
+      }
+    }
+  }
+  return point;
+}
+
+reliability_workloads find_reliability_sets(
+    const experiment_env& env, const flow::flow_set_params& base_params,
+    int count, std::uint64_t base_seed, int rho_t, int max_seeds) {
+  reliability_workloads result;
+  auto params = base_params;
+  while (params.num_flows >= 5) {
+    result.sets.clear();
+    rng gen(base_seed);
+    for (int attempt = 0;
+         attempt < max_seeds &&
+         static_cast<int>(result.sets.size()) < count;
+         ++attempt) {
+      rng trial_gen = gen.fork();
+      flow::flow_set set;
+      try {
+        set = flow::generate_flow_set(env.comm, params, trial_gen);
+      } catch (const std::runtime_error&) {
+        continue;
+      }
+      bool all_ok = true;
+      for (const auto algo : {core::algorithm::nr, core::algorithm::ra,
+                              core::algorithm::rc}) {
+        const auto config = core::make_config(
+            algo, static_cast<int>(env.channels.size()), rho_t);
+        if (!core::schedule_flows(set.flows, env.reuse_hops, config)
+                 .schedulable) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (all_ok) result.sets.push_back(std::move(set));
+    }
+    if (static_cast<int>(result.sets.size()) >= count) {
+      result.flows_used = params.num_flows;
+      return result;
+    }
+    params.num_flows -= 5;  // workload too heavy for NR; lighten it
+  }
+  WSAN_REQUIRE(false,
+               "could not find commonly-schedulable flow sets; relax the "
+               "workload parameters");
+}
+
+double time_schedule_ms(const std::vector<flow::flow>& flows,
+                        const graph::hop_matrix& reuse_hops,
+                        const core::scheduler_config& config,
+                        bool* schedulable) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = core::schedule_flows(flows, reuse_hops, config);
+  const auto stop = std::chrono::steady_clock::now();
+  if (schedulable != nullptr) *schedulable = result.schedulable;
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+std::string ratio_cell(int successes, int trials) {
+  const auto ci = stats::wilson_interval(successes, trials);
+  return cell(ci.estimate, 2) + " [" + cell(ci.low, 2) + "," +
+         cell(ci.high, 2) + "]";
+}
+
+void print_banner(const std::string& figure, const std::string& what) {
+  std::cout << "==========================================================\n"
+            << figure << ": " << what << "\n"
+            << "==========================================================\n";
+}
+
+}  // namespace wsan::bench

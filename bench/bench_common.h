@@ -1,0 +1,94 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Each bench binary prints the series of one figure of the paper.
+// Common mechanics — building a testbed environment, sweeping flow sets,
+// running the three schedulers, and accumulating statistics — live here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/scheduler.h"
+#include "flow/flow_generator.h"
+#include "graph/comm_graph.h"
+#include "graph/hop_matrix.h"
+#include "graph/reuse_graph.h"
+#include "topo/testbeds.h"
+
+namespace wsan::bench {
+
+/// Everything derived from a testbed + channel count: the topology, the
+/// channel list, both graphs, and the reuse-graph hop matrix.
+struct experiment_env {
+  topo::topology topology;
+  std::vector<channel_t> channels;
+  graph::graph comm;
+  graph::graph reuse;
+  graph::hop_matrix reuse_hops;
+};
+
+/// Builds the environment for "indriya" or "wustl" with the first
+/// `num_channels` 802.15.4 channels. The topology seed is fixed per
+/// testbed so every figure sees the same deployment (like the paper's
+/// collected topologies).
+experiment_env make_env(const std::string& testbed, int num_channels,
+                        double prr_threshold = 0.9);
+
+/// Outcome of one schedulable-ratio data point.
+struct ratio_point {
+  int trials = 0;
+  int nr_ok = 0;
+  int ra_ok = 0;
+  int rc_ok = 0;
+
+  double nr() const { return trials ? double(nr_ok) / trials : 0.0; }
+  double ra() const { return trials ? double(ra_ok) / trials : 0.0; }
+  double rc() const { return trials ? double(rc_ok) / trials : 0.0; }
+};
+
+/// Runs `trials` random flow sets through NR, RA (rho_t), and RC (rho_t)
+/// and counts which are schedulable. Optionally accumulates the
+/// efficiency histograms of Figures 4/5 for RA and RC.
+struct efficiency_accumulator {
+  histogram ra_tx_per_channel;
+  histogram rc_tx_per_channel;
+  histogram ra_hop_count;
+  histogram rc_hop_count;
+};
+
+ratio_point schedulable_ratio(const experiment_env& env,
+                              const flow::flow_set_params& fsp, int trials,
+                              std::uint64_t seed, int rho_t = 2,
+                              efficiency_accumulator* acc = nullptr);
+
+/// Finds `count` flow sets that are schedulable under NR, RA, and RC at
+/// once (the reliability experiments compare the three algorithms on the
+/// same workloads). Scans seeds from base_seed; if too few qualify
+/// within max_seeds, retries with progressively fewer flows. Returns the
+/// sets plus the flow count actually used.
+struct reliability_workloads {
+  std::vector<flow::flow_set> sets;
+  int flows_used = 0;
+};
+
+reliability_workloads find_reliability_sets(
+    const experiment_env& env, const flow::flow_set_params& base_params,
+    int count, std::uint64_t base_seed, int rho_t = 2,
+    int max_seeds = 200);
+
+/// Wall-clock milliseconds of one scheduler invocation.
+double time_schedule_ms(const std::vector<flow::flow>& flows,
+                        const graph::hop_matrix& reuse_hops,
+                        const core::scheduler_config& config,
+                        bool* schedulable = nullptr);
+
+/// Renders a schedulable ratio with its 95% Wilson interval:
+/// "0.78 [0.65,0.87]".
+std::string ratio_cell(int successes, int trials);
+
+/// Standard banner so bench outputs are self-describing.
+void print_banner(const std::string& figure, const std::string& what);
+
+}  // namespace wsan::bench

@@ -1,0 +1,72 @@
+// Extension bench: radio energy under NR, RA, and RC.
+//
+// Channel reuse does not change how many transmissions are *scheduled*,
+// but it changes how many are *burned*: interference-induced failures
+// make retry slots fire, and every scheduled-but-silent retry cell costs
+// its receiver an idle-listen guard window. This bench reports energy
+// per delivered packet for the three schedulers on common workloads.
+//
+// Usage: --flows N (default 45), --runs N (default 60), --sets N (3)
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "sim/simulator.h"
+#include "stats/summary.h"
+
+int main(int argc, char** argv) {
+  using namespace wsan;
+  const cli_args args(argc, argv);
+  const int flows = static_cast<int>(args.get_int("flows", 45));
+  const int runs = static_cast<int>(args.get_int("runs", 60));
+  const int num_sets = static_cast<int>(args.get_int("sets", 3));
+
+  bench::print_banner("Energy",
+                      "radio energy per delivered packet, NR vs RA vs RC "
+                      "(WUSTL, 4 channels)");
+
+  const auto env = bench::make_env("wustl", 4);
+  flow::flow_set_params fsp;
+  fsp.type = flow::traffic_type::peer_to_peer;
+  fsp.num_flows = flows;
+  fsp.period_min_exp = -1;
+  fsp.period_max_exp = 0;
+  const auto workloads =
+      bench::find_reliability_sets(env, fsp, num_sets, 21000);
+  std::cout << "\n" << workloads.sets.size() << " workloads of "
+            << workloads.flows_used << " flows, " << runs
+            << " schedule executions\n\n";
+
+  table t({"flow set", "algo", "data Tx fired", "idle listens",
+           "total energy (mJ)", "mJ per delivered", "PDR"});
+  for (std::size_t si = 0; si < workloads.sets.size(); ++si) {
+    const auto& set = workloads.sets[si];
+    for (const auto algo : {core::algorithm::nr, core::algorithm::ra,
+                            core::algorithm::rc}) {
+      const auto scheduled = core::schedule_flows(
+          set.flows, env.reuse_hops, core::make_config(algo, 4));
+      sim::sim_config sim_config;
+      sim_config.runs = runs;
+      sim_config.seed = 33 + si;
+      const auto result = sim::run_simulation(env.topology,
+                                              scheduled.sched, set.flows,
+                                              env.channels, sim_config);
+      t.add_row({cell(si + 1), core::to_string(algo),
+                 cell(result.energy.data_transmissions),
+                 cell(result.energy.idle_listens),
+                 cell(result.energy.total_mj, 1),
+                 cell(result.energy.mj_per_delivered(
+                          result.instances_delivered),
+                      3),
+                 cell(result.network_pdr(), 4)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: all three schedule the same attempts, so "
+               "totals are close; RA's interference burns extra retries "
+               "(more data transmissions fired, slightly worse mJ per "
+               "delivered packet), while NR and RC stay at the retry "
+               "floor set by the channel alone.\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Figure 10 (plus the Section VII-E counts): PRRs of rejected and
+// accepted links failing the reliability requirement when scheduled by
+// RA and RC, in a clean environment and under WiFi interference.
+//
+// 50 peer-to-peer flows at 1 s on WUSTL, channels 11-14, 6 epochs of 18
+// schedule executions, alpha = 0.05, PRR_t = 0.9.
+//
+// Usage: --flows N (default 50), --epochs N (default 6)
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "detect/detector.h"
+#include "sim/simulator.h"
+#include "tsch/schedule_stats.h"
+
+namespace {
+
+constexpr int k_runs_per_epoch = 18;
+
+struct scenario_result {
+  int low_prr_links = 0;
+  int rejected = 0;
+  int accepted = 0;
+  double rejected_prr_reuse_sum = 0.0;
+  double rejected_prr_cf_sum = 0.0;
+  double accepted_prr_reuse_sum = 0.0;
+  double accepted_prr_cf_sum = 0.0;
+};
+
+scenario_result analyze(const std::vector<wsan::detect::link_report>& reports) {
+  using namespace wsan;
+  scenario_result r;
+  for (const auto& report : reports) {
+    if (report.verdict == detect::link_verdict::meets_requirement)
+      continue;
+    ++r.low_prr_links;
+    if (report.verdict == detect::link_verdict::degraded_by_reuse) {
+      ++r.rejected;
+      r.rejected_prr_reuse_sum += report.prr_reuse;
+      r.rejected_prr_cf_sum += report.prr_contention_free;
+    } else if (report.verdict == detect::link_verdict::degraded_by_other) {
+      ++r.accepted;
+      r.accepted_prr_reuse_sum += report.prr_reuse;
+      r.accepted_prr_cf_sum += report.prr_contention_free;
+    }
+  }
+  return r;
+}
+
+std::string mean_or_dash(double sum, int count) {
+  return count == 0 ? "-" : wsan::cell(sum / count, 3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wsan;
+  const cli_args args(argc, argv);
+  const int flows = static_cast<int>(args.get_int("flows", 50));
+  const int epochs = static_cast<int>(args.get_int("epochs", 6));
+
+  bench::print_banner("Figure 10",
+                      "PRR of rejected vs accepted low-reliability links "
+                      "(WUSTL, channels 11-14)");
+
+  const auto env = bench::make_env("wustl", 4);
+  flow::flow_set_params fsp;
+  fsp.type = flow::traffic_type::peer_to_peer;
+  fsp.num_flows = flows;
+  fsp.period_min_exp = 0;  // every flow releases a packet every 1 s
+  fsp.period_max_exp = 0;
+  const auto workloads = bench::find_reliability_sets(env, fsp, 1, 13000);
+  const auto& set = workloads.sets.front();
+  std::cout << "\nWorkload: " << workloads.flows_used
+            << " peer-to-peer flows at 1 s; " << epochs << " epochs x "
+            << k_runs_per_epoch << " executions\n";
+
+  table counts({"algo", "environment", "links in reuse", "PRR<0.9",
+                "rejected (reuse)", "accepted (other)"});
+  table prrs({"algo", "environment", "class", "mean PRR (reuse slots)",
+              "mean PRR (cont.-free slots)"});
+
+  for (const auto algo : {core::algorithm::ra, core::algorithm::rc}) {
+    const auto config = core::make_config(algo, 4);
+    const auto scheduled =
+        core::schedule_flows(set.flows, env.reuse_hops, config);
+    const auto reuse_links = tsch::links_in_reuse_count(scheduled.sched);
+
+    for (const bool with_wifi : {false, true}) {
+      sim::sim_config sim_config;
+      sim_config.runs = epochs * k_runs_per_epoch;
+      sim_config.seed = 4242;
+      if (with_wifi)
+        sim_config.interferers =
+            sim::one_interferer_per_floor(
+            env.topology, args.get_double("duty", 0.3),
+            args.get_double("wifi-power", 8.0));
+      const auto result = sim::run_simulation(
+          env.topology, scheduled.sched, set.flows, env.channels,
+          sim_config);
+      const auto reports = detect::classify_links(result.links, {});
+      const auto analysis = analyze(reports);
+
+      const std::string environment = with_wifi ? "WiFi interference"
+                                                : "clean";
+      counts.add_row({core::to_string(algo), environment,
+                      cell(reuse_links), cell(analysis.low_prr_links),
+                      cell(analysis.rejected), cell(analysis.accepted)});
+      prrs.add_row({core::to_string(algo), environment, "rejected",
+                    mean_or_dash(analysis.rejected_prr_reuse_sum,
+                                 analysis.rejected),
+                    mean_or_dash(analysis.rejected_prr_cf_sum,
+                                 analysis.rejected)});
+      prrs.add_row({core::to_string(algo), environment, "accepted",
+                    mean_or_dash(analysis.accepted_prr_reuse_sum,
+                                 analysis.accepted),
+                    mean_or_dash(analysis.accepted_prr_cf_sum,
+                                 analysis.accepted)});
+    }
+  }
+  std::cout << "\nDetection counts (Section VII-E):\n";
+  counts.print(std::cout);
+  std::cout << "\nMean PRRs of failing links by verdict (Figure 10):\n";
+  prrs.print(std::cout);
+  std::cout << "\nPaper shape: rejected links look healthy on a "
+               "contention-free channel but poor under reuse; accepted "
+               "links are poor in both (external interference). RA "
+               "exposes far more links to reuse than RC, and RC has few "
+               "or no failing links in the clean environment.\n";
+  return 0;
+}

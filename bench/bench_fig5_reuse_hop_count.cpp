@@ -1,0 +1,71 @@
+// Figure 5: distribution of the channel-reuse hop count for RA and RC
+// under a varying number of channels (Indriya).
+// (a) peer-to-peer traffic, (b) centralized traffic.
+//
+// Usage: --trials N (default 30)
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/cli.h"
+#include "common/table.h"
+
+namespace {
+
+void run_panel(const char* label, wsan::flow::traffic_type type,
+               int flows, int trials) {
+  using namespace wsan;
+  std::cout << "\nPanel " << label << ", " << flows << " flows, " << trials
+            << " flow sets per channel count\n";
+  table t({"#channels", "algo", "2 hops", "3 hops", "4+ hops",
+           "mean hops"});
+  for (int ch = 3; ch <= 6; ++ch) {
+    const auto env = bench::make_env("indriya", ch);
+    flow::flow_set_params fsp;
+    fsp.type = type;
+    fsp.num_flows = flows;
+    fsp.period_min_exp = 0;
+    fsp.period_max_exp = 2;
+    bench::efficiency_accumulator acc;
+    bench::schedulable_ratio(env, fsp, trials,
+                             8000 + static_cast<std::uint64_t>(ch), 2,
+                             &acc);
+    for (const auto* algo : {"RA", "RC"}) {
+      const auto& hist = std::string(algo) == "RA" ? acc.ra_hop_count
+                                                   : acc.rc_hop_count;
+      if (hist.empty()) {
+        t.add_row({cell(ch), algo, "-", "-", "-", "no reuse"});
+        continue;
+      }
+      double four_plus = 0.0;
+      for (const auto& [value, count] : hist.bins())
+        if (value >= 4)
+          four_plus += static_cast<double>(count) /
+                       static_cast<double>(hist.total());
+      t.add_row({cell(ch), algo, cell(hist.proportion(2), 3),
+                 cell(hist.proportion(3), 3), cell(four_plus, 3),
+                 cell(hist.mean(), 2)});
+    }
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wsan;
+  const cli_args args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 30));
+
+  bench::print_banner("Figure 5",
+                      "channel-reuse hop count, RA vs RC (Indriya)");
+  run_panel("(a) peer-to-peer", flow::traffic_type::peer_to_peer,
+            static_cast<int>(args.get_int("flows-p2p", 60)), trials);
+  run_panel("(b) centralized", flow::traffic_type::centralized,
+            static_cast<int>(args.get_int("flows-centralized", 30)),
+            trials);
+  std::cout << "\nPaper shape: under peer-to-peer traffic RC's reuse "
+               "distribution shifts toward larger hop counts (mode at 3) "
+               "while RA concentrates at the minimum of 2; under "
+               "centralized traffic both are dominated by 2-hop reuse.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 7: the WUSTL testbed topology when channels 11-14 are used.
+// The paper shows a node map; we print the deployment and the derived
+// graph structure (a text rendering of the same information).
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "flow/flow_generator.h"
+#include "graph/algorithms.h"
+
+int main() {
+  using namespace wsan;
+  bench::print_banner("Figure 7", "WUSTL testbed topology, channels 11-14");
+
+  const auto env = bench::make_env("wustl", 4);
+  const auto& topo = env.topology;
+
+  std::cout << "\nNodes per floor:\n";
+  int per_floor[16] = {};
+  int max_floor = 0;
+  for (node_id v = 0; v < topo.num_nodes(); ++v) {
+    const int f = topo.position_of(v).floor;
+    ++per_floor[f];
+    max_floor = std::max(max_floor, f);
+  }
+  for (int f = 0; f <= max_floor; ++f)
+    std::cout << "  floor " << f << ": " << per_floor[f] << " nodes\n";
+
+  std::cout << "\nGraph structure on channels 11-14:\n";
+  table t({"graph", "edges", "min degree", "max degree", "diameter",
+           "connected"});
+  for (const auto* which : {"communication", "reuse"}) {
+    const auto& g =
+        std::string(which) == "communication" ? env.comm : env.reuse;
+    int min_deg = topo.num_nodes();
+    int max_deg = 0;
+    for (node_id v = 0; v < g.num_nodes(); ++v) {
+      min_deg = std::min(min_deg, g.degree(v));
+      max_deg = std::max(max_deg, g.degree(v));
+    }
+    t.add_row({which, cell(g.num_edges()), cell(min_deg), cell(max_deg),
+               cell(graph::diameter(g)),
+               graph::is_connected(g) ? "yes" : "no"});
+  }
+  t.print(std::cout);
+
+  const auto aps = flow::pick_access_points(env.comm, 2);
+  std::cout << "\nAccess points (highest-degree nodes): " << aps[0]
+            << " (degree " << env.comm.degree(aps[0]) << "), " << aps[1]
+            << " (degree " << env.comm.degree(aps[1]) << ")\n";
+
+  std::cout << "\nDeployment map (floor / x / y in meters):\n";
+  table nodes({"node", "floor", "x", "y", "comm degree"});
+  for (node_id v = 0; v < topo.num_nodes(); ++v) {
+    const auto& pos = topo.position_of(v);
+    nodes.add_row({cell(v), cell(pos.floor), cell(pos.x, 1),
+                   cell(pos.y, 1), cell(env.comm.degree(v))});
+  }
+  nodes.print(std::cout);
+  return 0;
+}

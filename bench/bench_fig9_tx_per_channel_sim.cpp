@@ -1,0 +1,60 @@
+// Figure 9: number of transmissions per channel under RA and RC for the
+// five reliability flow sets of Figure 8 (WUSTL, 4 channels).
+//
+// Usage: --flows N (default 50), --sets N (default 5)
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "tsch/schedule_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace wsan;
+  const cli_args args(argc, argv);
+  const int flows = static_cast<int>(args.get_int("flows", 50));
+  const int num_sets = static_cast<int>(args.get_int("sets", 5));
+
+  bench::print_banner("Figure 9",
+                      "Tx per channel under RA and RC, reliability flow "
+                      "sets (WUSTL, 4 channels)");
+
+  const auto env = bench::make_env("wustl", 4);
+  flow::flow_set_params fsp;
+  fsp.type = flow::traffic_type::peer_to_peer;
+  fsp.num_flows = flows;
+  fsp.period_min_exp = -1;
+  fsp.period_max_exp = 0;
+  const auto workloads =
+      bench::find_reliability_sets(env, fsp, num_sets, 11000);
+  std::cout << "\nUsing " << workloads.sets.size() << " flow sets of "
+            << workloads.flows_used << " flows\n\n";
+
+  table t({"flow set", "algo", "1 Tx", "2 Tx", "3+ Tx", "reusing cells",
+           "links in reuse"});
+  for (std::size_t si = 0; si < workloads.sets.size(); ++si) {
+    const auto& set = workloads.sets[si];
+    for (const auto algo : {core::algorithm::ra, core::algorithm::rc}) {
+      const auto config = core::make_config(algo, 4);
+      const auto scheduled =
+          core::schedule_flows(set.flows, env.reuse_hops, config);
+      const auto hist = tsch::tx_per_channel_histogram(scheduled.sched);
+      double three_plus = 0.0;
+      for (const auto& [value, count] : hist.bins())
+        if (value >= 3)
+          three_plus += static_cast<double>(count) /
+                        static_cast<double>(hist.total());
+      t.add_row({cell(si + 1), core::to_string(algo),
+                 cell(hist.proportion(1), 3), cell(hist.proportion(2), 3),
+                 cell(three_plus, 3),
+                 cell(tsch::reusing_cell_count(scheduled.sched)),
+                 cell(tsch::links_in_reuse_count(scheduled.sched))});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper shape: RC's distribution is dominated by "
+               "1 Tx/channel (reuse only where laxity demanded it) while "
+               "RA shares channels across many more cells — the paper "
+               "reports 95 links in reuse for RA vs 20 for RC.\n";
+  return 0;
+}

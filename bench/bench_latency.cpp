@@ -1,0 +1,66 @@
+// Extension bench: end-to-end latency under NR, RA, and RC.
+//
+// Schedulability (Figures 1-3) is the binary view of the same mechanism
+// this bench shows continuously: channel reuse compresses schedules, so
+// worst-case end-to-end delays shrink and slack grows. Measured on
+// workloads that all three schedulers accept.
+//
+// Usage: --flows N (default 45), --sets N (default 5)
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "tsch/latency.h"
+
+int main(int argc, char** argv) {
+  using namespace wsan;
+  const cli_args args(argc, argv);
+  const int flows = static_cast<int>(args.get_int("flows", 45));
+  const int num_sets = static_cast<int>(args.get_int("sets", 5));
+
+  bench::print_banner("Latency",
+                      "scheduled end-to-end delay and slack, NR vs RA vs "
+                      "RC (WUSTL, 4 channels)");
+
+  const auto env = bench::make_env("wustl", 4);
+  flow::flow_set_params fsp;
+  fsp.type = flow::traffic_type::peer_to_peer;
+  fsp.num_flows = flows;
+  fsp.period_min_exp = -1;
+  fsp.period_max_exp = 0;
+  const auto workloads =
+      bench::find_reliability_sets(env, fsp, num_sets, 19000);
+  std::cout << "\n" << workloads.sets.size() << " workloads of "
+            << workloads.flows_used << " flows (all schedulable under "
+            << "NR, RA, and RC)\n\n";
+
+  table t({"flow set", "algo", "max worst delay (slots)",
+           "mean of worst delays", "min slack (slots)"});
+  for (std::size_t si = 0; si < workloads.sets.size(); ++si) {
+    const auto& set = workloads.sets[si];
+    for (const auto algo : {core::algorithm::nr, core::algorithm::ra,
+                            core::algorithm::rc}) {
+      const auto result = core::schedule_flows(
+          set.flows, env.reuse_hops, core::make_config(algo, 4));
+      const auto latencies = tsch::analyze_latency(result.sched, set.flows);
+      double worst_sum = 0.0;
+      slot_t min_slack = set.flows.front().deadline;
+      for (const auto& lat : latencies) {
+        worst_sum += static_cast<double>(lat.worst_delay);
+        min_slack = std::min(min_slack, lat.min_slack);
+      }
+      t.add_row({cell(si + 1), core::to_string(algo),
+                 cell(tsch::max_worst_delay(latencies)),
+                 cell(worst_sum / static_cast<double>(latencies.size()),
+                      1),
+                 cell(min_slack)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: RA compresses delays the most (earliest-slot "
+               "everywhere); RC matches NR when laxity permits and only "
+               "compresses where deadlines demanded reuse — conservative "
+               "in latency exactly as in reliability.\n";
+  return 0;
+}

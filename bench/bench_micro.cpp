@@ -1,0 +1,108 @@
+// Google-benchmark microbenchmarks for the library's hot paths:
+// graph preprocessing, the three schedulers, the laxity computation, the
+// K-S test, and one simulator run.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/laxity.h"
+#include "sim/simulator.h"
+#include "stats/ks_test.h"
+
+namespace {
+
+using namespace wsan;
+
+const bench::experiment_env& env() {
+  static const auto e = bench::make_env("wustl", 4);
+  return e;
+}
+
+flow::flow_set workload(int flows, std::uint64_t seed) {
+  flow::flow_set_params params;
+  params.num_flows = flows;
+  params.type = flow::traffic_type::peer_to_peer;
+  params.period_min_exp = 0;
+  params.period_max_exp = 2;
+  rng gen(seed);
+  return flow::generate_flow_set(env().comm, params, gen);
+}
+
+void BM_HopMatrixBuild(benchmark::State& state) {
+  const auto reuse =
+      graph::build_channel_reuse_graph(env().topology, env().channels);
+  for (auto _ : state) {
+    graph::hop_matrix hm(reuse);
+    benchmark::DoNotOptimize(hm.diameter());
+  }
+}
+BENCHMARK(BM_HopMatrixBuild);
+
+void BM_CommGraphBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    auto g = graph::build_communication_graph(env().topology,
+                                              env().channels);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_CommGraphBuild);
+
+void BM_Scheduler(benchmark::State& state, core::algorithm algo) {
+  const auto set = workload(static_cast<int>(state.range(0)), 31);
+  const auto config = core::make_config(algo, 4);
+  for (auto _ : state) {
+    auto result = core::schedule_flows(set.flows, env().reuse_hops, config);
+    benchmark::DoNotOptimize(result.schedulable);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_SchedulerNR(benchmark::State& state) {
+  BM_Scheduler(state, core::algorithm::nr);
+}
+void BM_SchedulerRA(benchmark::State& state) {
+  BM_Scheduler(state, core::algorithm::ra);
+}
+void BM_SchedulerRC(benchmark::State& state) {
+  BM_Scheduler(state, core::algorithm::rc);
+}
+BENCHMARK(BM_SchedulerNR)->Arg(10)->Arg(20)->Arg(40);
+BENCHMARK(BM_SchedulerRA)->Arg(10)->Arg(20)->Arg(40);
+BENCHMARK(BM_SchedulerRC)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_KsTest(benchmark::State& state) {
+  rng gen(7);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.push_back(gen.normal(0.9, 0.05));
+    b.push_back(gen.normal(0.85, 0.05));
+  }
+  for (auto _ : state) {
+    auto r = stats::ks_test(a, b);
+    benchmark::DoNotOptimize(r.p_value);
+  }
+}
+BENCHMARK(BM_KsTest)->Arg(18)->Arg(100)->Arg(1000);
+
+void BM_SimulatorRun(benchmark::State& state) {
+  const auto set = workload(20, 37);
+  const auto config = core::make_config(core::algorithm::rc, 4);
+  const auto scheduled =
+      core::schedule_flows(set.flows, env().reuse_hops, config);
+  if (!scheduled.schedulable) {
+    state.SkipWithError("workload unschedulable");
+    return;
+  }
+  sim::sim_config sim_config;
+  sim_config.runs = 10;
+  for (auto _ : state) {
+    auto result = sim::run_simulation(env().topology, scheduled.sched,
+                                      set.flows, env().channels,
+                                      sim_config);
+    benchmark::DoNotOptimize(result.instances_delivered);
+  }
+}
+BENCHMARK(BM_SimulatorRun);
+
+}  // namespace

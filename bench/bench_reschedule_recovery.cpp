@@ -1,0 +1,92 @@
+// Extension bench: closing the loop of Section VI.
+//
+// The paper detects links degraded by channel reuse "so that these links
+// can be reassigned to different channels or time slots", but stops at
+// detection. This bench implements the full repair cycle and measures
+// the recovery:
+//
+//   RA schedule -> simulate -> classify -> isolate rejected links ->
+//   reschedule -> simulate again
+//
+// Usage: --flows N (default 50), --runs N (default 72), --cycles N (2)
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "detect/detector.h"
+#include "manager/network_manager.h"
+#include "stats/summary.h"
+#include "tsch/schedule_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace wsan;
+  const cli_args args(argc, argv);
+  const int flows = static_cast<int>(args.get_int("flows", 50));
+  const int runs = static_cast<int>(args.get_int("runs", 72));
+  const int cycles = static_cast<int>(args.get_int("cycles", 2));
+
+  bench::print_banner("Reschedule recovery",
+                      "detect -> isolate -> reschedule cycle on an RA "
+                      "schedule (WUSTL, 4 channels)");
+
+  manager::manager_config config;
+  config.num_channels = 4;
+  config.scheduler = core::make_config(core::algorithm::ra, 4);
+  manager::network_manager manager(topo::make_wustl(), config);
+
+  flow::flow_set_params fsp;
+  fsp.type = flow::traffic_type::peer_to_peer;
+  fsp.num_flows = flows;
+  fsp.period_min_exp = 0;
+  fsp.period_max_exp = 0;
+  rng gen(31);
+  flow::flow_set set;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    set = manager.generate_workload(fsp, gen);
+    if (manager.admit(set.flows).schedulable) break;
+    if (attempt == 49) {
+      std::cout << "workload unschedulable; lower --flows\n";
+      return 1;
+    }
+  }
+
+  table t({"cycle", "isolated links", "schedulable", "reusing cells",
+           "median PDR", "worst-case PDR", "links PRR<0.9"});
+
+  auto scheduled = manager.admit(set.flows);
+  for (int cycle = 0; cycle <= cycles; ++cycle) {
+    if (!scheduled.schedulable) {
+      t.add_row({cell(cycle), cell(manager.isolated_links().size()), "no",
+                 "-", "-", "-", "-"});
+      break;
+    }
+    sim::sim_config sim_config;
+    sim_config.runs = runs;
+    sim_config.seed = 99;  // same world every cycle: drift is static
+    const auto result = sim::run_simulation(manager.topology(),
+                                            scheduled.sched, set.flows,
+                                            manager.channels(), sim_config);
+    const auto box = stats::make_box_stats(result.flow_pdr);
+    const auto reports = detect::classify_links(result.links, {});
+    int low = 0;
+    for (const auto& report : reports)
+      low += report.verdict != detect::link_verdict::meets_requirement
+                 ? 1
+                 : 0;
+    t.add_row({cell(cycle), cell(manager.isolated_links().size()), "yes",
+               cell(tsch::reusing_cell_count(scheduled.sched)),
+               cell(box.median, 3), cell(box.min, 3), cell(low)});
+
+    if (cycle == cycles) break;
+    const auto outcome = manager.maintain(set.flows, result.links);
+    if (!outcome.rescheduled) break;  // nothing left to repair
+    scheduled = *outcome.repaired;
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: each cycle isolates the links the classifier "
+               "rejects; worst-case PDR recovers toward the NR level "
+               "while most of the reuse (and its schedulability benefit) "
+               "is retained.\n";
+  return 0;
+}

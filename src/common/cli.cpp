@@ -1,0 +1,68 @@
+#include "common/cli.h"
+
+#include <stdexcept>
+
+#include "common/error.h"
+
+namespace wsan {
+
+cli_args::cli_args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    WSAN_REQUIRE(arg.rfind("--", 0) == 0,
+                 "arguments must be of the form --key [value]: " + arg);
+    const std::string key = arg.substr(2);
+    WSAN_REQUIRE(!key.empty(), "empty flag name");
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[key] = argv[++i];
+    } else {
+      values_[key] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool cli_args::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string cli_args::get(const std::string& key,
+                          const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t cli_args::get_int(const std::string& key,
+                               std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key +
+                                " expects an integer, got: " + it->second);
+  }
+}
+
+double cli_args::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key +
+                                " expects a number, got: " + it->second);
+  }
+}
+
+bool cli_args::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second == "true" || it->second == "1" || it->second == "yes")
+    return true;
+  if (it->second == "false" || it->second == "0" || it->second == "no")
+    return false;
+  throw std::invalid_argument("flag --" + key +
+                              " expects a boolean, got: " + it->second);
+}
+
+}  // namespace wsan

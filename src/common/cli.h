@@ -1,0 +1,28 @@
+// Minimal "--key value" command-line parser for bench/example binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace wsan {
+
+/// Parses flags of the form "--key value" and bare "--key" booleans.
+/// Unknown positional arguments raise std::invalid_argument so typos in
+/// experiment invocations fail loudly.
+class cli_args {
+ public:
+  cli_args(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace wsan

@@ -1,0 +1,44 @@
+// Precondition/invariant checking helpers.
+//
+// Following the C++ Core Guidelines (I.6, E.12) we validate preconditions at
+// API boundaries and throw standard exceptions with descriptive messages.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wsan::detail {
+
+[[noreturn]] inline void fail_require(const char* expr, const char* file,
+                                      int line, const std::string& message) {
+  std::ostringstream os;
+  os << "requirement violated: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file,
+                                    int line, const std::string& message) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " at " << file << ':'
+     << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace wsan::detail
+
+/// Validates a caller-supplied precondition; throws std::invalid_argument.
+#define WSAN_REQUIRE(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) ::wsan::detail::fail_require(#cond, __FILE__, __LINE__, \
+                                              (msg));                    \
+  } while (false)
+
+/// Validates an internal invariant; throws std::logic_error.
+#define WSAN_CHECK(cond, msg)                                          \
+  do {                                                                 \
+    if (!(cond)) ::wsan::detail::fail_check(#cond, __FILE__, __LINE__, \
+                                            (msg));                    \
+  } while (false)

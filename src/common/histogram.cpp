@@ -1,0 +1,58 @@
+#include "common/histogram.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wsan {
+
+void histogram::add(int value, std::uint64_t weight) {
+  if (weight == 0) return;
+  bins_[value] += weight;
+  total_ += weight;
+}
+
+void histogram::merge(const histogram& other) {
+  for (const auto& [value, count] : other.bins_) add(value, count);
+}
+
+std::uint64_t histogram::count(int value) const {
+  const auto it = bins_.find(value);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+double histogram::proportion(int value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+int histogram::min_value() const {
+  WSAN_REQUIRE(!bins_.empty(), "min_value of an empty histogram");
+  return bins_.begin()->first;
+}
+
+int histogram::max_value() const {
+  WSAN_REQUIRE(!bins_.empty(), "max_value of an empty histogram");
+  return bins_.rbegin()->first;
+}
+
+double histogram::mean() const {
+  WSAN_REQUIRE(total_ > 0, "mean of an empty histogram");
+  double sum = 0.0;
+  for (const auto& [value, count] : bins_)
+    sum += static_cast<double>(value) * static_cast<double>(count);
+  return sum / static_cast<double>(total_);
+}
+
+std::string histogram::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [value, count] : bins_) {
+    if (!first) os << ' ';
+    os << value << ':' << count;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace wsan

@@ -1,0 +1,43 @@
+// Integer-valued histogram with proportion queries.
+//
+// Used for the paper's Tx/channel and channel-reuse hop-count
+// distributions (Figures 4, 5, and 9).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace wsan {
+
+class histogram {
+ public:
+  /// Adds `weight` observations of `value`.
+  void add(int value, std::uint64_t weight = 1);
+
+  /// Merges another histogram into this one.
+  void merge(const histogram& other);
+
+  std::uint64_t count(int value) const;
+  std::uint64_t total() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  /// Fraction of observations equal to `value`; 0 when empty.
+  double proportion(int value) const;
+
+  int min_value() const;
+  int max_value() const;
+  double mean() const;
+
+  /// Read-only view of the underlying bins (sorted by value).
+  const std::map<int, std::uint64_t>& bins() const { return bins_; }
+
+  /// "v1:c1 v2:c2 ..." rendering for logs.
+  std::string to_string() const;
+
+ private:
+  std::map<int, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wsan

@@ -1,0 +1,35 @@
+// Basic identifier and unit types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wsan {
+
+/// Identifies a network device (field device or access point).
+using node_id = std::int32_t;
+
+/// Identifies an end-to-end flow. Lower ids mean higher priority once
+/// priorities have been assigned (fixed-priority convention, Section IV-A).
+using flow_id = std::int32_t;
+
+/// A slot index within the hyperperiod schedule (10 ms TSCH slots).
+using slot_t = std::int32_t;
+
+/// A channel offset in [0, |M|-1] (Section III-B).
+using offset_t = std::int32_t;
+
+/// An IEEE 802.15.4 physical channel number (11..26 on the 2.4 GHz band).
+using channel_t = std::int32_t;
+
+inline constexpr node_id k_invalid_node = -1;
+inline constexpr flow_id k_invalid_flow = -1;
+inline constexpr slot_t k_invalid_slot = -1;
+inline constexpr offset_t k_invalid_offset = -1;
+
+/// Hop distance value representing "unreachable"/"no reuse allowed".
+/// Used both for graph distances and for the channel reuse hop count
+/// rho = infinity (Section V-A, constraint 2a).
+inline constexpr int k_infinite_hops = std::numeric_limits<int>::max();
+
+}  // namespace wsan

@@ -1,0 +1,90 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace wsan {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+rng::result_type rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  WSAN_REQUIRE(lo <= hi, "uniform_int requires lo <= hi");
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Lemire-style rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - range) % range;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return lo + static_cast<std::int64_t>(r % range);
+  }
+}
+
+double rng::uniform01() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform_real(double lo, double hi) {
+  WSAN_REQUIRE(lo <= hi, "uniform_real requires lo <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+double rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Box-Muller transform.
+  double u1 = 0.0;
+  while (u1 == 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = radius * std::sin(angle);
+  has_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double rng::normal(double mean, double stddev) {
+  WSAN_REQUIRE(stddev >= 0.0, "normal requires stddev >= 0");
+  return mean + stddev * normal();
+}
+
+bool rng::bernoulli(double p) {
+  WSAN_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli requires p in [0, 1]");
+  return uniform01() < p;
+}
+
+rng rng::fork() { return rng((*this)()); }
+
+}  // namespace wsan

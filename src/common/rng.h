@@ -1,0 +1,79 @@
+// Deterministic, seedable random number generation.
+//
+// Experiments must be reproducible bit-for-bit across platforms, so we do
+// not use std::mt19937 with std:: distributions (distribution algorithms are
+// implementation-defined). Instead we ship a xoshiro256** generator seeded
+// via splitmix64 plus our own distribution helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace wsan {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG (public-domain
+/// algorithm by Blackman & Vigna). Satisfies UniformRandomBitGenerator.
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit rng(std::uint64_t seed = 0);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Uniform real in [lo, hi). Requires lo <= hi.
+  double uniform_real(double lo, double hi);
+
+  /// Standard normal deviate (Box-Muller, deterministic).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element. Requires a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    WSAN_REQUIRE(!v.empty(), "cannot pick from an empty vector");
+    return v[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// experiment trial its own stream.
+  rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace wsan

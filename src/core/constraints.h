@@ -1,0 +1,30 @@
+// The channel reuse constraints of Section V-A.
+//
+// A transmission t_ij = u->v may take (slot s, offset c) iff:
+//   1. Transmission conflict: t_ij shares no node with any transmission
+//      already in slot s (any offset) — half-duplex radios.
+//   2. Channel constraint:
+//      a. rho == infinity: the cell (s, c) must be empty, or
+//      b. rho < infinity: for every x->y already in the cell, u must be
+//         at least rho hops from y AND x at least rho hops from v on the
+//         channel-reuse graph.
+#pragma once
+
+#include <vector>
+
+#include "graph/hop_matrix.h"
+#include "tsch/transmission.h"
+
+namespace wsan::core {
+
+/// Constraint 1: true iff tx conflicts with none of slot_txs.
+bool conflict_free(const tsch::transmission& tx,
+                   const std::vector<tsch::transmission>& slot_txs);
+
+/// Constraint 2: true iff tx may join the cell under hop threshold rho
+/// (pass k_infinite_hops for "no reuse allowed").
+bool channel_constraint_ok(const tsch::transmission& tx,
+                           const std::vector<tsch::transmission>& cell_txs,
+                           int rho, const graph::hop_matrix& reuse_hops);
+
+}  // namespace wsan::core

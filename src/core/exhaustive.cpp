@@ -1,0 +1,218 @@
+#include "core/exhaustive.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/constraints.h"
+#include "phy/channel.h"
+
+namespace wsan::core {
+
+std::string to_string(feasibility verdict) {
+  switch (verdict) {
+    case feasibility::feasible:
+      return "feasible";
+    case feasibility::infeasible:
+      return "infeasible";
+    case feasibility::unknown:
+      return "unknown";
+  }
+  WSAN_CHECK(false, "unknown feasibility verdict");
+}
+
+namespace {
+
+/// One transmission to place, with its window metadata.
+struct task {
+  tsch::transmission tx;
+  slot_t release = 0;
+  slot_t deadline = 0;   ///< last usable slot
+  int chain_prev = -1;   ///< index of the predecessor in the instance
+  int chain_remaining = 0;  ///< transmissions after this in the chain
+};
+
+class search_state {
+ public:
+  search_state(const std::vector<task>& tasks,
+               const graph::hop_matrix& hops, slot_t num_slots,
+               int num_channels, int rho, long long budget)
+      : tasks_(tasks),
+        hops_(hops),
+        num_channels_(num_channels),
+        rho_(rho),
+        budget_(budget),
+        cells_(static_cast<std::size_t>(num_slots) *
+               static_cast<std::size_t>(num_channels)),
+        slot_all_(static_cast<std::size_t>(num_slots)),
+        chosen_slot_(tasks.size(), k_invalid_slot),
+        chosen_offset_(tasks.size(), k_invalid_offset) {}
+
+  feasibility run() {
+    const auto verdict = place(0);
+    return verdict;
+  }
+
+  long long nodes() const { return nodes_; }
+
+  void replay_into(tsch::schedule& sched) const {
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+      sched.add(tasks_[i].tx, chosen_slot_[i], chosen_offset_[i]);
+  }
+
+ private:
+  std::vector<tsch::transmission>& cell(slot_t s, offset_t c) {
+    return cells_[static_cast<std::size_t>(s) *
+                      static_cast<std::size_t>(num_channels_) +
+                  static_cast<std::size_t>(c)];
+  }
+
+  feasibility place(std::size_t index) {
+    if (index == tasks_.size()) return feasibility::feasible;
+    const auto& t = tasks_[index];
+
+    slot_t earliest = t.release;
+    if (t.chain_prev >= 0)
+      earliest = std::max<slot_t>(
+          earliest,
+          chosen_slot_[static_cast<std::size_t>(t.chain_prev)] + 1);
+    // The chain's tail still needs chain_remaining distinct later slots.
+    const slot_t latest = t.deadline - t.chain_remaining;
+
+    bool exhausted_budget = false;
+    for (slot_t s = earliest; s <= latest; ++s) {
+      if (!conflict_free(t.tx, slot_all_[static_cast<std::size_t>(s)]))
+        continue;
+      bool tried_empty_offset = false;  // symmetry breaking
+      for (offset_t c = 0; c < num_channels_; ++c) {
+        auto& occupants = cell(s, c);
+        if (occupants.empty()) {
+          if (tried_empty_offset) continue;  // equivalent to a prior try
+          tried_empty_offset = true;
+        } else if (!channel_constraint_ok(t.tx, occupants, rho_, hops_)) {
+          continue;
+        }
+        if (++nodes_ > budget_) return feasibility::unknown;
+
+        occupants.push_back(t.tx);
+        slot_all_[static_cast<std::size_t>(s)].push_back(t.tx);
+        chosen_slot_[index] = s;
+        chosen_offset_[index] = c;
+
+        const auto verdict = place(index + 1);
+        if (verdict == feasibility::feasible) return verdict;
+
+        occupants.pop_back();
+        slot_all_[static_cast<std::size_t>(s)].pop_back();
+        chosen_slot_[index] = k_invalid_slot;
+        chosen_offset_[index] = k_invalid_offset;
+
+        if (verdict == feasibility::unknown) exhausted_budget = true;
+        if (exhausted_budget) return feasibility::unknown;
+      }
+    }
+    return exhausted_budget ? feasibility::unknown
+                            : feasibility::infeasible;
+  }
+
+  const std::vector<task>& tasks_;
+  const graph::hop_matrix& hops_;
+  int num_channels_;
+  int rho_;
+  long long budget_;
+  long long nodes_ = 0;
+  std::vector<std::vector<tsch::transmission>> cells_;
+  std::vector<std::vector<tsch::transmission>> slot_all_;
+  std::vector<slot_t> chosen_slot_;
+  std::vector<offset_t> chosen_offset_;
+};
+
+}  // namespace
+
+exhaustive_result exhaustive_search(const std::vector<flow::flow>& flows,
+                                    const graph::hop_matrix& reuse_hops,
+                                    int num_channels,
+                                    const exhaustive_options& options) {
+  WSAN_REQUIRE(!flows.empty(), "flow set must be non-empty");
+  WSAN_REQUIRE(num_channels >= 1 && num_channels <= phy::k_max_channels,
+               "channel count must be in [1, 16]");
+  WSAN_REQUIRE(options.rho_t >= 1, "rho_t must be at least 1");
+  WSAN_REQUIRE(options.node_budget > 0, "node budget must be positive");
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    flow::validate_flow(flows[i]);
+    WSAN_REQUIRE(flows[i].id == static_cast<flow_id>(i),
+                 "flow ids must be dense");
+  }
+
+  const slot_t hp = flow::hyperperiod(flows);
+
+  // Expand every instance into its transmission chain.
+  std::vector<task> tasks;
+  for (const auto& f : flows) {
+    const int instances = f.instances_in(hp);
+    for (int r = 0; r < instances; ++r) {
+      const int chain_begin = static_cast<int>(tasks.size());
+      int k = 0;
+      for (int li = 0; li < static_cast<int>(f.route.size()); ++li) {
+        for (int a = 0; a <= options.retries_per_link; ++a, ++k) {
+          task t;
+          t.tx.flow = f.id;
+          t.tx.instance = r;
+          t.tx.link_index = li;
+          t.tx.attempt = a;
+          t.tx.sender = f.route[static_cast<std::size_t>(li)].sender;
+          t.tx.receiver = f.route[static_cast<std::size_t>(li)].receiver;
+          t.release = f.release_slot(r);
+          t.deadline = f.deadline_slot(r);
+          t.chain_prev = k == 0 ? -1 : chain_begin + k - 1;
+          tasks.push_back(t);
+        }
+      }
+      const int chain_len = static_cast<int>(tasks.size()) - chain_begin;
+      for (int j = 0; j < chain_len; ++j)
+        tasks[static_cast<std::size_t>(chain_begin + j)].chain_remaining =
+            chain_len - 1 - j;
+    }
+  }
+
+  // Order chains by laxity (tightest window first): a classic
+  // first-fail ordering that prunes dramatically. Chains stay
+  // contiguous; chain_prev indices are remapped afterwards.
+  std::vector<std::size_t> chain_starts;
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    if (tasks[i].chain_prev == -1) chain_starts.push_back(i);
+  std::stable_sort(chain_starts.begin(), chain_starts.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const auto slack_of = [&](std::size_t s) {
+                       return (tasks[s].deadline - tasks[s].release) -
+                              tasks[s].chain_remaining;
+                     };
+                     return slack_of(a) < slack_of(b);
+                   });
+  std::vector<task> ordered;
+  ordered.reserve(tasks.size());
+  for (const std::size_t start : chain_starts) {
+    const int base = static_cast<int>(ordered.size());
+    std::size_t i = start;
+    int k = 0;
+    for (;;) {
+      task t = tasks[i];
+      t.chain_prev = k == 0 ? -1 : base + k - 1;
+      ordered.push_back(t);
+      if (t.chain_remaining == 0) break;
+      ++i;
+      ++k;
+    }
+  }
+
+  search_state state(ordered, reuse_hops, hp, num_channels, options.rho_t,
+                     options.node_budget);
+  exhaustive_result result;
+  result.verdict = state.run();
+  result.nodes_explored = state.nodes();
+  result.sched = tsch::schedule(hp, num_channels);
+  if (result.verdict == feasibility::feasible)
+    state.replay_into(result.sched);
+  return result;
+}
+
+}  // namespace wsan::core

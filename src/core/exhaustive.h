@@ -1,0 +1,48 @@
+// Exhaustive feasibility search for small scheduling instances.
+//
+// The three schedulers are greedy heuristics; this module answers the
+// ground-truth question "does ANY schedule satisfying the release,
+// deadline, ordering, conflict, and channel-reuse constraints exist?"
+// by depth-first search with pruning. It is exponential by nature and
+// only intended for small instances (the optimality-gap bench), so the
+// search carries an explicit node budget and returns `unknown` when it
+// runs out.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "flow/flow.h"
+#include "graph/hop_matrix.h"
+#include "tsch/schedule.h"
+
+namespace wsan::core {
+
+enum class feasibility { feasible, infeasible, unknown };
+
+std::string to_string(feasibility verdict);
+
+struct exhaustive_options {
+  /// Minimum channel-reuse hop distance; k_infinite_hops forbids reuse.
+  int rho_t = 2;
+  int retries_per_link = 1;
+  /// Search nodes (slot/offset choices tried) before giving up.
+  long long node_budget = 2'000'000;
+};
+
+struct exhaustive_result {
+  feasibility verdict = feasibility::unknown;
+  long long nodes_explored = 0;
+  /// A witness schedule when verdict == feasible.
+  tsch::schedule sched;
+};
+
+/// Runs the search. Flow ids must be dense (0..n-1); unlike the greedy
+/// schedulers, the search is not bound to priority order — it may find
+/// schedules no fixed-priority policy produces.
+exhaustive_result exhaustive_search(const std::vector<flow::flow>& flows,
+                                    const graph::hop_matrix& reuse_hops,
+                                    int num_channels,
+                                    const exhaustive_options& options = {});
+
+}  // namespace wsan::core

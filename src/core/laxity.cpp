@@ -1,0 +1,28 @@
+#include "core/laxity.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/constraints.h"
+
+namespace wsan::core {
+
+long long calculate_laxity(const tsch::schedule& sched,
+                           const std::vector<tsch::transmission>& post,
+                           slot_t s, slot_t deadline_slot) {
+  WSAN_REQUIRE(s >= 0, "slot must be non-negative");
+  const long long window = static_cast<long long>(deadline_slot) - s;
+
+  long long conflicting_slots = 0;
+  const slot_t end = std::min<slot_t>(deadline_slot, sched.num_slots() - 1);
+  for (const auto& t : post) {
+    for (slot_t k = s + 1; k <= end; ++k) {
+      if (!conflict_free(t, sched.slot_transmissions(k)))
+        ++conflicting_slots;  // slot k is unusable for t
+    }
+  }
+  return window - conflicting_slots -
+         static_cast<long long>(post.size());
+}
+
+}  // namespace wsan::core

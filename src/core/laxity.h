@@ -1,0 +1,28 @@
+// Flow laxity (Section V-B, Equation 1).
+//
+// Given that transmission t_ij is placed at slot s and T_post is the set
+// of remaining transmissions of the flow instance after t_ij:
+//
+//   laxity = (d_i - s) - sum_{t in T_post} q_t - |T_post|
+//
+// where (d_i - s) is the number of slots in (s, d_i], and q_t counts the
+// slots in (s, d_i] that already contain a transmission conflicting with
+// t — slots t cannot possibly use. Laxity >= 0 means enough slots remain
+// to deliver the packet by its deadline without channel reuse for the
+// rest of this instance.
+#pragma once
+
+#include <vector>
+
+#include "tsch/schedule.h"
+#include "tsch/transmission.h"
+
+namespace wsan::core {
+
+/// Computes Equation 1. `post` is T_post; `s` the candidate slot of
+/// t_ij; `deadline_slot` is d_i (the last usable slot of the instance).
+long long calculate_laxity(const tsch::schedule& sched,
+                           const std::vector<tsch::transmission>& post,
+                           slot_t s, slot_t deadline_slot);
+
+}  // namespace wsan::core

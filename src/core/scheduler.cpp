@@ -1,0 +1,186 @@
+#include "core/scheduler.h"
+
+#include <optional>
+
+#include "common/error.h"
+#include "core/laxity.h"
+#include "core/slot_finder.h"
+#include "phy/channel.h"
+
+namespace wsan::core {
+
+namespace {
+
+/// Expands one flow instance into its transmission sequence: every route
+/// link in order, each with (1 + retries) attempts.
+std::vector<tsch::transmission> instance_transmissions(
+    const flow::flow& f, int instance, int retries_per_link) {
+  std::vector<tsch::transmission> txs;
+  txs.reserve(f.route.size() *
+              static_cast<std::size_t>(1 + retries_per_link));
+  for (int li = 0; li < static_cast<int>(f.route.size()); ++li) {
+    for (int a = 0; a <= retries_per_link; ++a) {
+      tsch::transmission tx;
+      tx.flow = f.id;
+      tx.instance = instance;
+      tx.link_index = li;
+      tx.attempt = a;
+      tx.sender = f.route[static_cast<std::size_t>(li)].sender;
+      tx.receiver = f.route[static_cast<std::size_t>(li)].receiver;
+      txs.push_back(tx);
+    }
+  }
+  return txs;
+}
+
+}  // namespace
+
+std::string to_string(algorithm algo) {
+  switch (algo) {
+    case algorithm::nr:
+      return "NR";
+    case algorithm::ra:
+      return "RA";
+    case algorithm::rc:
+      return "RC";
+  }
+  WSAN_CHECK(false, "unknown algorithm");
+}
+
+scheduler_config make_config(algorithm algo, int num_channels, int rho_t) {
+  scheduler_config config;
+  config.algo = algo;
+  config.num_channels = num_channels;
+  config.rho_t = rho_t;
+  config.policy = algo == algorithm::ra ? channel_policy::first_fit
+                                        : channel_policy::min_load;
+  return config;
+}
+
+std::string to_string(channel_policy policy) {
+  switch (policy) {
+    case channel_policy::min_load:
+      return "min-load";
+    case channel_policy::first_fit:
+      return "first-fit";
+    case channel_policy::max_reuse:
+      return "max-reuse";
+  }
+  WSAN_CHECK(false, "unknown channel policy");
+}
+
+schedule_result schedule_flows(const std::vector<flow::flow>& flows,
+                               const graph::hop_matrix& reuse_hops,
+                               const scheduler_config& config) {
+  WSAN_REQUIRE(!flows.empty(), "flow set must be non-empty");
+  WSAN_REQUIRE(config.num_channels >= 1 &&
+                   config.num_channels <= phy::k_max_channels,
+               "channel count must be in [1, 16]");
+  WSAN_REQUIRE(config.rho_t >= 1, "rho_t must be at least 1");
+  WSAN_REQUIRE(config.retries_per_link >= 0,
+               "retries must be non-negative");
+  WSAN_REQUIRE(config.management_slot_period >= 0,
+               "management slot period must be non-negative");
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    flow::validate_flow(flows[i]);
+    WSAN_REQUIRE(flows[i].id == static_cast<flow_id>(i),
+                 "flows must be in priority order with dense ids");
+  }
+
+  const slot_t hp = flow::hyperperiod(flows);
+  const int lambda_r = reuse_hops.diameter();
+
+  schedule_result result;
+  result.sched = tsch::schedule(hp, config.num_channels);
+
+  for (const auto& f : flows) {
+    // Algorithm 1: rho starts at infinity for each flow.
+    int rho = k_infinite_hops;
+    const int instances = f.instances_in(hp);
+    for (int r = 0; r < instances; ++r) {
+      const auto txs =
+          instance_transmissions(f, r, config.retries_per_link);
+      slot_t earliest = f.release_slot(r);
+      const slot_t d_i = f.deadline_slot(r);
+
+      for (std::size_t ti = 0; ti < txs.size(); ++ti) {
+        const auto& tx = txs[ti];
+        // T_post: the remaining transmissions of this instance.
+        const std::vector<tsch::transmission> post(txs.begin() +
+                                                       static_cast<long>(ti) +
+                                                       1,
+                                                   txs.end());
+
+        std::optional<slot_assignment> found;
+        switch (config.algo) {
+          case algorithm::nr: {
+            ++result.stats.find_slot_calls;
+            found = find_slot(result.sched, tx, earliest, d_i,
+                              k_infinite_hops, reuse_hops, config.policy,
+                              &config.isolated_links,
+                              config.management_slot_period);
+            break;
+          }
+          case algorithm::ra: {
+            ++result.stats.find_slot_calls;
+            found = find_slot(result.sched, tx, earliest, d_i,
+                              config.rho_t, reuse_hops, config.policy,
+                              &config.isolated_links,
+                              config.management_slot_period);
+            break;
+          }
+          case algorithm::rc: {
+            // Algorithm 1 inner loop: try the current rho; on negative
+            // laxity enable reuse at the network diameter and tighten
+            // one hop at a time until laxity >= 0 or rho < rho_t.
+            while (true) {
+              ++result.stats.find_slot_calls;
+              found = find_slot(result.sched, tx, earliest, d_i, rho,
+                                reuse_hops, config.policy,
+                                &config.isolated_links,
+                                config.management_slot_period);
+              bool laxity_ok = false;
+              if (found) {
+                ++result.stats.laxity_evaluations;
+                laxity_ok = calculate_laxity(result.sched, post,
+                                             found->slot, d_i) >= 0;
+              }
+              if (laxity_ok) break;
+              if (rho == k_infinite_hops) {
+                rho = lambda_r;
+                ++result.stats.reuse_activations;
+              } else {
+                --rho;
+              }
+              if (rho < config.rho_t) {
+                // The most permissive find_slot already ran (at rho_t, or
+                // not at all when the diameter is below rho_t); keep its
+                // result and clamp rho so later transmissions of this
+                // flow start from a legal hop count.
+                rho = config.rho_t;
+                break;
+              }
+            }
+            break;
+          }
+        }
+
+        if (!found) {
+          result.schedulable = false;
+          result.first_failed_flow = f.id;
+          return result;
+        }
+        if (!result.sched.cell(found->slot, found->offset).empty())
+          ++result.stats.reuse_placements;
+        result.sched.add(tx, found->slot, found->offset);
+        ++result.stats.total_transmissions;
+        earliest = found->slot + 1;
+      }
+    }
+  }
+
+  result.schedulable = true;
+  return result;
+}
+
+}  // namespace wsan::core

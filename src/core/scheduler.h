@@ -1,0 +1,41 @@
+// The scheduling engine: fixed-priority (Deadline Monotonic when flows
+// were prioritized that way) transmission scheduling with the three
+// channel-reuse policies NR, RA, and RC (Algorithm 1).
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "flow/flow.h"
+#include "graph/hop_matrix.h"
+#include "tsch/schedule.h"
+
+namespace wsan::core {
+
+struct scheduler_stats {
+  std::size_t total_transmissions = 0;   ///< attempts scheduled
+  std::size_t reuse_placements = 0;      ///< placed into occupied cells
+  std::size_t find_slot_calls = 0;
+  std::size_t laxity_evaluations = 0;
+  /// Times RC switched a transmission from rho = infinity to reuse.
+  std::size_t reuse_activations = 0;
+};
+
+struct schedule_result {
+  bool schedulable = false;
+  tsch::schedule sched;                  ///< complete iff schedulable
+  scheduler_stats stats;
+  flow_id first_failed_flow = k_invalid_flow;
+};
+
+/// Schedules all instances of all flows within the hyperperiod.
+///
+/// Flows must already be in priority order (see flow::assign_priorities)
+/// with dense ids. Returns schedulable=false as soon as any transmission
+/// cannot be placed by its deadline (Algorithm 1 returns the empty
+/// schedule in that case).
+schedule_result schedule_flows(const std::vector<flow::flow>& flows,
+                               const graph::hop_matrix& reuse_hops,
+                               const scheduler_config& config);
+
+}  // namespace wsan::core

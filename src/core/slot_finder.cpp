@@ -1,0 +1,72 @@
+#include "core/slot_finder.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/constraints.h"
+
+namespace wsan::core {
+
+namespace {
+
+/// Isolation rules: an isolated transmission accepts only empty cells;
+/// a cell holding an isolated transmission accepts nobody else.
+bool isolation_ok(const tsch::transmission& tx,
+                  const std::vector<tsch::transmission>& cell,
+                  const std::set<std::pair<node_id, node_id>>* isolated) {
+  if (isolated == nullptr || isolated->empty()) return true;
+  if (cell.empty()) return true;
+  if (is_isolated(*isolated, tx.sender, tx.receiver)) return false;
+  for (const auto& other : cell)
+    if (is_isolated(*isolated, other.sender, other.receiver)) return false;
+  return true;
+}
+
+}  // namespace
+
+std::optional<slot_assignment> find_slot(
+    const tsch::schedule& sched, const tsch::transmission& tx,
+    slot_t earliest, slot_t latest, int rho,
+    const graph::hop_matrix& reuse_hops, channel_policy policy,
+    const std::set<std::pair<node_id, node_id>>* isolated,
+    int management_slot_period) {
+  WSAN_REQUIRE(earliest >= 0, "earliest slot must be non-negative");
+  WSAN_REQUIRE(management_slot_period >= 0,
+               "management slot period must be non-negative");
+  const slot_t end = std::min<slot_t>(latest, sched.num_slots() - 1);
+  for (slot_t s = earliest; s <= end; ++s) {
+    if (is_management_slot(s, management_slot_period)) continue;
+    if (!conflict_free(tx, sched.slot_transmissions(s))) continue;
+
+    offset_t best = k_invalid_offset;
+    int best_load = 0;
+    for (offset_t c = 0; c < sched.num_offsets(); ++c) {
+      const auto& cell = sched.cell(s, c);
+      if (!channel_constraint_ok(tx, cell, rho, reuse_hops)) continue;
+      if (!isolation_ok(tx, cell, isolated)) continue;
+      const int load = static_cast<int>(cell.size());
+      const bool better = [&] {
+        if (best == k_invalid_offset) return true;
+        switch (policy) {
+          case channel_policy::min_load:
+            return load < best_load;
+          case channel_policy::first_fit:
+            return false;  // first valid offset wins
+          case channel_policy::max_reuse:
+            return load > best_load;
+        }
+        return false;
+      }();
+      if (better) {
+        best = c;
+        best_load = load;
+        if (policy == channel_policy::first_fit) break;
+        if (policy == channel_policy::min_load && load == 0) break;
+      }
+    }
+    if (best != k_invalid_offset) return slot_assignment{s, best};
+  }
+  return std::nullopt;
+}
+
+}  // namespace wsan::core

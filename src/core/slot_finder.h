@@ -1,0 +1,44 @@
+// findSlot(): earliest slot and channel offset complying with the
+// channel reuse constraints (Section V-C).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "core/config.h"
+#include "graph/hop_matrix.h"
+#include "tsch/schedule.h"
+
+namespace wsan::core {
+
+struct slot_assignment {
+  slot_t slot = k_invalid_slot;
+  offset_t offset = k_invalid_offset;
+};
+
+/// Scans slots in [earliest, latest] for the first slot where tx is
+/// conflict-free and at least one offset satisfies the channel
+/// constraint under `rho`; picks the offset by `policy` (the paper uses
+/// min_load: the channel with the fewest scheduled transmissions).
+/// Returns nullopt when no slot in the window works.
+///
+/// When `isolated` is non-null, transmissions over listed links only
+/// accept empty cells, and cells holding a listed link's transmission
+/// accept nobody else (reschedule-after-detection, Section VI).
+std::optional<slot_assignment> find_slot(
+    const tsch::schedule& sched, const tsch::transmission& tx,
+    slot_t earliest, slot_t latest, int rho,
+    const graph::hop_matrix& reuse_hops,
+    channel_policy policy = channel_policy::min_load,
+    const std::set<std::pair<node_id, node_id>>* isolated = nullptr,
+    int management_slot_period = 0);
+
+/// True iff the slot is reserved for management traffic under the given
+/// reservation period (0 = nothing reserved).
+inline bool is_management_slot(slot_t slot, int management_slot_period) {
+  return management_slot_period > 0 &&
+         slot % management_slot_period == 0;
+}
+
+}  // namespace wsan::core

@@ -1,0 +1,149 @@
+#include "detect/detector.h"
+
+#include <limits>
+#include <string>
+
+#include "common/error.h"
+#include "stats/mann_whitney.h"
+
+namespace wsan::detect {
+
+std::string to_string(link_verdict verdict) {
+  switch (verdict) {
+    case link_verdict::meets_requirement:
+      return "meets-requirement";
+    case link_verdict::degraded_by_reuse:
+      return "degraded-by-reuse";
+    case link_verdict::degraded_by_other:
+      return "degraded-by-other";
+    case link_verdict::insufficient_data:
+      return "insufficient-data";
+  }
+  WSAN_CHECK(false, "unknown verdict");
+}
+
+link_report classify_link(const sim::link_key& link,
+                          const std::vector<double>& reuse_prr_samples,
+                          const std::vector<double>& cf_prr_samples,
+                          double overall_reuse_prr, double overall_cf_prr,
+                          const detection_policy& policy) {
+  WSAN_REQUIRE(policy.prr_threshold > 0.0 && policy.prr_threshold <= 1.0,
+               "PRR threshold must be in (0, 1]");
+  link_report report;
+  report.link = link;
+  report.prr_reuse = overall_reuse_prr;
+  report.prr_contention_free = overall_cf_prr;
+  report.reuse_sample_count = reuse_prr_samples.size();
+  report.cf_sample_count = cf_prr_samples.size();
+
+  if (overall_reuse_prr >= policy.prr_threshold) {
+    report.verdict = link_verdict::meets_requirement;
+    return report;
+  }
+  if (reuse_prr_samples.size() < policy.min_samples ||
+      cf_prr_samples.size() < policy.min_samples) {
+    report.verdict = link_verdict::insufficient_data;
+    return report;
+  }
+  if (policy.test == detection_test::kolmogorov_smirnov) {
+    report.ks = stats::ks_test(reuse_prr_samples, cf_prr_samples,
+                               policy.alpha);
+  } else if (policy.test == detection_test::ks_permutation) {
+    report.ks = stats::ks_test_permutation(reuse_prr_samples,
+                                           cf_prr_samples, policy.alpha);
+  } else {
+    const auto mw = stats::mann_whitney_test(reuse_prr_samples,
+                                             cf_prr_samples, policy.alpha);
+    report.ks.statistic = mw.u_statistic;
+    report.ks.p_value = mw.p_value;
+    report.ks.reject = mw.reject;
+  }
+  report.verdict = report.ks.reject ? link_verdict::degraded_by_reuse
+                                    : link_verdict::degraded_by_other;
+  return report;
+}
+
+std::string to_string(detection_test test) {
+  switch (test) {
+    case detection_test::kolmogorov_smirnov:
+      return "K-S";
+    case detection_test::mann_whitney:
+      return "Mann-Whitney";
+    case detection_test::ks_permutation:
+      return "K-S (permutation)";
+  }
+  WSAN_CHECK(false, "unknown detection test");
+}
+
+namespace {
+
+std::vector<double> sample_values(
+    const std::vector<std::pair<int, double>>& samples, int run_begin,
+    int run_end) {
+  std::vector<double> values;
+  for (const auto& [run, prr] : samples) {
+    if (run >= run_begin && run < run_end) values.push_back(prr);
+  }
+  return values;
+}
+
+double overall_prr_of(const std::vector<double>& samples, double fallback) {
+  if (samples.empty()) return fallback;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  return sum / static_cast<double>(samples.size());
+}
+
+std::vector<link_report> classify_range(
+    const std::map<sim::link_key, sim::link_observations>& observations,
+    int run_begin, int run_end, const detection_policy& policy) {
+  std::vector<link_report> reports;
+  for (const auto& [link, obs] : observations) {
+    if (obs.reuse_attempts == 0) continue;  // not associated with reuse
+    const auto reuse = sample_values(obs.reuse_samples, run_begin, run_end);
+    const auto cf = sample_values(obs.cf_samples, run_begin, run_end);
+    if (reuse.empty()) continue;  // no reuse activity in this window
+    reports.push_back(classify_link(
+        link, reuse, cf, overall_prr_of(reuse, obs.overall_reuse_prr()),
+        overall_prr_of(cf, obs.overall_cf_prr()), policy));
+  }
+  return reports;
+}
+
+}  // namespace
+
+std::vector<link_report> classify_links(
+    const std::map<sim::link_key, sim::link_observations>& observations,
+    const detection_policy& policy) {
+  return classify_range(observations, 0,
+                        std::numeric_limits<int>::max(), policy);
+}
+
+std::vector<link_report> classify_links_in_epoch(
+    const std::map<sim::link_key, sim::link_observations>& observations,
+    int epoch, int runs_per_epoch, const detection_policy& policy) {
+  WSAN_REQUIRE(epoch >= 0, "epoch must be non-negative");
+  WSAN_REQUIRE(runs_per_epoch >= 1, "epoch size must be positive");
+  return classify_range(observations, epoch * runs_per_epoch,
+                        (epoch + 1) * runs_per_epoch, policy);
+}
+
+std::vector<sim::link_key> links_with_verdict(
+    const std::vector<link_report>& reports, link_verdict verdict) {
+  std::vector<sim::link_key> links;
+  for (const auto& report : reports)
+    if (report.verdict == verdict) links.push_back(report.link);
+  return links;
+}
+
+std::set<std::pair<node_id, node_id>> isolation_set(
+    const std::vector<link_report>& reports) {
+  std::set<std::pair<node_id, node_id>> links;
+  for (const auto& report : reports) {
+    if (report.verdict == link_verdict::degraded_by_reuse)
+      links.insert({report.link.sender, report.link.receiver});
+  }
+  return links;
+}
+
+}  // namespace wsan::detect

@@ -1,0 +1,102 @@
+// Detecting reliability degradation caused by channel reuse (Section VI).
+//
+// For every link involved in channel reuse the network manager holds two
+// PRR sample distributions per epoch: PRR_DIST_r (slots shared with other
+// transmissions) and PRR_DIST_cf (contention-free slots). The policy:
+//
+//   if PRR_r(l) < PRR_t:
+//     run a two-sample K-S test on PRR_DIST_r vs PRR_DIST_cf
+//       reject  -> channel reuse degrades the link      (reschedule it)
+//       accept  -> degradation has another cause (e.g. external
+//                  interference; removing reuse would not help)
+//   else: the link meets the reliability requirement.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "stats/ks_test.h"
+
+namespace wsan::detect {
+
+/// Which two-sample test compares PRR_DIST_r against PRR_DIST_cf. The
+/// paper uses K-S; Mann-Whitney is provided for the detector ablation
+/// (DESIGN.md §6).
+enum class detection_test {
+  kolmogorov_smirnov,
+  mann_whitney,
+  /// Monte-Carlo exact K-S: accurate p-values at tiny sample counts
+  /// (short epochs) at extra CPU cost.
+  ks_permutation,
+};
+
+std::string to_string(detection_test test);
+
+struct detection_policy {
+  double prr_threshold = 0.9;  ///< PRR_t
+  double alpha = 0.05;         ///< significance level
+  detection_test test = detection_test::kolmogorov_smirnov;
+  /// Minimum samples on each side required to run the test; below this
+  /// the test has no power and the link is reported as
+  /// insufficient_data.
+  std::size_t min_samples = 3;
+};
+
+enum class link_verdict {
+  meets_requirement,   ///< PRR_r >= PRR_t
+  degraded_by_reuse,   ///< PRR_r < PRR_t and K-S rejects
+  degraded_by_other,   ///< PRR_r < PRR_t and K-S accepts
+  insufficient_data,   ///< not enough samples for the K-S test
+};
+
+std::string to_string(link_verdict verdict);
+
+struct link_report {
+  sim::link_key link;
+  link_verdict verdict = link_verdict::insufficient_data;
+  double prr_reuse = 1.0;        ///< overall PRR in reuse slots
+  double prr_contention_free = 1.0;
+  /// Filled for the test the policy selected (unless insufficient_data):
+  /// ks.statistic/p_value for K-S, or the Mann-Whitney p-value mirrored
+  /// into ks.p_value/reject so downstream consumers are test-agnostic.
+  stats::ks_result ks;
+  std::size_t reuse_sample_count = 0;
+  std::size_t cf_sample_count = 0;
+};
+
+/// Classifies one link from its two sample distributions.
+link_report classify_link(const sim::link_key& link,
+                          const std::vector<double>& reuse_prr_samples,
+                          const std::vector<double>& cf_prr_samples,
+                          double overall_reuse_prr, double overall_cf_prr,
+                          const detection_policy& policy);
+
+/// Classifies every link that has channel-reuse observations. Links that
+/// never share a channel are outside the policy's scope (Section VI
+/// considers only links associated with channel reuse).
+std::vector<link_report> classify_links(
+    const std::map<sim::link_key, sim::link_observations>& observations,
+    const detection_policy& policy);
+
+/// Epoch view: restricts the observation streams to runs in
+/// [epoch * runs_per_epoch, (epoch+1) * runs_per_epoch) and classifies.
+/// Models the paper's 15-minute health-report epochs with 18 samples.
+std::vector<link_report> classify_links_in_epoch(
+    const std::map<sim::link_key, sim::link_observations>& observations,
+    int epoch, int runs_per_epoch, const detection_policy& policy);
+
+/// Convenience: links from a report list with the given verdict.
+std::vector<sim::link_key> links_with_verdict(
+    const std::vector<link_report>& reports, link_verdict verdict);
+
+/// The links the network manager should isolate when rescheduling: all
+/// links whose verdict is degraded_by_reuse, as (sender, receiver)
+/// pairs ready for core::scheduler_config::isolated_links.
+std::set<std::pair<node_id, node_id>> isolation_set(
+    const std::vector<link_report>& reports);
+
+}  // namespace wsan::detect

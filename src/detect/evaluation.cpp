@@ -1,0 +1,62 @@
+#include "detect/evaluation.h"
+
+#include "common/error.h"
+
+namespace wsan::detect {
+
+std::string to_string(ground_truth_label label) {
+  switch (label) {
+    case ground_truth_label::healthy:
+      return "healthy";
+    case ground_truth_label::reuse_degraded:
+      return "reuse-degraded";
+    case ground_truth_label::externally_degraded:
+      return "externally-degraded";
+    case ground_truth_label::both_degraded:
+      return "both-degraded";
+  }
+  WSAN_CHECK(false, "unknown ground truth label");
+}
+
+ground_truth_label ground_truth_of(const sim::link_observations& obs,
+                                   const ground_truth_options& options) {
+  WSAN_REQUIRE(options.reuse_loss_threshold >= 0.0 &&
+                   options.external_loss_threshold >= 0.0,
+               "loss thresholds must be non-negative");
+  const bool reuse = obs.reuse_loss_rate() > options.reuse_loss_threshold;
+  const bool external =
+      obs.external_loss_rate() > options.external_loss_threshold;
+  if (reuse && external) return ground_truth_label::both_degraded;
+  if (reuse) return ground_truth_label::reuse_degraded;
+  if (external) return ground_truth_label::externally_degraded;
+  return ground_truth_label::healthy;
+}
+
+detector_score score_detection(
+    const std::vector<link_report>& reports,
+    const std::map<sim::link_key, sim::link_observations>& observations,
+    const ground_truth_options& options) {
+  detector_score score;
+  for (const auto& report : reports) {
+    if (report.verdict != link_verdict::degraded_by_reuse &&
+        report.verdict != link_verdict::degraded_by_other)
+      continue;
+    const auto it = observations.find(report.link);
+    WSAN_REQUIRE(it != observations.end(),
+                 "report references a link with no observations");
+    ++score.scored_links;
+    const auto truth = ground_truth_of(it->second, options);
+    const bool truly_reuse =
+        truth == ground_truth_label::reuse_degraded ||
+        truth == ground_truth_label::both_degraded;
+    const bool said_reuse =
+        report.verdict == link_verdict::degraded_by_reuse;
+    if (said_reuse && truly_reuse) ++score.true_positives;
+    if (said_reuse && !truly_reuse) ++score.false_positives;
+    if (!said_reuse && truly_reuse) ++score.false_negatives;
+    if (!said_reuse && !truly_reuse) ++score.true_negatives;
+  }
+  return score;
+}
+
+}  // namespace wsan::detect

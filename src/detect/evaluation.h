@@ -1,0 +1,77 @@
+// Scoring the detection policy against simulator ground truth.
+//
+// The simulator attributes every expected packet loss to its cause
+// (in-network channel reuse vs external interference) by counterfactual
+// reception probabilities — information a real network manager never
+// has. This module labels each link from that ground truth and scores
+// the K-S-based detection policy's reject/accept decisions, quantifying
+// the claim of Section VII-E that the policy "can effectively
+// distinguish if link quality degradation is a result of channel reuse
+// or external interference".
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "detect/detector.h"
+#include "sim/simulator.h"
+
+namespace wsan::detect {
+
+struct ground_truth_options {
+  /// A link is truly reuse-degraded if channel reuse costs it more than
+  /// this fraction of its packets (expected, counterfactual).
+  double reuse_loss_threshold = 0.05;
+  /// Same for external interference.
+  double external_loss_threshold = 0.05;
+};
+
+enum class ground_truth_label {
+  healthy,
+  reuse_degraded,
+  externally_degraded,
+  both_degraded,
+};
+
+std::string to_string(ground_truth_label label);
+
+ground_truth_label ground_truth_of(const sim::link_observations& obs,
+                                   const ground_truth_options& options = {});
+
+/// Confusion counts for the binary question the policy answers on links
+/// that fail the reliability requirement: "is channel reuse the cause?"
+/// Positives are verdicts of degraded_by_reuse; a link counts as truly
+/// positive when its ground truth includes reuse degradation.
+struct detector_score {
+  int true_positives = 0;
+  int false_positives = 0;
+  int true_negatives = 0;
+  int false_negatives = 0;
+  int scored_links = 0;  ///< reports with a reject/accept verdict
+
+  double precision() const {
+    const int denom = true_positives + false_positives;
+    return denom == 0 ? 1.0 : static_cast<double>(true_positives) / denom;
+  }
+  double recall() const {
+    const int denom = true_positives + false_negatives;
+    return denom == 0 ? 1.0 : static_cast<double>(true_positives) / denom;
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Scores the reports produced by classify_links() against the ground
+/// truth embedded in the observations. Only reports with a reject or
+/// accept verdict participate (the policy makes no causal claim about
+/// links that meet the requirement or lack data).
+detector_score score_detection(
+    const std::vector<link_report>& reports,
+    const std::map<sim::link_key, sim::link_observations>& observations,
+    const ground_truth_options& options = {});
+
+}  // namespace wsan::detect

@@ -1,0 +1,54 @@
+// Random flow-set generation following the paper's workload recipe
+// (Section VII): random distinct source/destination field devices, two
+// access points chosen as the highest-degree nodes, harmonic power-of-two
+// periods drawn uniformly from [2^x, 2^y] seconds, and deadlines drawn
+// uniformly from [P/2, P].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "flow/flow.h"
+#include "flow/priority.h"
+#include "flow/router.h"
+#include "graph/graph.h"
+
+namespace wsan::flow {
+
+struct flow_set_params {
+  int num_flows = 10;
+  traffic_type type = traffic_type::peer_to_peer;
+  /// Periods are 2^j seconds with j uniform in [min_exp, max_exp];
+  /// j may be negative (the paper uses 2^-1 s = 50 slots).
+  int period_min_exp = 0;
+  int period_max_exp = 2;
+  int num_access_points = 2;
+  priority_policy priority = priority_policy::deadline_monotonic;
+  /// Route metric. hop_count reproduces the paper; etx requires passing
+  /// weights to generate_flow_set.
+  route_metric metric = route_metric::hop_count;
+};
+
+struct flow_set {
+  std::vector<flow> flows;               ///< in priority order
+  std::vector<node_id> access_points;
+};
+
+/// Picks the `count` highest-degree nodes of the communication graph as
+/// access points (ties toward lower ids).
+std::vector<node_id> pick_access_points(const graph::graph& comm, int count);
+
+/// Generates a flow set on the given communication graph. Throws
+/// std::runtime_error if routable source/destination pairs cannot be
+/// found (e.g. a badly disconnected graph). `weights` must be non-null
+/// when params.metric == route_metric::etx.
+flow_set generate_flow_set(const graph::graph& comm,
+                           const flow_set_params& params, rng& gen,
+                           const etx_weights* weights = nullptr);
+
+/// Period in slots for 2^exp seconds; requires the result to be a whole
+/// positive number of slots (exp >= -6 with 10 ms slots).
+slot_t period_slots_for_exp(int exp);
+
+}  // namespace wsan::flow

@@ -1,0 +1,27 @@
+// Plain-text save/load of flow sets.
+//
+// Workloads are part of a deployment's configuration: persisting them
+// lets operators re-admit the same flows after a manager restart and
+// lets experiments pin exact workloads. Format (line-oriented, '#'
+// comments allowed):
+//   flowset <num_flows>
+//   accesspoint <node>
+//   flow <id> <source> <destination> <period> <deadline> <type>
+//        <uplink_links> <nlinks> <s0> <r0> <s1> <r1> ...
+// where <type> is "centralized" or "peer-to-peer".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "flow/flow_generator.h"
+
+namespace wsan::flow {
+
+void save_flow_set(const flow_set& set, std::ostream& os);
+flow_set load_flow_set(std::istream& is);
+
+void save_flow_set_file(const flow_set& set, const std::string& path);
+flow_set load_flow_set_file(const std::string& path);
+
+}  // namespace wsan::flow

@@ -1,0 +1,23 @@
+#include "flow/priority.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wsan::flow {
+
+void assign_priorities(std::vector<flow>& flows, priority_policy policy) {
+  const auto key = [policy](const flow& f) {
+    return policy == priority_policy::deadline_monotonic ? f.deadline
+                                                         : f.period;
+  };
+  std::stable_sort(flows.begin(), flows.end(),
+                   [&](const flow& a, const flow& b) {
+                     if (key(a) != key(b)) return key(a) < key(b);
+                     return a.id < b.id;
+                   });
+  for (std::size_t i = 0; i < flows.size(); ++i)
+    flows[i].id = static_cast<flow_id>(i);
+}
+
+}  // namespace wsan::flow

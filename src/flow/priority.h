@@ -1,0 +1,23 @@
+// Fixed-priority assignment policies (Section IV-A, Section VII).
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.h"
+
+namespace wsan::flow {
+
+enum class priority_policy {
+  deadline_monotonic,  ///< shortest deadline first (the paper's choice)
+  rate_monotonic,      ///< shortest period first
+};
+
+/// Sorts flows into priority order under the given policy and renumbers
+/// their ids densely from 0 (id order == priority order: F_i has higher
+/// priority than F_k iff i < k). Ties break on the original id so the
+/// assignment is deterministic.
+void assign_priorities(std::vector<flow>& flows,
+                       priority_policy policy =
+                           priority_policy::deadline_monotonic);
+
+}  // namespace wsan::flow

@@ -1,0 +1,187 @@
+#include "flow/router.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "graph/algorithms.h"
+
+namespace wsan::flow {
+
+std::vector<link> path_to_links(const std::vector<node_id>& path) {
+  std::vector<link> links;
+  if (path.size() < 2) return links;
+  links.reserve(path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    links.push_back(link{path[i], path[i + 1]});
+  return links;
+}
+
+std::optional<route_result> route_peer_to_peer(const graph::graph& comm,
+                                               node_id source,
+                                               node_id destination) {
+  if (source == destination) return std::nullopt;
+  const auto path = graph::shortest_path(comm, source, destination);
+  if (!path) return std::nullopt;
+  route_result result;
+  result.links = path_to_links(*path);
+  result.uplink_links = static_cast<int>(result.links.size());
+  return result;
+}
+
+namespace {
+
+/// Shortest path from `from` to the closest of `targets` (or from the
+/// closest of `targets` when `reverse` — the graph is undirected, so the
+/// path is simply reversed).
+std::optional<std::vector<node_id>> path_to_closest(
+    const graph::graph& comm, node_id from,
+    const std::vector<node_id>& targets) {
+  std::optional<std::vector<node_id>> best;
+  std::size_t best_len = std::numeric_limits<std::size_t>::max();
+  for (node_id target : targets) {
+    if (target == from) continue;
+    auto path = graph::shortest_path(comm, from, target);
+    if (path && path->size() < best_len) {
+      best_len = path->size();
+      best = std::move(path);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+etx_weights::etx_weights(const graph::graph& comm,
+                         const topo::topology& topology,
+                         const std::vector<channel_t>& channels)
+    : num_nodes_(comm.num_nodes()) {
+  WSAN_REQUIRE(topology.num_nodes() == comm.num_nodes(),
+               "graph and topology disagree on the node count");
+  WSAN_REQUIRE(!channels.empty(), "channel set must be non-empty");
+  weights_.assign(static_cast<std::size_t>(num_nodes_) *
+                      static_cast<std::size_t>(num_nodes_),
+                  0.0);
+  const auto avg_prr = [&](node_id a, node_id b) {
+    double sum = 0.0;
+    for (channel_t ch : channels) sum += topology.prr(a, b, ch);
+    return sum / static_cast<double>(channels.size());
+  };
+  for (node_id u = 0; u < num_nodes_; ++u) {
+    for (node_id v : comm.neighbors(u)) {
+      if (v < u) continue;  // handle each undirected edge once
+      const double fwd = std::max(avg_prr(u, v), 1e-6);
+      const double rev = std::max(avg_prr(v, u), 1e-6);
+      const double w = 0.5 * (1.0 / fwd + 1.0 / rev);
+      weights_[static_cast<std::size_t>(u) *
+                   static_cast<std::size_t>(num_nodes_) +
+               static_cast<std::size_t>(v)] = w;
+      weights_[static_cast<std::size_t>(v) *
+                   static_cast<std::size_t>(num_nodes_) +
+               static_cast<std::size_t>(u)] = w;
+    }
+  }
+}
+
+double etx_weights::weight(node_id u, node_id v) const {
+  WSAN_REQUIRE(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_,
+               "node id out of range");
+  const double w = weights_[static_cast<std::size_t>(u) *
+                                static_cast<std::size_t>(num_nodes_) +
+                            static_cast<std::size_t>(v)];
+  WSAN_REQUIRE(w > 0.0, "requested weight of a non-edge");
+  return w;
+}
+
+std::optional<route_result> route_peer_to_peer_etx(
+    const graph::graph& comm, const etx_weights& weights, node_id source,
+    node_id destination) {
+  if (source == destination) return std::nullopt;
+  const auto path = graph::shortest_path_weighted(
+      comm, source, destination,
+      [&](node_id u, node_id v) { return weights.weight(u, v); });
+  if (!path) return std::nullopt;
+  route_result result;
+  result.links = path_to_links(*path);
+  result.uplink_links = static_cast<int>(result.links.size());
+  return result;
+}
+
+std::optional<route_result> route_centralized(
+    const graph::graph& comm, node_id source, node_id destination,
+    const std::vector<node_id>& access_points) {
+  WSAN_REQUIRE(!access_points.empty(),
+               "centralized routing requires access points");
+  if (source == destination) return std::nullopt;
+
+  const auto uplink = path_to_closest(comm, source, access_points);
+  if (!uplink) return std::nullopt;
+
+  // Downlink: shortest path from any AP to the destination. Search from
+  // the destination (undirected graph) and reverse.
+  auto downlink_rev = path_to_closest(comm, destination, access_points);
+  if (!downlink_rev) return std::nullopt;
+  std::vector<node_id> downlink(downlink_rev->rbegin(),
+                                downlink_rev->rend());
+
+  route_result result;
+  result.links = path_to_links(*uplink);
+  result.uplink_links = static_cast<int>(result.links.size());
+  const auto down_links = path_to_links(downlink);
+  result.links.insert(result.links.end(), down_links.begin(),
+                      down_links.end());
+  return result;
+}
+
+namespace {
+
+/// Weighted shortest path from `from` to the access point with the
+/// lowest total ETX.
+std::optional<std::vector<node_id>> etx_path_to_closest(
+    const graph::graph& comm, const etx_weights& weights, node_id from,
+    const std::vector<node_id>& targets) {
+  std::optional<std::vector<node_id>> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (node_id target : targets) {
+    if (target == from) continue;
+    auto path = graph::shortest_path_weighted(
+        comm, from, target,
+        [&](node_id u, node_id v) { return weights.weight(u, v); });
+    if (!path) continue;
+    double cost = 0.0;
+    for (std::size_t i = 0; i + 1 < path->size(); ++i)
+      cost += weights.weight((*path)[i], (*path)[i + 1]);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(path);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<route_result> route_centralized_etx(
+    const graph::graph& comm, const etx_weights& weights, node_id source,
+    node_id destination, const std::vector<node_id>& access_points) {
+  WSAN_REQUIRE(!access_points.empty(),
+               "centralized routing requires access points");
+  if (source == destination) return std::nullopt;
+  const auto uplink =
+      etx_path_to_closest(comm, weights, source, access_points);
+  if (!uplink) return std::nullopt;
+  auto downlink_rev =
+      etx_path_to_closest(comm, weights, destination, access_points);
+  if (!downlink_rev) return std::nullopt;
+  std::vector<node_id> downlink(downlink_rev->rbegin(),
+                                downlink_rev->rend());
+  route_result result;
+  result.links = path_to_links(*uplink);
+  result.uplink_links = static_cast<int>(result.links.size());
+  const auto down_links = path_to_links(downlink);
+  result.links.insert(result.links.end(), down_links.begin(),
+                      down_links.end());
+  return result;
+}
+
+}  // namespace wsan::flow

@@ -1,0 +1,75 @@
+// Route construction on the communication graph (Section VII).
+//
+// The network manager generates a single shortest-path route per flow.
+// Centralized traffic goes source -> access point (uplink), through the
+// wired gateway to the controller, then access point -> destination
+// (downlink); the access points for the two segments are chosen
+// independently to minimize each segment's length. Peer-to-peer traffic
+// routes directly between field devices.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flow/flow.h"
+#include "graph/graph.h"
+#include "topo/topology.h"
+
+namespace wsan::flow {
+
+/// Result of routing one flow: the wireless links in transmission order
+/// and the length of the uplink segment (route.size() for peer-to-peer).
+struct route_result {
+  std::vector<link> links;
+  int uplink_links = 0;
+};
+
+/// Shortest-path route source -> destination. nullopt when unreachable
+/// or source == destination.
+std::optional<route_result> route_peer_to_peer(const graph::graph& comm,
+                                               node_id source,
+                                               node_id destination);
+
+/// Centralized route source -> best AP, (wired), best AP -> destination.
+/// nullopt when either segment is unroutable.
+std::optional<route_result> route_centralized(
+    const graph::graph& comm, node_id source, node_id destination,
+    const std::vector<node_id>& access_points);
+
+/// Converts a node path (from graph::shortest_path) to links.
+std::vector<link> path_to_links(const std::vector<node_id>& path);
+
+/// Route metric. The paper's network manager uses shortest (fewest-hop)
+/// paths; ETX routing — expected transmission count, the classic
+/// quality-aware metric — is provided as an alternative: it prefers a
+/// longer path over strong links to a shorter path over grey ones.
+enum class route_metric { hop_count, etx };
+
+/// Per-link ETX weights for the communication graph: for edge {u, v},
+/// weight = 1/2 * (1/avg_prr(u->v) + 1/avg_prr(v->u)) averaged over the
+/// channels in use (both directions matter: data + ACK). Weights are
+/// computed once and reused across route queries.
+class etx_weights {
+ public:
+  etx_weights(const graph::graph& comm, const topo::topology& topology,
+              const std::vector<channel_t>& channels);
+
+  double weight(node_id u, node_id v) const;
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<double> weights_;  // dense n*n; 0 where no edge
+};
+
+/// ETX-weighted route source -> destination on the communication graph.
+std::optional<route_result> route_peer_to_peer_etx(
+    const graph::graph& comm, const etx_weights& weights, node_id source,
+    node_id destination);
+
+/// ETX-weighted centralized route: source -> lowest-ETX access point,
+/// (wired), lowest-ETX access point -> destination.
+std::optional<route_result> route_centralized_etx(
+    const graph::graph& comm, const etx_weights& weights, node_id source,
+    node_id destination, const std::vector<node_id>& access_points);
+
+}  // namespace wsan::flow

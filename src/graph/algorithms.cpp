@@ -1,0 +1,104 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace wsan::graph {
+
+std::vector<int> bfs_hops(const graph& g, node_id source) {
+  WSAN_REQUIRE(source >= 0 && source < g.num_nodes(),
+               "source id out of range");
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()),
+                        k_infinite_hops);
+  std::queue<node_id> queue;
+  dist[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const node_id u = queue.front();
+    queue.pop();
+    for (node_id v : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(v)] != k_infinite_hops) continue;
+      dist[static_cast<std::size_t>(v)] =
+          dist[static_cast<std::size_t>(u)] + 1;
+      queue.push(v);
+    }
+  }
+  return dist;
+}
+
+std::optional<std::vector<node_id>> shortest_path(const graph& g,
+                                                  node_id source,
+                                                  node_id target) {
+  WSAN_REQUIRE(source >= 0 && source < g.num_nodes(),
+               "source id out of range");
+  WSAN_REQUIRE(target >= 0 && target < g.num_nodes(),
+               "target id out of range");
+  if (source == target) return std::vector<node_id>{source};
+  std::vector<node_id> prev(static_cast<std::size_t>(g.num_nodes()),
+                            k_invalid_node);
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+  std::queue<node_id> queue;
+  seen[static_cast<std::size_t>(source)] = true;
+  queue.push(source);
+  while (!queue.empty()) {
+    const node_id u = queue.front();
+    queue.pop();
+    if (u == target) break;
+    for (node_id v : g.neighbors(u)) {  // sorted -> deterministic ties
+      if (seen[static_cast<std::size_t>(v)]) continue;
+      seen[static_cast<std::size_t>(v)] = true;
+      prev[static_cast<std::size_t>(v)] = u;
+      queue.push(v);
+    }
+  }
+  if (!seen[static_cast<std::size_t>(target)]) return std::nullopt;
+  std::vector<node_id> path;
+  for (node_id at = target; at != k_invalid_node;
+       at = prev[static_cast<std::size_t>(at)])
+    path.push_back(at);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool is_connected(const graph& g) {
+  if (g.num_nodes() == 0) return true;
+  const auto dist = bfs_hops(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](int d) { return d == k_infinite_hops; });
+}
+
+std::vector<int> connected_components(const graph& g) {
+  std::vector<int> label(static_cast<std::size_t>(g.num_nodes()), -1);
+  int next = 0;
+  for (node_id start = 0; start < g.num_nodes(); ++start) {
+    if (label[static_cast<std::size_t>(start)] != -1) continue;
+    std::queue<node_id> queue;
+    label[static_cast<std::size_t>(start)] = next;
+    queue.push(start);
+    while (!queue.empty()) {
+      const node_id u = queue.front();
+      queue.pop();
+      for (node_id v : g.neighbors(u)) {
+        if (label[static_cast<std::size_t>(v)] != -1) continue;
+        label[static_cast<std::size_t>(v)] = next;
+        queue.push(v);
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+int diameter(const graph& g) {
+  int best = 0;
+  for (node_id u = 0; u < g.num_nodes(); ++u) {
+    const auto dist = bfs_hops(g, u);
+    for (int d : dist)
+      if (d != k_infinite_hops) best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace wsan::graph

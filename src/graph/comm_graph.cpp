@@ -1,0 +1,25 @@
+#include "graph/comm_graph.h"
+
+#include "common/error.h"
+
+namespace wsan::graph {
+
+graph build_communication_graph(const topo::topology& topo,
+                                const std::vector<channel_t>& channels,
+                                const comm_graph_options& options) {
+  WSAN_REQUIRE(!channels.empty(), "channel set must be non-empty");
+  WSAN_REQUIRE(options.prr_threshold > 0.0 && options.prr_threshold <= 1.0,
+               "PRR threshold must be in (0, 1]");
+  graph g(topo.num_nodes());
+  for (node_id u = 0; u < topo.num_nodes(); ++u) {
+    for (node_id v = u + 1; v < topo.num_nodes(); ++v) {
+      if (topo.min_prr(u, v, channels) >= options.prr_threshold &&
+          topo.min_prr(v, u, channels) >= options.prr_threshold) {
+        g.add_edge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace wsan::graph

@@ -1,0 +1,25 @@
+// Communication graph construction (Section IV-B).
+//
+// A bidirectional edge {u, v} is in G_c iff PRR(u->v) >= PRR_t AND
+// PRR(v->u) >= PRR_t on EVERY channel in use: channel hopping cycles a
+// link through all channels, and the ACK travels the reverse direction,
+// so both directions must be reliable everywhere.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "topo/topology.h"
+
+namespace wsan::graph {
+
+struct comm_graph_options {
+  /// Link selection threshold PRR_t; the paper uses 0.9.
+  double prr_threshold = 0.9;
+};
+
+graph build_communication_graph(const topo::topology& topo,
+                                const std::vector<channel_t>& channels,
+                                const comm_graph_options& options = {});
+
+}  // namespace wsan::graph

@@ -1,0 +1,47 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wsan::graph {
+
+graph::graph(int num_nodes) {
+  WSAN_REQUIRE(num_nodes >= 0, "node count must be non-negative");
+  adjacency_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void graph::check_node(node_id u) const {
+  WSAN_REQUIRE(u >= 0 && u < num_nodes(), "node id out of range");
+}
+
+void graph::add_edge(node_id u, node_id v) {
+  check_node(u);
+  check_node(v);
+  WSAN_REQUIRE(u != v, "self loops are not allowed");
+  auto& nu = adjacency_[static_cast<std::size_t>(u)];
+  const auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return;  // duplicate
+  nu.insert(it, v);
+  auto& nv = adjacency_[static_cast<std::size_t>(v)];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++num_edges_;
+}
+
+bool graph::has_edge(node_id u, node_id v) const {
+  check_node(u);
+  check_node(v);
+  const auto& nu = adjacency_[static_cast<std::size_t>(u)];
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+const std::vector<node_id>& graph::neighbors(node_id u) const {
+  check_node(u);
+  return adjacency_[static_cast<std::size_t>(u)];
+}
+
+int graph::degree(node_id u) const {
+  return static_cast<int>(neighbors(u).size());
+}
+
+}  // namespace wsan::graph

@@ -1,0 +1,39 @@
+// Undirected graph over dense node ids.
+//
+// Both graphs the paper defines — the communication graph G_c and the
+// channel-reuse graph G_R (Section IV-B) — are undirected (edges require
+// bidirectional radio conditions), so one representation serves both.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+
+namespace wsan::graph {
+
+class graph {
+ public:
+  graph() = default;
+  explicit graph(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds the undirected edge {u, v}; duplicate edges are ignored.
+  void add_edge(node_id u, node_id v);
+
+  bool has_edge(node_id u, node_id v) const;
+
+  /// Neighbors of u, sorted ascending.
+  const std::vector<node_id>& neighbors(node_id u) const;
+
+  int degree(node_id u) const;
+
+ private:
+  void check_node(node_id u) const;
+
+  std::vector<std::vector<node_id>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace wsan::graph

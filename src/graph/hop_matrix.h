@@ -1,0 +1,34 @@
+// Cached all-pairs hop distances.
+//
+// The channel-reuse constraint (Section V-A, constraint 2b) queries hop
+// distances on G_R for every candidate slot/offset, so distances are
+// precomputed once per scheduling run.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace wsan::graph {
+
+class hop_matrix {
+ public:
+  hop_matrix() = default;
+  explicit hop_matrix(const graph& g);
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// Hop distance between u and v; k_infinite_hops when unreachable.
+  int hops(node_id u, node_id v) const;
+
+  /// Maximum finite pairwise distance (the network diameter lambda_R used
+  /// to seed rho in Algorithm 1).
+  int diameter() const { return diameter_; }
+
+ private:
+  int num_nodes_ = 0;
+  int diameter_ = 0;
+  std::vector<int> dist_;  // dense n*n
+};
+
+}  // namespace wsan::graph

@@ -1,0 +1,43 @@
+// Channel-reuse graph construction (Section IV-B).
+//
+// A bidirectional edge {u, v} is in G_R iff PRR(u->v) > 0 OR
+// PRR(v->u) > 0 on ANY channel in use: if packets ever get through in
+// either direction on any channel, the nodes can interfere with each
+// other, so they are "close" for channel-reuse purposes. Hop distance on
+// G_R is the interference proxy the RC algorithm uses.
+//
+// "PRR > 0" is a *measured* quantity: the network manager estimates each
+// PRR from a finite window of measurement packets. A link whose true PRR
+// is p reads zero with probability (1-p)^window — so marginal links
+// (say, p ~ 2-10%) are sometimes invisible to the reuse graph even
+// though their RF energy is well above the noise floor. This measurement
+// gap is precisely why hop-based interference estimates are optimistic
+// and why the paper argues for *conservative* reuse (Sections I-II).
+// Setting measurement_window = 0 disables sampling and uses the exact
+// detection floor min_detectable_prr instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "topo/topology.h"
+
+namespace wsan::graph {
+
+struct reuse_graph_options {
+  /// Packets per PRR measurement; a link direction/channel is detected
+  /// iff at least one of these packets gets through (sampled). 0 turns
+  /// sampling off.
+  int measurement_window = 50;
+  /// Seed of the measurement campaign (deterministic per topology).
+  std::uint64_t seed = 0x51cc5;
+  /// Exact detection floor used when measurement_window == 0.
+  double min_detectable_prr = 0.01;
+};
+
+graph build_channel_reuse_graph(const topo::topology& topo,
+                                const std::vector<channel_t>& channels,
+                                const reuse_graph_options& options = {});
+
+}  // namespace wsan::graph

@@ -1,0 +1,64 @@
+#include "manager/network_manager.h"
+
+#include "common/error.h"
+#include "phy/channel.h"
+
+namespace wsan::manager {
+
+network_manager::network_manager(topo::topology topology,
+                                 manager_config config)
+    : topology_(std::move(topology)),
+      config_(std::move(config)),
+      channels_(phy::channels(config_.num_channels)),
+      comm_(graph::build_communication_graph(topology_, channels_,
+                                             config_.comm)),
+      reuse_(graph::build_channel_reuse_graph(topology_, channels_,
+                                              config_.reuse)),
+      reuse_hops_(reuse_) {
+  config_.scheduler.num_channels = config_.num_channels;
+}
+
+flow::flow_set network_manager::generate_workload(
+    const flow::flow_set_params& params, rng& gen) const {
+  return flow::generate_flow_set(comm_, params, gen);
+}
+
+core::schedule_result network_manager::admit(
+    const std::vector<flow::flow>& flows) const {
+  auto config = config_.scheduler;
+  config.isolated_links.insert(isolated_.begin(), isolated_.end());
+  return core::schedule_flows(flows, reuse_hops_, config);
+}
+
+void network_manager::blacklist_channels(
+    const std::vector<channel_t>& blacklist) {
+  channels_ = phy::channels_excluding(config_.num_channels, blacklist);
+  comm_ = graph::build_communication_graph(topology_, channels_,
+                                           config_.comm);
+  reuse_ = graph::build_channel_reuse_graph(topology_, channels_,
+                                            config_.reuse);
+  reuse_hops_ = graph::hop_matrix(reuse_);
+}
+
+network_manager::maintenance_outcome network_manager::maintain(
+    const std::vector<flow::flow>& flows,
+    const std::map<sim::link_key, sim::link_observations>& observations) {
+  maintenance_outcome outcome;
+  outcome.reports =
+      detect::classify_links(observations, config_.detection);
+  const auto flagged = detect::isolation_set(outcome.reports);
+  for (const auto& link : flagged) {
+    if (isolated_.insert(link).second)
+      outcome.newly_isolated.insert(link);
+  }
+  if (!outcome.newly_isolated.empty()) {
+    auto config = config_.scheduler;
+    auto repaired = core::reschedule_isolating(flows, reuse_hops_, config,
+                                               isolated_);
+    outcome.rescheduled = true;
+    outcome.repaired = std::move(repaired.result);
+  }
+  return outcome;
+}
+
+}  // namespace wsan::manager

@@ -1,0 +1,102 @@
+// The WirelessHART network manager (Section III).
+//
+// The manager owns the network lifecycle: it holds the collected
+// topology, derives the communication and channel-reuse graphs, routes
+// and schedules workloads, consumes the nodes' health reports, runs the
+// reliability-degradation classifier, and repairs the schedule by
+// isolating links that channel reuse degrades. This facade is the
+// public entry point a deployment would use; the lower-level modules
+// remain available for research workflows.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/rescheduler.h"
+#include "core/scheduler.h"
+#include "detect/detector.h"
+#include "flow/flow_generator.h"
+#include "graph/comm_graph.h"
+#include "graph/hop_matrix.h"
+#include "graph/reuse_graph.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace wsan::manager {
+
+struct manager_config {
+  /// Number of channels in use (channels 11..11+n-1).
+  int num_channels = 4;
+  graph::comm_graph_options comm;
+  graph::reuse_graph_options reuse;
+  /// Scheduling configuration; num_channels is kept in sync with the
+  /// manager's channel count.
+  core::scheduler_config scheduler = core::make_config(
+      core::algorithm::rc, 4);
+  detect::detection_policy detection;
+};
+
+class network_manager {
+ public:
+  /// Builds the manager from a collected topology: derives the channel
+  /// list, the communication graph, the channel-reuse graph, and its
+  /// hop matrix.
+  network_manager(topo::topology topology, manager_config config);
+
+  const topo::topology& topology() const { return topology_; }
+  const std::vector<channel_t>& channels() const { return channels_; }
+  const graph::graph& communication_graph() const { return comm_; }
+  const graph::graph& reuse_graph() const { return reuse_; }
+  const graph::hop_matrix& reuse_hops() const { return reuse_hops_; }
+  const core::link_set& isolated_links() const { return isolated_; }
+
+  /// Generates a random workload on this network (routes included).
+  flow::flow_set generate_workload(const flow::flow_set_params& params,
+                                   rng& gen) const;
+
+  /// Admits a workload: schedules it under the configured policy plus
+  /// any accumulated link isolations. The result's schedulable flag is
+  /// the admission decision.
+  core::schedule_result admit(const std::vector<flow::flow>& flows) const;
+
+  /// One maintenance cycle (a health-report epoch): classify every
+  /// reuse-associated link from the reported observations; if any link
+  /// is degraded by channel reuse, isolate it and recompute the
+  /// schedule.
+  struct maintenance_outcome {
+    std::vector<detect::link_report> reports;
+    core::link_set newly_isolated;
+    bool rescheduled = false;
+    /// The repaired schedule when rescheduled is true.
+    std::optional<core::schedule_result> repaired;
+  };
+
+  maintenance_outcome maintain(
+      const std::vector<flow::flow>& flows,
+      const std::map<sim::link_key, sim::link_observations>& observations);
+
+  /// Drops all accumulated isolations (e.g. after the interference
+  /// environment changed and the links were re-validated).
+  void reset_isolations() { isolated_.clear(); }
+
+  /// Blacklists channels (TSCH channel blacklisting, Section III-A —
+  /// e.g. the four channels a diagnosed WiFi access point jams) and
+  /// rebuilds the channel list and both graphs from the remaining
+  /// spectrum. Existing schedules must be re-admitted afterwards;
+  /// accumulated isolations are kept (they describe node geometry, not
+  /// channels). Throws if fewer than num_channels usable channels
+  /// remain.
+  void blacklist_channels(const std::vector<channel_t>& blacklist);
+
+ private:
+  topo::topology topology_;
+  manager_config config_;
+  std::vector<channel_t> channels_;
+  graph::graph comm_;
+  graph::graph reuse_;
+  graph::hop_matrix reuse_hops_;
+  core::link_set isolated_;
+};
+
+}  // namespace wsan::manager

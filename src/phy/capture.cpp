@@ -1,0 +1,42 @@
+#include "phy/capture.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "phy/dbm.h"
+
+namespace wsan::phy {
+
+double sinr_db(double signal_dbm, const std::vector<double>& interference_dbm,
+               double noise_floor_dbm) {
+  double denom_mw = dbm_to_mw(noise_floor_dbm);
+  for (double i_dbm : interference_dbm) denom_mw += dbm_to_mw(i_dbm);
+  return signal_dbm - mw_to_dbm(denom_mw);
+}
+
+namespace {
+
+double clamped_sigmoid(double x) {
+  if (x > 8.0) return 1.0;
+  if (x < -8.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+double reception_probability(const capture_params& params, double signal_dbm,
+                             const std::vector<double>& interference_dbm) {
+  WSAN_REQUIRE(params.transition_width_db > 0.0,
+               "transition width must be positive");
+  const double standalone = prr_from_rssi(params.link, signal_dbm);
+  if (interference_dbm.empty()) return standalone;
+
+  const double sinr =
+      sinr_db(signal_dbm, interference_dbm, params.link.noise_floor_dbm);
+  const double scale = params.transition_width_db / 4.0;
+  const double capture_prob =
+      clamped_sigmoid((sinr - params.capture_threshold_db) / scale);
+  return standalone * capture_prob;
+}
+
+}  // namespace wsan::phy

@@ -1,0 +1,17 @@
+// Decibel-milliwatt arithmetic helpers.
+#pragma once
+
+#include <cmath>
+
+namespace wsan::phy {
+
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+/// Adds two powers expressed in dBm (i.e., sums them in milliwatts).
+inline double dbm_sum(double a_dbm, double b_dbm) {
+  return mw_to_dbm(dbm_to_mw(a_dbm) + dbm_to_mw(b_dbm));
+}
+
+}  // namespace wsan::phy

@@ -1,0 +1,49 @@
+#include "phy/link_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace wsan::phy {
+
+namespace {
+
+/// Logistic sigmoid clamped to exactly 0/1 far from the midpoint so that
+/// strong links are genuinely loss-free in expectation and dead links are
+/// genuinely dead (keeps graph construction crisp).
+double clamped_sigmoid(double x) {
+  if (x > 8.0) return 1.0;
+  if (x < -8.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+double prr_from_rssi(const link_model_params& params, double rssi_dbm) {
+  WSAN_REQUIRE(params.transition_width_db > 0.0,
+               "transition width must be positive");
+  // Map the transition width to the sigmoid scale: PRR goes from ~0.12 to
+  // ~0.88 across one transition width centered on the sensitivity.
+  const double scale = params.transition_width_db / 4.0;
+  return clamped_sigmoid((rssi_dbm - params.sensitivity_dbm) / scale);
+}
+
+double prr_from_snr(const link_model_params& params, double snr_db) {
+  // snr_db is relative to the noise floor, so rssi = noise_floor + snr;
+  // prr_from_rssi anchors the 50% point at the configured sensitivity.
+  return prr_from_rssi(params, params.noise_floor_dbm + snr_db);
+}
+
+double rssi_from_prr(const link_model_params& params, double prr) {
+  WSAN_REQUIRE(prr >= 0.0 && prr <= 1.0, "PRR must be in [0, 1]");
+  const double scale = params.transition_width_db / 4.0;
+  // Slightly beyond the sigmoid's clamp region so the round trip through
+  // prr_from_rssi yields exactly 0 or 1.
+  if (prr >= 1.0) return params.sensitivity_dbm + 9.0 * scale;
+  if (prr <= 0.0) return params.sensitivity_dbm - 9.0 * scale;
+  const double logit = std::log(prr / (1.0 - prr));
+  return params.sensitivity_dbm + scale * logit;
+}
+
+}  // namespace wsan::phy

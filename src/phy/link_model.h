@@ -1,0 +1,31 @@
+// RSSI <-> PRR link model for CC2420-class 802.15.4 radios.
+//
+// The packet reception ratio follows a sigmoid around the receiver
+// sensitivity: links well above sensitivity are near-perfect, links near
+// it are "grey" — exactly the structure the paper's communication graph
+// (PRR >= 0.9 in all channels) and channel-reuse graph (PRR > 0 in any
+// channel) thresholds carve up.
+#pragma once
+
+namespace wsan::phy {
+
+struct link_model_params {
+  double noise_floor_dbm = -98.0;   ///< thermal noise + NF, 2 MHz channel
+  double sensitivity_dbm = -87.0;   ///< ~50% PRR point (CC2420 class)
+  double transition_width_db = 5.0; ///< width of the grey region
+};
+
+/// PRR in [0, 1] for a standalone (interference-free) reception at the
+/// given received signal strength.
+double prr_from_rssi(const link_model_params& params, double rssi_dbm);
+
+/// PRR in [0, 1] as a function of SNR in dB (relative to the model's
+/// sensitivity-over-noise operating point).
+double prr_from_snr(const link_model_params& params, double snr_db);
+
+/// Inverse of prr_from_rssi: the RSSI that yields the given PRR. PRR
+/// values of exactly 0 or 1 map to the edges of the sigmoid's clamped
+/// region, so round-tripping through prr_from_rssi is the identity.
+double rssi_from_prr(const link_model_params& params, double prr);
+
+}  // namespace wsan::phy

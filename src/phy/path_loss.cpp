@@ -1,0 +1,26 @@
+#include "phy/path_loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace wsan::phy {
+
+double mean_path_loss_db(const path_loss_params& params, double distance_m,
+                         int floors) {
+  WSAN_REQUIRE(distance_m >= 0.0, "distance must be non-negative");
+  WSAN_REQUIRE(floors >= 0, "floor count must be non-negative");
+  const double d = std::max(distance_m, params.reference_distance_m);
+  return params.pl_d0_db +
+         10.0 * params.exponent *
+             std::log10(d / params.reference_distance_m) +
+         params.floor_attenuation_db * floors;
+}
+
+double mean_path_loss_db(const path_loss_params& params, const position& a,
+                         const position& b) {
+  return mean_path_loss_db(params, distance_m(a, b), floors_between(a, b));
+}
+
+}  // namespace wsan::phy

@@ -1,0 +1,35 @@
+// Log-distance path-loss model with floor attenuation and per-link,
+// per-channel shadowing.
+//
+// Used to synthesize the Indriya and WUSTL testbed PRR matrices
+// (substitution documented in DESIGN.md §2) and reused by the network
+// simulator so scheduled concurrent transmissions see consistent physics.
+#pragma once
+
+#include "phy/position.h"
+
+namespace wsan::phy {
+
+struct path_loss_params {
+  double pl_d0_db = 40.0;        ///< path loss at reference distance d0
+  double reference_distance_m = 1.0;
+  /// Obstructed multi-wall office floors run n = 3.5-4.5 (Rappaport);
+  /// the testbeds are corridor/office deployments, not open space.
+  double exponent = 3.8;
+  double floor_attenuation_db = 18.0;  ///< per concrete slab crossed
+  double shadow_sigma_db = 4.0;  ///< log-normal shadowing std-dev
+  /// Std-dev of the per-(link,channel) frequency-selective fading term.
+  /// This is what makes a link good on channel 12 and grey on channel 19.
+  double channel_fading_sigma_db = 1.2;
+};
+
+/// Deterministic (mean) path loss in dB over distance d crossing
+/// `floors` slabs. Distances below the reference distance are clamped.
+double mean_path_loss_db(const path_loss_params& params, double distance_m,
+                         int floors);
+
+/// Mean path loss between two node positions.
+double mean_path_loss_db(const path_loss_params& params, const position& a,
+                         const position& b);
+
+}  // namespace wsan::phy

@@ -1,0 +1,32 @@
+// 3D positions for nodes deployed across building floors.
+#pragma once
+
+#include <cmath>
+
+namespace wsan::phy {
+
+/// Vertical spacing between floors, meters (typical office building).
+inline constexpr double k_floor_height_m = 4.0;
+
+struct position {
+  double x = 0.0;  ///< meters
+  double y = 0.0;  ///< meters
+  int floor = 0;   ///< floor index, 0-based
+
+  friend bool operator==(const position&, const position&) = default;
+};
+
+/// Euclidean distance including the vertical floor offset.
+inline double distance_m(const position& a, const position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = (a.floor - b.floor) * k_floor_height_m;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+/// Number of floor slabs between two positions (for attenuation).
+inline int floors_between(const position& a, const position& b) {
+  return a.floor > b.floor ? a.floor - b.floor : b.floor - a.floor;
+}
+
+}  // namespace wsan::phy

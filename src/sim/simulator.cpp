@@ -1,0 +1,345 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tsch/hopping.h"
+
+namespace wsan::sim {
+
+namespace {
+
+/// A transmission as laid out for fast slot iteration.
+struct slot_entry {
+  tsch::transmission tx;
+  offset_t offset = k_invalid_offset;
+  bool reuse_cell = false;  ///< scheduled cell holds >= 2 transmissions
+};
+
+/// Per-run accumulation of one link's attempts/successes by slot kind.
+struct link_run_counts {
+  int reuse_attempts = 0;
+  int reuse_successes = 0;
+  int cf_attempts = 0;
+  int cf_successes = 0;
+  double loss_internal = 0.0;
+  double loss_external = 0.0;
+};
+
+}  // namespace
+
+sim_result run_simulation(const topo::topology& topo,
+                          const tsch::schedule& sched,
+                          const std::vector<flow::flow>& flows,
+                          const std::vector<channel_t>& channels,
+                          const sim_config& config) {
+  WSAN_REQUIRE(!flows.empty(), "flow set must be non-empty");
+  WSAN_REQUIRE(!channels.empty(), "channel set must be non-empty");
+  WSAN_REQUIRE(config.runs >= 1, "need at least one run");
+  WSAN_REQUIRE(static_cast<int>(channels.size()) == sched.num_offsets(),
+               "channel list size must equal the schedule's offset count");
+  WSAN_REQUIRE(config.probes_per_run >= 0,
+               "probe count must be non-negative");
+  WSAN_REQUIRE(config.interferer_start_run >= 0,
+               "interferer start run must be non-negative");
+
+  const slot_t hp = sched.num_slots();
+
+  // Flatten the schedule for slot-major iteration.
+  std::vector<std::vector<slot_entry>> by_slot(
+      static_cast<std::size_t>(hp));
+  for (slot_t s = 0; s < hp; ++s) {
+    for (offset_t c = 0; c < sched.num_offsets(); ++c) {
+      const auto& cell = sched.cell(s, c);
+      for (const auto& tx : cell) {
+        WSAN_REQUIRE(tx.flow >= 0 &&
+                         tx.flow < static_cast<flow_id>(flows.size()),
+                     "schedule references an unknown flow");
+        by_slot[static_cast<std::size_t>(s)].push_back(
+            slot_entry{tx, c, cell.size() >= 2});
+      }
+    }
+  }
+
+  // Distinct links appearing in the schedule: probed by neighbor
+  // discovery and maintained (fresh statistics) by health reports.
+  std::vector<link_key> schedule_links;
+  std::set<std::pair<node_id, node_id>> maintained_pairs;
+  {
+    std::map<link_key, bool> seen;
+    for (const auto& p : sched.placements()) {
+      seen[link_key{p.tx.sender, p.tx.receiver}] = true;
+      maintained_pairs.insert({std::min(p.tx.sender, p.tx.receiver),
+                               std::max(p.tx.sender, p.tx.receiver)});
+    }
+    if (config.probes_per_run > 0)
+      for (const auto& [key, unused] : seen) schedule_links.push_back(key);
+  }
+
+  phy::capture_params capture;
+  capture.capture_threshold_db = config.capture_threshold_db;
+  capture.transition_width_db = config.capture_transition_db;
+  capture.link = topo.link_model();
+
+  interference_field field(topo, config.interferers, config.seed ^ 0x5eedULL);
+  rng gen(config.seed);
+
+  // Temporal fading: deterministic per (unordered pair, channel, run).
+  // Fast multipath variation is frequency-selective, which is exactly
+  // why TSCH hops channels: a retry on a different channel sees an
+  // independent fade, so engineered links with retries ride through it,
+  // while a single shared cell pinned to a faded channel does not.
+  const auto temporal_fade_db = [&](int run, node_id a, node_id b,
+                                    channel_t ch) {
+    if (config.temporal_fading_sigma_db <= 0.0) return 0.0;
+    const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+    const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+    std::uint64_t state = config.seed ^ (0x9e3779b97f4a7c15ULL +
+                                         static_cast<std::uint64_t>(run));
+    state ^= splitmix64(state) + (lo << 32 | hi);
+    state ^= splitmix64(state) + static_cast<std::uint64_t>(ch);
+    rng pair_gen(splitmix64(state));
+    return pair_gen.normal(0.0, config.temporal_fading_sigma_db);
+  };
+
+  // Calibration drift: static per (unordered pair, channel) offset
+  // between the measured topology (which produced the schedule's graphs)
+  // and the RF world the schedule actually runs in.
+  const auto drift_db = [&](node_id a, node_id b, channel_t ch) {
+    const node_id lo_id = std::min(a, b);
+    const node_id hi_id = std::max(a, b);
+    const bool maintained = maintained_pairs.count({lo_id, hi_id}) > 0;
+    const auto lo = static_cast<std::uint64_t>(lo_id);
+    const auto hi = static_cast<std::uint64_t>(hi_id);
+    std::uint64_t pair_state = config.seed ^ 0xd51f7ULL;
+    pair_state ^= splitmix64(pair_state) + (lo << 32 | hi);
+    std::uint64_t state = pair_state;
+    state ^= splitmix64(state) + static_cast<std::uint64_t>(ch);
+    rng chan_gen(splitmix64(state));
+    double sigma = config.calibration_drift_sigma_db;
+    if (maintained) {
+      // Used links are re-measured every health-report epoch; a link
+      // that went intermittent would be rerouted, so in steady state
+      // the maintained population only sees small drift.
+      sigma = config.maintained_drift_sigma_db;
+    } else {
+      // Intermittence is a property of the pair, not of one channel.
+      rng pair_gen(splitmix64(pair_state));
+      if (pair_gen.uniform01() < config.intermittent_fraction)
+        sigma = config.intermittent_sigma_db;
+    }
+    if (sigma <= 0.0) return 0.0;
+    return chan_gen.normal(0.0, sigma);
+  };
+
+  // Effective RSSI at experiment time.
+  const auto live_rssi = [&](int run, node_id sender, node_id receiver,
+                             channel_t ch) {
+    return topo.rssi_dbm(sender, receiver, ch) +
+           drift_db(sender, receiver, ch) +
+           temporal_fade_db(run, sender, receiver, ch);
+  };
+
+  // Packet progress per (flow, instance): index of the next route link
+  // awaiting delivery; -1 marks a dead instance (both attempts failed).
+  std::vector<std::vector<int>> progress(flows.size());
+  std::vector<long long> delivered(flows.size(), 0);
+  std::vector<long long> released(flows.size(), 0);
+
+  sim_result result;
+  result.energy.per_node_mj.assign(
+      static_cast<std::size_t>(topo.num_nodes()), 0.0);
+  const auto& em = config.energy;
+  auto& energy = result.energy;
+
+  for (int run = 0; run < config.runs; ++run) {
+    // Reset per-run packet state; every instance releases anew.
+    for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+      const int instances = flows[fi].instances_in(hp);
+      progress[fi].assign(static_cast<std::size_t>(instances), 0);
+      released[fi] += instances;
+    }
+    std::map<link_key, link_run_counts> run_counts;
+
+    for (slot_t s = 0; s < hp; ++s) {
+      const auto& entries = by_slot[static_cast<std::size_t>(s)];
+      if (entries.empty()) continue;
+      const tsch::asn_t asn =
+          static_cast<tsch::asn_t>(run) * hp + s;
+
+      // Which scheduled transmissions actually fire: the packet must be
+      // waiting at the link's sender (primary failed -> retry fires;
+      // primary succeeded -> retry slot stays silent).
+      std::vector<const slot_entry*> active;
+      std::vector<channel_t> active_channel;
+      for (const auto& entry : entries) {
+        const auto fi = static_cast<std::size_t>(entry.tx.flow);
+        const int prog = progress[fi][static_cast<std::size_t>(
+            entry.tx.instance)];
+        if (prog != entry.tx.link_index) {
+          // The sender knows its queue is empty and sleeps; the receiver
+          // must still open its guard window.
+          energy.per_node_mj[static_cast<std::size_t>(
+              entry.tx.receiver)] += em.idle_listen_mj;
+          ++energy.idle_listens;
+          continue;  // done, dead, or past
+        }
+        active.push_back(&entry);
+        active_channel.push_back(
+            tsch::physical_channel(asn, entry.offset, channels));
+      }
+      if (active.empty()) continue;
+
+      std::vector<bool> interferers_active = field.sample_active(gen);
+      if (run < config.interferer_start_run)
+        interferers_active.assign(interferers_active.size(), false);
+
+      // Evaluate receptions against the snapshot of concurrent activity.
+      std::vector<bool> success(active.size(), false);
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const auto& tx = active[i]->tx;
+        const channel_t ch = active_channel[i];
+        const double signal = live_rssi(run, tx.sender, tx.receiver, ch);
+        std::vector<double> internal;
+        for (std::size_t j = 0; j < active.size(); ++j) {
+          if (j == i || active_channel[j] != ch) continue;
+          internal.push_back(
+              live_rssi(run, active[j]->tx.sender, tx.receiver, ch));
+        }
+        std::vector<double> external;
+        for (int k = 0; k < field.num_interferers(); ++k) {
+          if (!interferers_active[static_cast<std::size_t>(k)]) continue;
+          if (const auto power = field.power_at(k, tx.receiver, ch))
+            external.push_back(*power);
+        }
+        std::vector<double> combined = internal;
+        combined.insert(combined.end(), external.begin(), external.end());
+        const double p =
+            phy::reception_probability(capture, signal, combined);
+        success[i] = gen.bernoulli(p);
+
+        // Ground-truth attribution (counterfactual reception).
+        auto& counts =
+            run_counts[link_key{tx.sender, tx.receiver}];
+        if (!internal.empty()) {
+          counts.loss_internal +=
+              phy::reception_probability(capture, signal, external) - p;
+        }
+        if (!external.empty()) {
+          counts.loss_external +=
+              phy::reception_probability(capture, signal, internal) - p;
+        }
+      }
+
+      // Apply outcomes: advance or (on a failed retry) kill the packet.
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const auto& entry = *active[i];
+        const auto& tx = entry.tx;
+        const auto fi = static_cast<std::size_t>(tx.flow);
+        auto& prog =
+            progress[fi][static_cast<std::size_t>(tx.instance)];
+
+        auto& counts = run_counts[link_key{tx.sender, tx.receiver}];
+        if (entry.reuse_cell) {
+          ++counts.reuse_attempts;
+          counts.reuse_successes += success[i] ? 1 : 0;
+        } else {
+          ++counts.cf_attempts;
+          counts.cf_successes += success[i] ? 1 : 0;
+        }
+
+        // Energy: sender transmits and listens for the ACK; receiver
+        // listens for the packet and ACKs only what it decoded.
+        energy.per_node_mj[static_cast<std::size_t>(tx.sender)] +=
+            em.tx_packet_mj + em.rx_ack_mj;
+        energy.per_node_mj[static_cast<std::size_t>(tx.receiver)] +=
+            em.rx_packet_mj + (success[i] ? em.tx_ack_mj : 0.0);
+        ++energy.data_transmissions;
+
+        if (success[i]) {
+          ++prog;
+          if (prog == static_cast<int>(flows[fi].route.size()))
+            ++delivered[fi];
+        }
+        // A failed final attempt leaves prog at the link; later slots of
+        // this instance reference higher link indexes and stay silent,
+        // which is exactly the dedicated-slot semantics of source
+        // routing. (The retry for this link, if still pending, fires.)
+      }
+    }
+
+    // Neighbor-discovery probes: contention-free broadcasts that hop
+    // across the channel list, exposed only to external interference.
+    for (const auto& link : schedule_links) {
+      auto& counts = run_counts[link];
+      for (int probe = 0; probe < config.probes_per_run; ++probe) {
+        const channel_t ch = channels[static_cast<std::size_t>(
+            gen.uniform_int(0,
+                            static_cast<std::int64_t>(channels.size()) -
+                                1))];
+        const double signal = live_rssi(run, link.sender, link.receiver, ch);
+        std::vector<double> interference;
+        std::vector<bool> probe_interferers = field.sample_active(gen);
+        if (run < config.interferer_start_run)
+          probe_interferers.assign(probe_interferers.size(), false);
+        for (int k = 0; k < field.num_interferers(); ++k) {
+          if (!probe_interferers[static_cast<std::size_t>(k)]) continue;
+          if (const auto power = field.power_at(k, link.receiver, ch))
+            interference.push_back(*power);
+        }
+        const double p =
+            phy::reception_probability(capture, signal, interference);
+        ++counts.cf_attempts;
+        counts.cf_successes += gen.bernoulli(p) ? 1 : 0;
+        energy.per_node_mj[static_cast<std::size_t>(link.sender)] +=
+            em.tx_packet_mj;  // broadcast: no ACK
+        energy.per_node_mj[static_cast<std::size_t>(link.receiver)] +=
+            em.rx_packet_mj;
+        ++energy.data_transmissions;
+        if (!interference.empty()) {
+          counts.loss_external +=
+              phy::reception_probability(capture, signal, {}) - p;
+        }
+      }
+    }
+
+    for (const auto& [key, counts] : run_counts) {
+      if (counts.reuse_attempts == 0 && counts.cf_attempts == 0) continue;
+      auto& obs = result.links[key];
+      if (counts.reuse_attempts > 0) {
+        obs.reuse_samples.emplace_back(
+            run, static_cast<double>(counts.reuse_successes) /
+                     static_cast<double>(counts.reuse_attempts));
+        obs.reuse_attempts += counts.reuse_attempts;
+        obs.reuse_successes += counts.reuse_successes;
+      }
+      if (counts.cf_attempts > 0) {
+        obs.cf_samples.emplace_back(
+            run, static_cast<double>(counts.cf_successes) /
+                     static_cast<double>(counts.cf_attempts));
+        obs.cf_attempts += counts.cf_attempts;
+        obs.cf_successes += counts.cf_successes;
+      }
+      obs.expected_loss_internal += counts.loss_internal;
+      obs.expected_loss_external += counts.loss_external;
+    }
+  }
+
+  for (double mj : result.energy.per_node_mj)
+    result.energy.total_mj += mj;
+
+  result.flow_pdr.resize(flows.size());
+  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+    result.flow_pdr[fi] =
+        released[fi] == 0 ? 1.0
+                          : static_cast<double>(delivered[fi]) /
+                                static_cast<double>(released[fi]);
+    result.instances_released += released[fi];
+    result.instances_delivered += delivered[fi];
+  }
+  return result;
+}
+
+}  // namespace wsan::sim

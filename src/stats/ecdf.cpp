@@ -1,0 +1,20 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wsan::stats {
+
+ecdf::ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  WSAN_REQUIRE(!sorted_.empty(), "ECDF requires at least one sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double ecdf::operator()(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+}  // namespace wsan::stats

@@ -1,0 +1,25 @@
+// Empirical cumulative distribution function.
+#pragma once
+
+#include <vector>
+
+namespace wsan::stats {
+
+class ecdf {
+ public:
+  /// Builds the ECDF of the samples (copied and sorted internally).
+  explicit ecdf(std::vector<double> samples);
+
+  std::size_t size() const { return sorted_.size(); }
+
+  /// F(x) = fraction of samples <= x.
+  double operator()(double x) const;
+
+  /// Sorted sample values.
+  const std::vector<double>& samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace wsan::stats

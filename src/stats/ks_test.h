@@ -1,0 +1,50 @@
+// Two-sample Kolmogorov-Smirnov test (Section VI).
+//
+// The detection policy compares the PRR distribution of a link in
+// channel-reuse slots against its distribution in contention-free slots.
+// K-S is chosen by the paper because it is distribution-free and makes
+// no restriction on sample size. The p-value uses the asymptotic
+// Kolmogorov distribution with the Numerical-Recipes finite-sample
+// correction; it is accurate for the sample sizes the network manager
+// sees (>= ~8 per side) but approximate — and can be anti-conservative —
+// below that. ks_test_permutation gives Monte-Carlo-exact p-values for
+// tiny samples at extra CPU cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wsan::stats {
+
+struct ks_result {
+  double statistic = 0.0;  ///< D = sup_x |F1(x) - F2(x)|
+  double p_value = 1.0;
+  /// True iff the null hypothesis ("same distribution") is rejected at
+  /// the significance level passed to the test.
+  bool reject = false;
+};
+
+/// Exact two-sample D statistic (merge scan over both sorted samples).
+double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+/// Survival function of the Kolmogorov distribution:
+/// Q(lambda) = 2 * sum_{k>=1} (-1)^(k-1) exp(-2 k^2 lambda^2).
+double kolmogorov_q(double lambda);
+
+/// Runs the full two-sample test at significance level alpha.
+ks_result ks_test(const std::vector<double>& a,
+                  const std::vector<double>& b, double alpha = 0.05);
+
+/// Permutation (Monte-Carlo exact) variant: the p-value is the fraction
+/// of random relabelings of the pooled sample whose D statistic reaches
+/// the observed one. Distribution-free and accurate at the tiny sample
+/// sizes (< ~8 per side) where the asymptotic approximation is overly
+/// conservative; costs O(permutations * n log n). Deterministic for a
+/// given seed.
+ks_result ks_test_permutation(const std::vector<double>& a,
+                              const std::vector<double>& b,
+                              double alpha = 0.05,
+                              int permutations = 2000,
+                              std::uint64_t seed = 1);
+
+}  // namespace wsan::stats

@@ -1,0 +1,77 @@
+#include "stats/mann_whitney.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace wsan::stats {
+
+double normal_sf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+mw_result mann_whitney_test(const std::vector<double>& a,
+                            const std::vector<double>& b, double alpha) {
+  WSAN_REQUIRE(!a.empty() && !b.empty(),
+               "Mann-Whitney requires non-empty samples");
+  WSAN_REQUIRE(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+
+  // Pool, sort, assign mid-ranks.
+  struct tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<tagged> pooled;
+  pooled.reserve(a.size() + b.size());
+  for (double x : a) pooled.push_back({x, true});
+  for (double x : b) pooled.push_back({x, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const tagged& x, const tagged& y) {
+              return x.value < y.value;
+            });
+
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+  const double n = n1 + n2;
+
+  double rank_sum_a = 0.0;
+  double tie_correction = 0.0;
+  std::size_t i = 0;
+  while (i < pooled.size()) {
+    std::size_t j = i;
+    while (j < pooled.size() && pooled[j].value == pooled[i].value) ++j;
+    const double tie_size = static_cast<double>(j - i);
+    // Mid-rank of the tied group (ranks are 1-based).
+    const double mid_rank =
+        (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k)
+      if (pooled[k].from_a) rank_sum_a += mid_rank;
+    tie_correction += tie_size * (tie_size * tie_size - 1.0);
+    i = j;
+  }
+
+  const double u1 = rank_sum_a - n1 * (n1 + 1.0) / 2.0;
+  const double u2 = n1 * n2 - u1;
+
+  mw_result result;
+  result.u_statistic = std::min(u1, u2);
+
+  const double mean_u = n1 * n2 / 2.0;
+  const double var_u =
+      n1 * n2 / 12.0 *
+      ((n + 1.0) - tie_correction / (n * (n - 1.0)));
+  if (var_u <= 0.0) {
+    // All observations identical: no evidence of a difference.
+    result.z_score = 0.0;
+    result.p_value = 1.0;
+    result.reject = false;
+    return result;
+  }
+  // Continuity correction toward the mean.
+  const double diff = std::abs(u1 - mean_u) - 0.5;
+  result.z_score = std::max(diff, 0.0) / std::sqrt(var_u);
+  result.p_value = std::clamp(2.0 * normal_sf(result.z_score), 0.0, 1.0);
+  result.reject = result.p_value < alpha;
+  return result;
+}
+
+}  // namespace wsan::stats

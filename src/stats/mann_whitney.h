@@ -1,0 +1,31 @@
+// Two-sample Mann-Whitney U test (Wilcoxon rank-sum).
+//
+// An alternative distribution-free two-sample test to the K-S test the
+// paper's detection policy uses. The detector ablation bench compares
+// the two: Mann-Whitney is sensitive to location shifts; K-S also reacts
+// to shape/variance changes, which is why the paper's choice is the more
+// general one for PRR distributions.
+#pragma once
+
+#include <vector>
+
+namespace wsan::stats {
+
+struct mw_result {
+  double u_statistic = 0.0;  ///< min(U1, U2)
+  double z_score = 0.0;      ///< normal approximation with tie correction
+  double p_value = 1.0;      ///< two-sided
+  bool reject = false;
+};
+
+/// Runs the two-sided test at significance level alpha. Uses the normal
+/// approximation with tie correction (appropriate for n >= ~8 per side;
+/// PRR sample sets carry heavy ties, so the correction matters).
+mw_result mann_whitney_test(const std::vector<double>& a,
+                            const std::vector<double>& b,
+                            double alpha = 0.05);
+
+/// Standard normal survival function Q(z) = P(Z > z).
+double normal_sf(double z);
+
+}  // namespace wsan::stats

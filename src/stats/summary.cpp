@@ -1,0 +1,75 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace wsan::stats {
+
+summary summarize(const std::vector<double>& samples) {
+  WSAN_REQUIRE(!samples.empty(), "summary of an empty sample set");
+  summary s;
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.front();
+  double sum = 0.0;
+  for (double x : samples) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (double x : samples) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+double quantile(std::vector<double> samples, double q) {
+  WSAN_REQUIRE(!samples.empty(), "quantile of an empty sample set");
+  WSAN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile requires q in [0, 1]");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const double h = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  const double frac = h - std::floor(h);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+box_stats make_box_stats(const std::vector<double>& samples) {
+  WSAN_REQUIRE(!samples.empty(), "box stats of an empty sample set");
+  box_stats b;
+  b.count = samples.size();
+  b.min = quantile(samples, 0.0);
+  b.q1 = quantile(samples, 0.25);
+  b.median = quantile(samples, 0.5);
+  b.q3 = quantile(samples, 0.75);
+  b.max = quantile(samples, 1.0);
+  b.mean = summarize(samples).mean;
+  return b;
+}
+
+proportion_interval wilson_interval(int successes, int trials, double z) {
+  WSAN_REQUIRE(trials > 0, "interval requires at least one trial");
+  WSAN_REQUIRE(successes >= 0 && successes <= trials,
+               "successes must be in [0, trials]");
+  WSAN_REQUIRE(z > 0.0, "z must be positive");
+  proportion_interval out;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  out.estimate = p;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  out.low = std::max(0.0, center - margin);
+  out.high = std::min(1.0, center + margin);
+  return out;
+}
+
+}  // namespace wsan::stats

@@ -1,0 +1,48 @@
+// Summary statistics: mean/stddev, quantiles, and the five-number
+// box-plot summary used for the paper's PDR plots (Figure 8).
+#pragma once
+
+#include <vector>
+
+namespace wsan::stats {
+
+struct summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+summary summarize(const std::vector<double>& samples);
+
+/// Quantile with linear interpolation between order statistics
+/// (type-7, the R/NumPy default). q in [0, 1].
+double quantile(std::vector<double> samples, double q);
+
+struct box_stats {
+  double min = 0.0;       ///< minimum (worst case)
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+
+box_stats make_box_stats(const std::vector<double>& samples);
+
+/// Wilson score interval for a binomial proportion (e.g. a schedulable
+/// ratio over N flow sets). Returns [low, high] at the given confidence
+/// (default 95%, z = 1.96). Well-behaved at 0/N and N/N, unlike the
+/// normal approximation.
+struct proportion_interval {
+  double estimate = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+};
+
+proportion_interval wilson_interval(int successes, int trials,
+                                    double z = 1.96);
+
+}  // namespace wsan::stats

@@ -1,0 +1,34 @@
+// Merging deployments into one RF space.
+//
+// WirelessHART forbids channel reuse within a network but "channels may
+// be reused when multiple networks connected to different gateways
+// coexist. In this case, interferences may occur if those networks are
+// located close to each other" (paper, Section III). To study that
+// case, two independently generated deployments are placed into one
+// topology at a horizontal offset; the cross-network link state is
+// synthesized from the same path-loss model, so the merged RF world is
+// physically consistent.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace wsan::topo {
+
+struct merge_result {
+  topology merged;
+  /// Node id offset of the second deployment: its node v becomes
+  /// node_offset + v in the merged topology.
+  node_id node_offset = 0;
+};
+
+/// Places `b` at `x_offset_m` to the right of `a`'s coordinate origin
+/// (same floors). Intra-deployment link state is copied verbatim;
+/// cross-deployment links are generated from a's path-loss model with
+/// deterministic shadowing/fading drawn from `seed`. The merged
+/// topology keeps a's PHY parameters (both testbeds share them).
+merge_result merge_topologies(const topology& a, const topology& b,
+                              double x_offset_m, std::uint64_t seed);
+
+}  // namespace wsan::topo

@@ -1,0 +1,26 @@
+// Plain-text save/load of topologies.
+//
+// Format (line-oriented, '#' comments allowed):
+//   topology <name>
+//   params <pl_d0> <ref_d> <exp> <floor_att> <shadow> <fade> <sens> <noise>
+//          <width> <tx_power>
+//   node <id> <x> <y> <floor>
+//   rssi <u> <v> <ch11> <ch12> ... <ch26>
+// Lets users persist a measured or synthesized topology and feed it back
+// into the scheduler pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/topology.h"
+
+namespace wsan::topo {
+
+void save_topology(const topology& topo, std::ostream& os);
+topology load_topology(std::istream& is);
+
+void save_topology_file(const topology& topo, const std::string& path);
+topology load_topology_file(const std::string& path);
+
+}  // namespace wsan::topo

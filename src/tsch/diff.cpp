@@ -1,0 +1,111 @@
+#include "tsch/diff.h"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "common/error.h"
+#include "tsch/schedule_stats.h"
+
+namespace wsan::tsch {
+
+namespace {
+
+using tx_key = std::tuple<flow_id, int, int, int>;
+
+tx_key key_of(const transmission& tx) {
+  return {tx.flow, tx.instance, tx.link_index, tx.attempt};
+}
+
+std::map<tx_key, schedule::placement> index_of(const schedule& sched) {
+  std::map<tx_key, schedule::placement> index;
+  for (const auto& p : sched.placements()) {
+    const auto [it, inserted] = index.emplace(key_of(p.tx), p);
+    WSAN_REQUIRE(inserted,
+                 "schedule contains duplicate transmission identities");
+  }
+  return index;
+}
+
+}  // namespace
+
+schedule_diff diff_schedules(const schedule& before,
+                             const schedule& after) {
+  const auto old_index = index_of(before);
+  const auto new_index = index_of(after);
+
+  schedule_diff diff;
+  diff.old_reusing_cells = reusing_cell_count(before);
+  diff.new_reusing_cells = reusing_cell_count(after);
+
+  for (const auto& [key, old_placement] : old_index) {
+    const auto it = new_index.find(key);
+    if (it == new_index.end()) {
+      placement_change change;
+      change.tx = old_placement.tx;
+      change.old_slot = old_placement.slot;
+      change.old_offset = old_placement.offset;
+      diff.removed.push_back(change);
+      continue;
+    }
+    const auto& new_placement = it->second;
+    if (new_placement.slot == old_placement.slot &&
+        new_placement.offset == old_placement.offset) {
+      ++diff.unchanged;
+    } else {
+      placement_change change;
+      change.tx = old_placement.tx;
+      change.old_slot = old_placement.slot;
+      change.old_offset = old_placement.offset;
+      change.new_slot = new_placement.slot;
+      change.new_offset = new_placement.offset;
+      diff.moved.push_back(change);
+    }
+  }
+  for (const auto& [key, new_placement] : new_index) {
+    if (old_index.count(key) > 0) continue;
+    placement_change change;
+    change.tx = new_placement.tx;
+    change.new_slot = new_placement.slot;
+    change.new_offset = new_placement.offset;
+    diff.added.push_back(change);
+  }
+  return diff;
+}
+
+std::string render_diff(const schedule_diff& diff, std::size_t max_lines) {
+  std::ostringstream os;
+  os << diff.unchanged << " unchanged, " << diff.moved.size()
+     << " moved, " << diff.added.size() << " added, "
+     << diff.removed.size() << " removed; reusing cells "
+     << diff.old_reusing_cells << " -> " << diff.new_reusing_cells
+     << "\n";
+  std::size_t lines = 0;
+  const auto describe = [](const transmission& tx) {
+    std::ostringstream t;
+    t << "flow " << tx.flow << " inst " << tx.instance << " link "
+      << tx.link_index << (tx.attempt > 0 ? "*" : "") << " (" << tx.sender
+      << "->" << tx.receiver << ")";
+    return t.str();
+  };
+  for (const auto& change : diff.moved) {
+    if (lines++ >= max_lines) break;
+    os << "  moved " << describe(change.tx) << ": (" << change.old_slot
+       << "," << change.old_offset << ") -> (" << change.new_slot << ","
+       << change.new_offset << ")\n";
+  }
+  for (const auto& change : diff.added) {
+    if (lines++ >= max_lines) break;
+    os << "  added " << describe(change.tx) << " at (" << change.new_slot
+       << "," << change.new_offset << ")\n";
+  }
+  for (const auto& change : diff.removed) {
+    if (lines++ >= max_lines) break;
+    os << "  removed " << describe(change.tx) << " from ("
+       << change.old_slot << "," << change.old_offset << ")\n";
+  }
+  if (lines > max_lines) os << "  ... (truncated)\n";
+  return os.str();
+}
+
+}  // namespace wsan::tsch

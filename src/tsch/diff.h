@@ -1,0 +1,52 @@
+// Structural diff of two transmission schedules.
+//
+// When the manager redistributes a schedule — after detection isolates
+// links, after blacklisting, after workload changes — operators want to
+// know what actually moved. The diff matches transmissions by identity
+// (flow, instance, link, attempt) and reports placements that moved,
+// appeared, or disappeared, plus the change in channel-reuse exposure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tsch/schedule.h"
+
+namespace wsan::tsch {
+
+struct placement_change {
+  transmission tx;
+  slot_t old_slot = k_invalid_slot;
+  offset_t old_offset = k_invalid_offset;
+  slot_t new_slot = k_invalid_slot;
+  offset_t new_offset = k_invalid_offset;
+};
+
+struct schedule_diff {
+  /// Transmissions present in both schedules at different cells.
+  std::vector<placement_change> moved;
+  /// Present only in the new schedule.
+  std::vector<placement_change> added;
+  /// Present only in the old schedule.
+  std::vector<placement_change> removed;
+  /// Count of transmissions with identical placement.
+  std::size_t unchanged = 0;
+  /// Reusing-cell count before and after.
+  std::size_t old_reusing_cells = 0;
+  std::size_t new_reusing_cells = 0;
+
+  bool identical() const {
+    return moved.empty() && added.empty() && removed.empty();
+  }
+};
+
+/// Computes the diff. Both schedules must have matching geometry
+/// (slots/offsets may differ; that alone does not make transmissions
+/// differ).
+schedule_diff diff_schedules(const schedule& before, const schedule& after);
+
+/// One-line-per-change human rendering (capped at max_lines changes).
+std::string render_diff(const schedule_diff& diff,
+                        std::size_t max_lines = 20);
+
+}  // namespace wsan::tsch

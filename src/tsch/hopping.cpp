@@ -1,0 +1,22 @@
+#include "tsch/hopping.h"
+
+#include "common/error.h"
+
+namespace wsan::tsch {
+
+int logical_channel(asn_t asn, offset_t offset, int num_channels) {
+  WSAN_REQUIRE(asn >= 0, "ASN must be non-negative");
+  WSAN_REQUIRE(num_channels > 0, "channel count must be positive");
+  WSAN_REQUIRE(offset >= 0 && offset < num_channels,
+               "channel offset out of range");
+  return static_cast<int>((asn + offset) % num_channels);
+}
+
+channel_t physical_channel(asn_t asn, offset_t offset,
+                           const std::vector<channel_t>& channel_list) {
+  const int logical =
+      logical_channel(asn, offset, static_cast<int>(channel_list.size()));
+  return channel_list[static_cast<std::size_t>(logical)];
+}
+
+}  // namespace wsan::tsch

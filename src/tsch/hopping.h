@@ -1,0 +1,28 @@
+// TSCH channel hopping (Section III-B).
+//
+//   logicalChannel = (ASN + channelOffset) mod |M|
+//
+// and the logical channel maps to a physical channel through the shared
+// channel list. ASN is the absolute slot number since network start, so
+// a (slot, offset) cell visits every physical channel over time — the
+// reason both graph definitions quantify over all channels in use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace wsan::tsch {
+
+/// Absolute slot number since network start.
+using asn_t = std::int64_t;
+
+/// Logical channel for a cell at the given ASN.
+int logical_channel(asn_t asn, offset_t offset, int num_channels);
+
+/// Physical channel: channel_list[logical_channel].
+channel_t physical_channel(asn_t asn, offset_t offset,
+                           const std::vector<channel_t>& channel_list);
+
+}  // namespace wsan::tsch

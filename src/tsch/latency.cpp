@@ -1,0 +1,54 @@
+#include "tsch/latency.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace wsan::tsch {
+
+std::vector<flow_latency> analyze_latency(
+    const schedule& sched, const std::vector<flow::flow>& flows) {
+  WSAN_REQUIRE(!flows.empty(), "flow set must be non-empty");
+
+  // Last reserved slot per (flow, instance).
+  std::map<std::pair<flow_id, int>, slot_t> last_slot;
+  for (const auto& p : sched.placements()) {
+    auto& slot = last_slot[{p.tx.flow, p.tx.instance}];
+    slot = std::max(slot, p.slot);
+  }
+
+  std::vector<flow_latency> result;
+  result.reserve(flows.size());
+  for (const auto& f : flows) {
+    flow_latency lat;
+    lat.flow = f.id;
+    lat.instances = f.instances_in(sched.num_slots());
+    lat.best_delay = f.deadline;  // upper bound; tightened below
+    lat.min_slack = f.deadline;
+    double sum = 0.0;
+    for (int r = 0; r < lat.instances; ++r) {
+      const auto it = last_slot.find({f.id, r});
+      WSAN_REQUIRE(it != last_slot.end(),
+                   "schedule is missing an instance of a flow");
+      // Delay counts slots from release through the last reserved slot.
+      const slot_t delay = it->second - f.release_slot(r) + 1;
+      lat.worst_delay = std::max(lat.worst_delay, delay);
+      lat.best_delay = std::min(lat.best_delay, delay);
+      lat.min_slack = std::min<slot_t>(lat.min_slack, f.deadline - delay);
+      sum += static_cast<double>(delay);
+    }
+    lat.mean_delay = sum / static_cast<double>(lat.instances);
+    result.push_back(lat);
+  }
+  return result;
+}
+
+slot_t max_worst_delay(const std::vector<flow_latency>& latencies) {
+  slot_t worst = 0;
+  for (const auto& lat : latencies)
+    worst = std::max(worst, lat.worst_delay);
+  return worst;
+}
+
+}  // namespace wsan::tsch

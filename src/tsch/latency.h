@@ -1,0 +1,40 @@
+// End-to-end latency analysis of a transmission schedule.
+//
+// The scheduled end-to-end delay of a flow instance is the gap between
+// its release slot and the last slot the schedule reserves for it (the
+// final retry of the final link) — the latest possible delivery time,
+// i.e., the bound the real-time guarantee rests on. Slack is the margin
+// to the deadline. These are the quantities the paper's schedulability
+// story is about; this module makes them inspectable per flow.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.h"
+#include "tsch/schedule.h"
+
+namespace wsan::tsch {
+
+struct flow_latency {
+  flow_id flow = k_invalid_flow;
+  /// Worst (largest) scheduled end-to-end delay across instances, slots.
+  slot_t worst_delay = 0;
+  /// Best (smallest) scheduled delay across instances, slots.
+  slot_t best_delay = 0;
+  /// Mean scheduled delay across instances, slots.
+  double mean_delay = 0.0;
+  /// Minimum slack (deadline - delay) across instances; >= 0 for any
+  /// valid schedule.
+  slot_t min_slack = 0;
+  int instances = 0;
+};
+
+/// Per-flow latency summary. Requires a complete schedule for `flows`
+/// (every instance fully placed; use validate_schedule first).
+std::vector<flow_latency> analyze_latency(
+    const schedule& sched, const std::vector<flow::flow>& flows);
+
+/// The largest worst-case delay over all flows, in slots.
+slot_t max_worst_delay(const std::vector<flow_latency>& latencies);
+
+}  // namespace wsan::tsch

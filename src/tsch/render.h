@@ -1,0 +1,37 @@
+// Human-readable rendering of a transmission schedule.
+//
+// Draws the slot x channel-offset grid as text, one row per offset:
+//
+//   slot      0        1        2     ...
+//   off 0   7->12    7->12*   12->30
+//   off 1   3->9
+//
+// Cells with channel reuse list every transmission separated by '|';
+// retransmission attempts carry a '*'. Intended for debugging, examples,
+// and eyeballing what a scheduler did with a workload.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tsch/schedule.h"
+
+namespace wsan::tsch {
+
+struct render_options {
+  slot_t first_slot = 0;
+  /// Number of slots to draw; clipped to the schedule length.
+  slot_t num_slots = 32;
+  /// Skip slot columns with no transmissions at all.
+  bool skip_empty_slots = true;
+};
+
+/// Writes the grid rendering to `os`.
+void render_schedule(const schedule& sched, std::ostream& os,
+                     const render_options& options = {});
+
+/// Convenience: the rendering as a string.
+std::string render_schedule(const schedule& sched,
+                            const render_options& options = {});
+
+}  // namespace wsan::tsch

@@ -1,0 +1,61 @@
+#include "tsch/schedule.h"
+
+#include "common/error.h"
+
+namespace wsan::tsch {
+
+schedule::schedule(slot_t num_slots, int num_offsets)
+    : num_slots_(num_slots), num_offsets_(num_offsets) {
+  WSAN_REQUIRE(num_slots > 0, "schedule needs at least one slot");
+  WSAN_REQUIRE(num_offsets > 0, "schedule needs at least one offset");
+  cells_.resize(static_cast<std::size_t>(num_slots) *
+                static_cast<std::size_t>(num_offsets));
+  slot_all_.resize(static_cast<std::size_t>(num_slots));
+}
+
+void schedule::check_slot(slot_t slot) const {
+  WSAN_REQUIRE(slot >= 0 && slot < num_slots_, "slot out of range");
+}
+
+std::size_t schedule::cell_index(slot_t slot, offset_t offset) const {
+  check_slot(slot);
+  WSAN_REQUIRE(offset >= 0 && offset < num_offsets_, "offset out of range");
+  return static_cast<std::size_t>(slot) *
+             static_cast<std::size_t>(num_offsets_) +
+         static_cast<std::size_t>(offset);
+}
+
+void schedule::add(const transmission& tx, slot_t slot, offset_t offset) {
+  cells_[cell_index(slot, offset)].push_back(tx);
+  slot_all_[static_cast<std::size_t>(slot)].push_back(tx);
+  placements_.push_back(placement{tx, slot, offset});
+}
+
+const std::vector<transmission>& schedule::cell(slot_t slot,
+                                                offset_t offset) const {
+  return cells_[cell_index(slot, offset)];
+}
+
+const std::vector<transmission>& schedule::slot_transmissions(
+    slot_t slot) const {
+  check_slot(slot);
+  return slot_all_[static_cast<std::size_t>(slot)];
+}
+
+int schedule::cell_size(slot_t slot, offset_t offset) const {
+  return static_cast<int>(cell(slot, offset).size());
+}
+
+schedule shift_node_ids(const schedule& sched, node_id offset) {
+  WSAN_REQUIRE(offset >= 0, "offset must be non-negative");
+  schedule shifted(sched.num_slots(), sched.num_offsets());
+  for (const auto& p : sched.placements()) {
+    transmission tx = p.tx;
+    tx.sender += offset;
+    tx.receiver += offset;
+    shifted.add(tx, p.slot, p.offset);
+  }
+  return shifted;
+}
+
+}  // namespace wsan::tsch

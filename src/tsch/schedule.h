@@ -1,0 +1,63 @@
+// The TSCH transmission schedule: a slot x channel-offset grid over the
+// hyperperiod (Section III-B).
+//
+// Standard WirelessHART permits at most one transmission per (slot,
+// offset) cell; with channel reuse a cell may hold several. The schedule
+// itself is policy-free — constraints are enforced by the scheduler and
+// re-checked by validate_schedule().
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "tsch/transmission.h"
+
+namespace wsan::tsch {
+
+class schedule {
+ public:
+  schedule() = default;
+  schedule(slot_t num_slots, int num_offsets);
+
+  slot_t num_slots() const { return num_slots_; }
+  int num_offsets() const { return num_offsets_; }
+
+  /// Places a transmission at (slot, offset). No constraint checking —
+  /// that is the scheduler's job.
+  void add(const transmission& tx, slot_t slot, offset_t offset);
+
+  /// Transmissions already assigned to one cell (T_sc in the paper).
+  const std::vector<transmission>& cell(slot_t slot, offset_t offset) const;
+
+  /// All transmissions in a slot across every offset (T_s in the paper).
+  const std::vector<transmission>& slot_transmissions(slot_t slot) const;
+
+  int cell_size(slot_t slot, offset_t offset) const;
+
+  /// A placement record, in insertion order.
+  struct placement {
+    transmission tx;
+    slot_t slot = k_invalid_slot;
+    offset_t offset = k_invalid_offset;
+  };
+  const std::vector<placement>& placements() const { return placements_; }
+
+  std::size_t num_transmissions() const { return placements_.size(); }
+
+ private:
+  std::size_t cell_index(slot_t slot, offset_t offset) const;
+  void check_slot(slot_t slot) const;
+
+  slot_t num_slots_ = 0;
+  int num_offsets_ = 0;
+  std::vector<std::vector<transmission>> cells_;      // slots x offsets
+  std::vector<std::vector<transmission>> slot_all_;   // per slot
+  std::vector<placement> placements_;
+};
+
+/// Rebuilds the schedule with every transmission's node ids shifted by
+/// `offset` — the schedule counterpart of flow::shift_node_ids for
+/// re-expressing a standalone network in a merged topology's id space.
+schedule shift_node_ids(const schedule& sched, node_id offset);
+
+}  // namespace wsan::tsch

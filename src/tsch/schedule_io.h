@@ -1,0 +1,27 @@
+// Plain-text save/load of transmission schedules.
+//
+// A WirelessHART network manager computes schedules centrally and
+// distributes them to field devices; persisting a schedule is therefore
+// part of the system's real workflow (and convenient for debugging and
+// for re-running simulations on a fixed schedule).
+//
+// Format (line-oriented, '#' comments allowed):
+//   schedule <num_slots> <num_offsets>
+//   tx <flow> <instance> <link_index> <attempt> <sender> <receiver>
+//      <slot> <offset>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tsch/schedule.h"
+
+namespace wsan::tsch {
+
+void save_schedule(const schedule& sched, std::ostream& os);
+schedule load_schedule(std::istream& is);
+
+void save_schedule_file(const schedule& sched, const std::string& path);
+schedule load_schedule_file(const std::string& path);
+
+}  // namespace wsan::tsch

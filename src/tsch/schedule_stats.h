@@ -1,0 +1,53 @@
+// Schedule statistics for the paper's efficiency metrics (Figures 4, 5
+// and 9): how many transmissions share each channel, and how far apart
+// concurrent transmissions are on the channel-reuse graph.
+#pragma once
+
+#include "common/histogram.h"
+#include "graph/hop_matrix.h"
+#include "tsch/schedule.h"
+
+namespace wsan::tsch {
+
+/// Histogram of transmissions per occupied (slot, channel-offset) cell.
+/// A bin value of 1 means no channel reuse in that cell.
+histogram tx_per_channel_histogram(const schedule& sched);
+
+/// Histogram of the minimum channel-reuse hop count per reusing cell:
+/// for every cell with >= 2 transmissions, the minimum hop distance
+/// between the sender of one transmission and the receiver of another.
+histogram reuse_hop_count_histogram(const schedule& sched,
+                                    const graph::hop_matrix& reuse_hops);
+
+/// Total number of (slot, offset) cells that carry >= 2 transmissions.
+std::size_t reusing_cell_count(const schedule& sched);
+
+/// Number of distinct directed links (sender, receiver) that appear in
+/// at least one reusing cell — the links "associated with channel reuse"
+/// that the detection policy of Section VI monitors.
+std::size_t links_in_reuse_count(const schedule& sched);
+
+/// Spectrum usage of a schedule.
+struct occupancy_stats {
+  std::size_t total_cells = 0;     ///< slots x offsets
+  std::size_t occupied_cells = 0;  ///< cells with >= 1 transmission
+  std::size_t busy_slots = 0;      ///< slots with >= 1 transmission
+  std::size_t transmissions = 0;
+
+  /// Fraction of (slot, offset) cells carrying traffic.
+  double cell_utilization() const {
+    return total_cells == 0 ? 0.0
+                            : static_cast<double>(occupied_cells) /
+                                  static_cast<double>(total_cells);
+  }
+  /// Mean transmissions per slot across the hyperperiod.
+  double mean_tx_per_slot(slot_t num_slots) const {
+    return num_slots <= 0 ? 0.0
+                          : static_cast<double>(transmissions) /
+                                static_cast<double>(num_slots);
+  }
+};
+
+occupancy_stats occupancy(const schedule& sched);
+
+}  // namespace wsan::tsch

@@ -1,0 +1,32 @@
+// A single scheduled transmission attempt.
+//
+// Source routing reserves one extra dedicated slot per link (Section
+// VII), so every route link of every flow instance expands into a
+// primary attempt (attempt 0) and a retry attempt (attempt 1); both are
+// full-fledged transmissions to the scheduler.
+#pragma once
+
+#include "common/ids.h"
+
+namespace wsan::tsch {
+
+struct transmission {
+  flow_id flow = k_invalid_flow;
+  int instance = 0;    ///< packet release index within the hyperperiod
+  int link_index = 0;  ///< index into the flow's route
+  int attempt = 0;     ///< 0 = primary, 1..retries = retransmission
+  node_id sender = k_invalid_node;
+  node_id receiver = k_invalid_node;
+
+  friend bool operator==(const transmission&, const transmission&) =
+      default;
+
+  /// Two transmissions conflict iff they share a node (half-duplex
+  /// radios; Section III-B).
+  bool conflicts_with(const transmission& other) const {
+    return sender == other.sender || sender == other.receiver ||
+           receiver == other.sender || receiver == other.receiver;
+  }
+};
+
+}  // namespace wsan::tsch

@@ -1,0 +1,48 @@
+// Independent re-checking of schedule invariants.
+//
+// Schedulers are complex; validation is deliberately implemented from
+// scratch against the paper's constraint definitions (Sections III-B and
+// V-A) so scheduler bugs cannot hide behind shared code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/flow.h"
+#include "graph/hop_matrix.h"
+#include "tsch/schedule.h"
+
+namespace wsan::tsch {
+
+struct validation_options {
+  /// Minimum channel-reuse hop distance any reusing cell must respect
+  /// (rho_t). Use k_infinite_hops to forbid reuse entirely (NR).
+  int min_reuse_hops = k_infinite_hops;
+  /// Retransmission attempts reserved per link (paper: 1).
+  int retries_per_link = 1;
+};
+
+struct validation_result {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string reason) {
+    ok = false;
+    violations.push_back(std::move(reason));
+  }
+};
+
+/// Checks:
+///  1. no transmission conflict within any slot (shared nodes),
+///  2. channel constraint: every pair sharing a cell is >= min_reuse_hops
+///     apart (sender-to-receiver, both directions) on the reuse graph,
+///  3. per flow instance: all route links x attempts are scheduled
+///     exactly once, in strictly increasing slots following route order,
+///  4. every transmission lies within [release, deadline] of its
+///     instance.
+validation_result validate_schedule(const schedule& sched,
+                                    const std::vector<flow::flow>& flows,
+                                    const graph::hop_matrix& reuse_hops,
+                                    const validation_options& options = {});
+
+}  // namespace wsan::tsch

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace wsan {
+namespace {
+
+// ---------------------------------------------------------------- rng --
+
+TEST(Rng, IsDeterministicForSameSeed) {
+  rng a(123);
+  rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DiffersAcrossSeeds) {
+  rng a(1);
+  rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIntStaysInRangeAndHitsEndpoints) {
+  rng gen(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = gen.uniform_int(-3, 4);
+    ASSERT_GE(x, -3);
+    ASSERT_LE(x, 4);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 4);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  rng gen(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(gen.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  rng gen(7);
+  EXPECT_THROW(gen.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01IsInHalfOpenUnitInterval) {
+  rng gen(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = gen.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsAboutHalf) {
+  rng gen(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += gen.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  rng gen(17);
+  const int n = 50000;
+  double sum = 0.0;
+  double ss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = gen.normal(10.0, 2.0);
+    sum += x;
+    ss += x * x;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  rng gen(1);
+  EXPECT_THROW(gen.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  rng gen(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += gen.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliDegenerateCases) {
+  rng gen(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(gen.bernoulli(0.0));
+    EXPECT_TRUE(gen.bernoulli(1.0));
+  }
+  EXPECT_THROW(gen.bernoulli(1.5), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  rng gen(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  gen.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, PickRejectsEmptyVector) {
+  rng gen(31);
+  std::vector<int> empty;
+  EXPECT_THROW(gen.pick(empty), std::invalid_argument);
+}
+
+TEST(Rng, PickCoversAllElements) {
+  rng gen(37);
+  const std::vector<int> v{1, 2, 3};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(gen.pick(v));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, ForkedGeneratorsDiverge) {
+  rng gen(41);
+  rng a = gen.fork();
+  rng b = gen.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+// -------------------------------------------------------------- table --
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  table t({"a"});
+  t.add_row({"hello, \"world\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, CellFormatsDoubles) {
+  EXPECT_EQ(cell(1.23456, 2), "1.23");
+  EXPECT_EQ(cell(2.0, 0), "2");
+  EXPECT_EQ(cell(42), "42");
+}
+
+// ---------------------------------------------------------- histogram --
+
+TEST(Histogram, CountsAndProportions) {
+  histogram h;
+  h.add(1, 3);
+  h.add(2);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(1), 3u);
+  EXPECT_EQ(h.count(5), 0u);
+  EXPECT_DOUBLE_EQ(h.proportion(1), 0.75);
+  EXPECT_DOUBLE_EQ(h.proportion(2), 0.25);
+}
+
+TEST(Histogram, EmptyBehaviour) {
+  histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.proportion(1), 0.0);
+  EXPECT_THROW(h.min_value(), std::invalid_argument);
+  EXPECT_THROW(h.mean(), std::invalid_argument);
+}
+
+TEST(Histogram, MergeAddsBins) {
+  histogram a;
+  a.add(1, 2);
+  histogram b;
+  b.add(1);
+  b.add(3, 4);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 3u);
+  EXPECT_EQ(a.count(3), 4u);
+  EXPECT_EQ(a.total(), 7u);
+}
+
+TEST(Histogram, MinMaxMean) {
+  histogram h;
+  h.add(2, 2);
+  h.add(8, 2);
+  EXPECT_EQ(h.min_value(), 2);
+  EXPECT_EQ(h.max_value(), 8);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, ZeroWeightIsIgnored) {
+  histogram h;
+  h.add(1, 0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(Histogram, ToStringListsBins) {
+  histogram h;
+  h.add(1);
+  h.add(3, 2);
+  EXPECT_EQ(h.to_string(), "1:1 3:2");
+}
+
+// ---------------------------------------------------------------- cli --
+
+TEST(Cli, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "--flows", "40", "--testbed", "indriya"};
+  cli_args args(5, argv);
+  EXPECT_EQ(args.get_int("flows", 0), 40);
+  EXPECT_EQ(args.get("testbed", ""), "indriya");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Cli, ParsesBareBooleanFlags) {
+  const char* argv[] = {"prog", "--verbose", "--n", "3"};
+  cli_args args(4, argv);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("n", 0), 3);
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(cli_args(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--n", "abc"};
+  cli_args args(3, argv);
+  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_bool("n", false), std::invalid_argument);
+}
+
+TEST(Cli, ParsesDoubles) {
+  const char* argv[] = {"prog", "--alpha", "0.05"};
+  cli_args args(3, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.05);
+}
+
+// -------------------------------------------------------------- error --
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(WSAN_REQUIRE(false, "boom"), std::invalid_argument);
+}
+
+TEST(Error, CheckThrowsLogicError) {
+  EXPECT_THROW(WSAN_CHECK(false, "boom"), std::logic_error);
+}
+
+TEST(Error, PassingConditionsDoNotThrow) {
+  EXPECT_NO_THROW(WSAN_REQUIRE(true, ""));
+  EXPECT_NO_THROW(WSAN_CHECK(true, ""));
+}
+
+}  // namespace
+}  // namespace wsan

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "core/constraints.h"
+#include "core/laxity.h"
+#include "core/slot_finder.h"
+#include "graph/hop_matrix.h"
+#include "tsch/schedule.h"
+
+namespace wsan::core {
+namespace {
+
+tsch::transmission make_tx(node_id sender, node_id receiver) {
+  tsch::transmission tx;
+  tx.sender = sender;
+  tx.receiver = receiver;
+  return tx;
+}
+
+graph::hop_matrix path_hops(int n) {
+  graph::graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return graph::hop_matrix(g);
+}
+
+// -------------------------------------------------------- constraints --
+
+TEST(Constraints, ConflictFreeAgainstEmptySlot) {
+  EXPECT_TRUE(conflict_free(make_tx(0, 1), {}));
+}
+
+TEST(Constraints, ConflictDetectsSharedNodes) {
+  const std::vector<tsch::transmission> slot{make_tx(2, 3)};
+  EXPECT_TRUE(conflict_free(make_tx(0, 1), slot));
+  EXPECT_FALSE(conflict_free(make_tx(3, 4), slot));
+  EXPECT_FALSE(conflict_free(make_tx(1, 2), slot));
+}
+
+TEST(Constraints, InfiniteRhoRequiresEmptyCell) {
+  const auto hops = path_hops(8);
+  EXPECT_TRUE(channel_constraint_ok(make_tx(0, 1), {}, k_infinite_hops,
+                                    hops));
+  EXPECT_FALSE(channel_constraint_ok(make_tx(0, 1), {make_tx(6, 7)},
+                                     k_infinite_hops, hops));
+}
+
+TEST(Constraints, FiniteRhoChecksBothCrossPairs) {
+  const auto hops = path_hops(8);
+  // Cell holds 6->7. Candidate 0->1: hop(0,7)=7, hop(6,1)=5.
+  EXPECT_TRUE(
+      channel_constraint_ok(make_tx(0, 1), {make_tx(6, 7)}, 5, hops));
+  EXPECT_FALSE(
+      channel_constraint_ok(make_tx(0, 1), {make_tx(6, 7)}, 6, hops));
+}
+
+TEST(Constraints, RhoAppliesToEveryOccupant) {
+  const auto hops = path_hops(12);
+  // Cell holds 10->11 (far) and 5->6 (closer).
+  const std::vector<tsch::transmission> cell{make_tx(10, 11),
+                                             make_tx(5, 6)};
+  // Candidate 0->1: hop(0,6)=6, hop(5,1)=4 -> fails at rho=5.
+  EXPECT_FALSE(channel_constraint_ok(make_tx(0, 1), cell, 5, hops));
+  EXPECT_TRUE(channel_constraint_ok(make_tx(0, 1), cell, 4, hops));
+}
+
+TEST(Constraints, UnreachableNodesAreInfinitelyFar) {
+  graph::graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const graph::hop_matrix hops(g);
+  // 0->1 and 2->3 are in different components: always reusable.
+  EXPECT_TRUE(channel_constraint_ok(make_tx(0, 1), {make_tx(2, 3)}, 100,
+                                    hops));
+}
+
+// -------------------------------------------------------- slot finder --
+
+TEST(SlotFinder, FindsEarliestFreeSlot) {
+  const auto hops = path_hops(8);
+  tsch::schedule sched(10, 2);
+  const auto found = find_slot(sched, make_tx(0, 1), 0, 9,
+                               k_infinite_hops, hops);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->slot, 0);
+  EXPECT_EQ(found->offset, 0);
+}
+
+TEST(SlotFinder, SkipsConflictingSlots) {
+  const auto hops = path_hops(8);
+  tsch::schedule sched(10, 2);
+  sched.add(make_tx(1, 2), 0, 0);  // conflicts with 0->1 at slot 0
+  const auto found = find_slot(sched, make_tx(0, 1), 0, 9,
+                               k_infinite_hops, hops);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->slot, 1);
+}
+
+TEST(SlotFinder, RespectsEarliestBound) {
+  const auto hops = path_hops(8);
+  tsch::schedule sched(10, 2);
+  const auto found = find_slot(sched, make_tx(0, 1), 4, 9,
+                               k_infinite_hops, hops);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->slot, 4);
+}
+
+TEST(SlotFinder, ReturnsNulloptWhenWindowExhausted) {
+  const auto hops = path_hops(8);
+  tsch::schedule sched(5, 1);
+  for (slot_t s = 0; s < 5; ++s) sched.add(make_tx(0, 1), s, 0);
+  EXPECT_FALSE(find_slot(sched, make_tx(1, 2), 0, 4, k_infinite_hops, hops)
+                   .has_value());
+}
+
+TEST(SlotFinder, WindowIsClippedToScheduleLength) {
+  const auto hops = path_hops(8);
+  tsch::schedule sched(5, 1);
+  const auto found = find_slot(sched, make_tx(0, 1), 0, 100,
+                               k_infinite_hops, hops);
+  ASSERT_TRUE(found.has_value());
+}
+
+TEST(SlotFinder, NoReuseFindsLaterSlotWhenChannelsFull) {
+  const auto hops = path_hops(8);
+  tsch::schedule sched(10, 1);
+  sched.add(make_tx(4, 5), 0, 0);
+  // rho=inf: slot 0's only offset is occupied -> slot 1.
+  const auto no_reuse = find_slot(sched, make_tx(0, 1), 0, 9,
+                                  k_infinite_hops, hops);
+  ASSERT_TRUE(no_reuse.has_value());
+  EXPECT_EQ(no_reuse->slot, 1);
+  // rho=3: hop(0,5)=5 >= 3, hop(4,1)=3 >= 3 -> reuse slot 0.
+  const auto reuse = find_slot(sched, make_tx(0, 1), 0, 9, 3, hops);
+  ASSERT_TRUE(reuse.has_value());
+  EXPECT_EQ(reuse->slot, 0);
+}
+
+TEST(SlotFinder, MinLoadPrefersEmptyOffset) {
+  const auto hops = path_hops(8);
+  tsch::schedule sched(10, 2);
+  sched.add(make_tx(6, 7), 0, 0);
+  const auto found = find_slot(sched, make_tx(0, 1), 0, 9, 2, hops,
+                               channel_policy::min_load);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->slot, 0);
+  EXPECT_EQ(found->offset, 1);  // the empty offset
+}
+
+TEST(SlotFinder, MaxReusePrefersOccupiedOffset) {
+  const auto hops = path_hops(8);
+  tsch::schedule sched(10, 2);
+  sched.add(make_tx(6, 7), 0, 0);
+  const auto found = find_slot(sched, make_tx(0, 1), 0, 9, 2, hops,
+                               channel_policy::max_reuse);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->offset, 0);  // stacks onto the occupied offset
+}
+
+TEST(SlotFinder, FirstFitTakesLowestValidOffset) {
+  const auto hops = path_hops(8);
+  tsch::schedule sched(10, 3);
+  sched.add(make_tx(6, 7), 0, 0);
+  const auto found = find_slot(sched, make_tx(0, 1), 0, 9, 2, hops,
+                               channel_policy::first_fit);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->offset, 0);
+}
+
+TEST(SlotFinder, MinLoadBreaksTiesAmongOccupied) {
+  const auto hops = path_hops(20);
+  tsch::schedule sched(10, 2);
+  // Offset 0: two transmissions; offset 1: one. All far from candidate.
+  sched.add(make_tx(14, 15), 0, 0);
+  sched.add(make_tx(18, 19), 0, 0);
+  sched.add(make_tx(10, 11), 0, 1);
+  const auto found = find_slot(sched, make_tx(0, 1), 0, 9, 2, hops,
+                               channel_policy::min_load);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->offset, 1);
+}
+
+// ------------------------------------------------------------- laxity --
+
+TEST(Laxity, EmptyScheduleLeavesFullWindow) {
+  tsch::schedule sched(100, 2);
+  const std::vector<tsch::transmission> post{make_tx(1, 2), make_tx(2, 3)};
+  // laxity = (d - s) - 0 - |post| = (80 - 10) - 2 = 68.
+  EXPECT_EQ(calculate_laxity(sched, post, 10, 80), 68);
+}
+
+TEST(Laxity, NoRemainingTransmissionsUsesWindowOnly) {
+  tsch::schedule sched(100, 2);
+  EXPECT_EQ(calculate_laxity(sched, {}, 10, 80), 70);
+  EXPECT_EQ(calculate_laxity(sched, {}, 80, 80), 0);
+}
+
+TEST(Laxity, CountsConflictingSlotsPerRemainingTransmission) {
+  tsch::schedule sched(100, 2);
+  // Slots 11 and 12 hold transmissions that conflict with 1->2.
+  sched.add(make_tx(2, 9), 11, 0);
+  sched.add(make_tx(5, 1), 12, 0);
+  // Slot 13 holds a non-conflicting transmission.
+  sched.add(make_tx(6, 7), 13, 0);
+  const std::vector<tsch::transmission> post{make_tx(1, 2)};
+  // laxity = (20 - 10) - 2 - 1 = 7.
+  EXPECT_EQ(calculate_laxity(sched, post, 10, 20), 7);
+}
+
+TEST(Laxity, SumsOverAllRemainingTransmissions) {
+  tsch::schedule sched(100, 2);
+  sched.add(make_tx(1, 9), 11, 0);  // conflicts with 1->2 only
+  sched.add(make_tx(3, 8), 12, 0);  // conflicts with 2->3 only
+  const std::vector<tsch::transmission> post{make_tx(1, 2), make_tx(2, 3)};
+  // Each remaining transmission loses one slot: (20-10) - 2 - 2 = 6.
+  EXPECT_EQ(calculate_laxity(sched, post, 10, 20), 6);
+}
+
+TEST(Laxity, CanGoNegative) {
+  tsch::schedule sched(100, 2);
+  for (slot_t s = 11; s <= 14; ++s) sched.add(make_tx(1, 9), s, 0);
+  const std::vector<tsch::transmission> post{make_tx(1, 2)};
+  // (14 - 10) - 4 - 1 = -1.
+  EXPECT_EQ(calculate_laxity(sched, post, 10, 14), -1);
+}
+
+TEST(Laxity, ConflictWindowStopsAtDeadline) {
+  tsch::schedule sched(100, 2);
+  sched.add(make_tx(1, 9), 30, 0);  // beyond the deadline: ignored
+  const std::vector<tsch::transmission> post{make_tx(1, 2)};
+  EXPECT_EQ(calculate_laxity(sched, post, 10, 20), 9);
+}
+
+}  // namespace
+}  // namespace wsan::core

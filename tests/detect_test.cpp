@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "detect/detector.h"
+
+namespace wsan::detect {
+namespace {
+
+std::vector<double> samples_around(rng& gen, double mean, double sigma,
+                                   int count) {
+  std::vector<double> v;
+  for (int i = 0; i < count; ++i) {
+    double x = gen.normal(mean, sigma);
+    v.push_back(std::clamp(x, 0.0, 1.0));
+  }
+  return v;
+}
+
+double mean_of(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+TEST(Detector, HealthyLinkMeetsRequirement) {
+  rng gen(1);
+  const auto reuse = samples_around(gen, 0.97, 0.02, 18);
+  const auto cf = samples_around(gen, 0.97, 0.02, 18);
+  const auto report = classify_link({0, 1}, reuse, cf, mean_of(reuse),
+                                    mean_of(cf), {});
+  EXPECT_EQ(report.verdict, link_verdict::meets_requirement);
+}
+
+TEST(Detector, ReuseDegradedLinkIsRejected) {
+  // Good contention-free behaviour, poor under reuse: the K-S test must
+  // flag the difference -> degraded_by_reuse.
+  rng gen(2);
+  const auto reuse = samples_around(gen, 0.6, 0.08, 18);
+  const auto cf = samples_around(gen, 0.97, 0.02, 18);
+  const auto report = classify_link({0, 1}, reuse, cf, mean_of(reuse),
+                                    mean_of(cf), {});
+  EXPECT_EQ(report.verdict, link_verdict::degraded_by_reuse);
+  EXPECT_TRUE(report.ks.reject);
+  EXPECT_LT(report.ks.p_value, 0.05);
+}
+
+TEST(Detector, ExternallyDegradedLinkIsAccepted) {
+  // Both distributions equally poor (external interference hits reuse
+  // and contention-free slots alike) -> degraded_by_other.
+  rng gen(3);
+  const auto reuse = samples_around(gen, 0.65, 0.1, 18);
+  const auto cf = samples_around(gen, 0.65, 0.1, 18);
+  const auto report = classify_link({0, 1}, reuse, cf, mean_of(reuse),
+                                    mean_of(cf), {});
+  EXPECT_EQ(report.verdict, link_verdict::degraded_by_other);
+  EXPECT_FALSE(report.ks.reject);
+}
+
+TEST(Detector, ThresholdGateSkipsKsTest) {
+  // Even a clear distribution difference is ignored while the reuse PRR
+  // meets the requirement (the paper only reschedules failing links).
+  rng gen(4);
+  const auto reuse = samples_around(gen, 0.93, 0.01, 18);
+  const auto cf = samples_around(gen, 0.99, 0.005, 18);
+  const auto report = classify_link({0, 1}, reuse, cf, mean_of(reuse),
+                                    mean_of(cf), {});
+  EXPECT_EQ(report.verdict, link_verdict::meets_requirement);
+}
+
+TEST(Detector, InsufficientSamplesAreFlagged) {
+  const std::vector<double> reuse{0.5, 0.4};
+  const std::vector<double> cf{0.9, 0.95, 0.97, 0.96};
+  const auto report =
+      classify_link({0, 1}, reuse, cf, 0.45, 0.95, {});
+  EXPECT_EQ(report.verdict, link_verdict::insufficient_data);
+}
+
+TEST(Detector, CustomThresholdIsRespected) {
+  rng gen(5);
+  const auto reuse = samples_around(gen, 0.85, 0.02, 18);
+  const auto cf = samples_around(gen, 0.97, 0.02, 18);
+  detection_policy strict;
+  strict.prr_threshold = 0.95;
+  const auto strict_report = classify_link({0, 1}, reuse, cf,
+                                           mean_of(reuse), mean_of(cf),
+                                           strict);
+  EXPECT_EQ(strict_report.verdict, link_verdict::degraded_by_reuse);
+
+  detection_policy lax;
+  lax.prr_threshold = 0.5;
+  const auto lax_report = classify_link({0, 1}, reuse, cf, mean_of(reuse),
+                                        mean_of(cf), lax);
+  EXPECT_EQ(lax_report.verdict, link_verdict::meets_requirement);
+}
+
+// ------------------------------------------------- observation plumbing --
+
+sim::link_observations make_obs(
+    const std::vector<std::pair<int, double>>& reuse,
+    const std::vector<std::pair<int, double>>& cf) {
+  sim::link_observations obs;
+  obs.reuse_samples = reuse;
+  obs.cf_samples = cf;
+  // Attempt counts: 10 attempts per sample, successes proportional.
+  for (const auto& [run, prr] : reuse) {
+    obs.reuse_attempts += 10;
+    obs.reuse_successes += static_cast<long long>(prr * 10);
+  }
+  for (const auto& [run, prr] : cf) {
+    obs.cf_attempts += 10;
+    obs.cf_successes += static_cast<long long>(prr * 10);
+  }
+  return obs;
+}
+
+TEST(Detector, ClassifyLinksSkipsReuseFreeLinks) {
+  std::map<sim::link_key, sim::link_observations> observations;
+  observations[{0, 1}] = make_obs({}, {{0, 0.5}, {1, 0.6}});
+  const auto reports = classify_links(observations, {});
+  EXPECT_TRUE(reports.empty());
+}
+
+TEST(Detector, ClassifyLinksReportsReusingLinks) {
+  rng gen(6);
+  std::vector<std::pair<int, double>> bad_reuse;
+  std::vector<std::pair<int, double>> good_cf;
+  for (int r = 0; r < 18; ++r) {
+    bad_reuse.emplace_back(r, std::clamp(gen.normal(0.6, 0.05), 0.0, 1.0));
+    good_cf.emplace_back(r, std::clamp(gen.normal(0.97, 0.02), 0.0, 1.0));
+  }
+  std::map<sim::link_key, sim::link_observations> observations;
+  observations[{0, 1}] = make_obs(bad_reuse, good_cf);
+  const auto reports = classify_links(observations, {});
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports.front().verdict, link_verdict::degraded_by_reuse);
+  const auto rejected =
+      links_with_verdict(reports, link_verdict::degraded_by_reuse);
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected.front(), (sim::link_key{0, 1}));
+}
+
+TEST(Detector, EpochSlicingSelectsRunWindows) {
+  // Epoch 0 (runs 0..17): healthy. Epoch 1 (runs 18..35): degraded.
+  rng gen(7);
+  std::vector<std::pair<int, double>> reuse;
+  std::vector<std::pair<int, double>> cf;
+  for (int r = 0; r < 36; ++r) {
+    const double mean = r < 18 ? 0.97 : 0.55;
+    reuse.emplace_back(r, std::clamp(gen.normal(mean, 0.03), 0.0, 1.0));
+    cf.emplace_back(r, std::clamp(gen.normal(0.97, 0.02), 0.0, 1.0));
+  }
+  std::map<sim::link_key, sim::link_observations> observations;
+  observations[{2, 3}] = make_obs(reuse, cf);
+
+  const auto epoch0 = classify_links_in_epoch(observations, 0, 18, {});
+  ASSERT_EQ(epoch0.size(), 1u);
+  EXPECT_EQ(epoch0.front().verdict, link_verdict::meets_requirement);
+
+  const auto epoch1 = classify_links_in_epoch(observations, 1, 18, {});
+  ASSERT_EQ(epoch1.size(), 1u);
+  EXPECT_EQ(epoch1.front().verdict, link_verdict::degraded_by_reuse);
+}
+
+TEST(Detector, EpochWithoutReuseActivityIsSkipped) {
+  std::map<sim::link_key, sim::link_observations> observations;
+  observations[{0, 1}] = make_obs({{0, 0.5}}, {{0, 0.9}, {1, 0.9}});
+  // Epoch 5 has no samples at all.
+  const auto reports = classify_links_in_epoch(observations, 5, 18, {});
+  EXPECT_TRUE(reports.empty());
+}
+
+TEST(Detector, VerdictNamesAreStable) {
+  EXPECT_EQ(to_string(link_verdict::meets_requirement),
+            "meets-requirement");
+  EXPECT_EQ(to_string(link_verdict::degraded_by_reuse),
+            "degraded-by-reuse");
+  EXPECT_EQ(to_string(link_verdict::degraded_by_other),
+            "degraded-by-other");
+  EXPECT_EQ(to_string(link_verdict::insufficient_data),
+            "insufficient-data");
+}
+
+TEST(Detector, RejectsBadPolicy) {
+  detection_policy bad;
+  bad.prr_threshold = 0.0;
+  EXPECT_THROW(classify_link({0, 1}, {0.5, 0.5, 0.5}, {0.9, 0.9, 0.9},
+                             0.5, 0.9, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsan::detect

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace wsan::sim {
+namespace {
+
+topo::topology two_node_topology(double prr) {
+  topo::topology t("pair");
+  t.add_node({0, 0, 0});
+  t.add_node({10, 0, 0});
+  for (channel_t ch : phy::channels(4)) {
+    t.set_prr(0, 1, ch, prr);
+    t.set_prr(1, 0, ch, prr);
+  }
+  return t;
+}
+
+tsch::transmission make_tx(flow_id f, int attempt, node_id s, node_id r) {
+  tsch::transmission tx;
+  tx.flow = f;
+  tx.instance = 0;
+  tx.link_index = 0;
+  tx.attempt = attempt;
+  tx.sender = s;
+  tx.receiver = r;
+  return tx;
+}
+
+flow::flow one_link_flow() {
+  flow::flow f;
+  f.id = 0;
+  f.source = 0;
+  f.destination = 1;
+  f.period = 10;
+  f.deadline = 10;
+  f.route = {flow::link{0, 1}};
+  f.uplink_links = 1;
+  return f;
+}
+
+sim_config clean_config(int runs) {
+  sim_config config;
+  config.runs = runs;
+  config.temporal_fading_sigma_db = 0.0;
+  config.calibration_drift_sigma_db = 0.0;
+  config.maintained_drift_sigma_db = 0.0;
+  config.intermittent_fraction = 0.0;
+  config.probes_per_run = 0;
+  return config;
+}
+
+TEST(Energy, PerfectLinkAccountingIsExact) {
+  const auto t = two_node_topology(1.0);
+  tsch::schedule sched(10, 4);
+  sched.add(make_tx(0, 0, 0, 1), 0, 0);
+  sched.add(make_tx(0, 1, 0, 1), 1, 0);
+
+  const auto config = clean_config(10);
+  const auto result = run_simulation(t, sched, {one_link_flow()},
+                                     phy::channels(4), config);
+  const auto& em = config.energy;
+  // Per run: the primary fires (sender tx+rx_ack, receiver rx+tx_ack);
+  // the retry slot stays silent (receiver idle-listens).
+  EXPECT_EQ(result.energy.data_transmissions, 10);
+  EXPECT_EQ(result.energy.idle_listens, 10);
+  EXPECT_NEAR(result.energy.per_node_mj[0],
+              10 * (em.tx_packet_mj + em.rx_ack_mj), 1e-9);
+  EXPECT_NEAR(result.energy.per_node_mj[1],
+              10 * (em.rx_packet_mj + em.tx_ack_mj + em.idle_listen_mj),
+              1e-9);
+  EXPECT_NEAR(result.energy.total_mj,
+              result.energy.per_node_mj[0] + result.energy.per_node_mj[1],
+              1e-9);
+}
+
+TEST(Energy, DeadLinkStillBurnsTransmissions) {
+  // Both attempts fire (primary fails, retry fires and fails); the
+  // receiver listens twice but never ACKs.
+  const auto t = two_node_topology(0.0);
+  tsch::schedule sched(10, 4);
+  sched.add(make_tx(0, 0, 0, 1), 0, 0);
+  sched.add(make_tx(0, 1, 0, 1), 1, 0);
+
+  const auto config = clean_config(5);
+  const auto result = run_simulation(t, sched, {one_link_flow()},
+                                     phy::channels(4), config);
+  const auto& em = config.energy;
+  EXPECT_EQ(result.energy.data_transmissions, 10);  // 2 per run
+  EXPECT_EQ(result.energy.idle_listens, 0);
+  EXPECT_NEAR(result.energy.per_node_mj[1], 10 * em.rx_packet_mj, 1e-9);
+  // Energy per delivered diverges gracefully (nothing delivered).
+  EXPECT_DOUBLE_EQ(
+      result.energy.mj_per_delivered(result.instances_delivered),
+      result.energy.total_mj);
+}
+
+TEST(Energy, LossyLinkBurnsMoreThanPerfectLink) {
+  tsch::schedule sched(10, 4);
+  sched.add(make_tx(0, 0, 0, 1), 0, 0);
+  sched.add(make_tx(0, 1, 0, 1), 1, 0);
+  const auto config = clean_config(400);
+
+  const auto perfect = run_simulation(two_node_topology(1.0), sched,
+                                      {one_link_flow()}, phy::channels(4),
+                                      config);
+  const auto lossy = run_simulation(two_node_topology(0.5), sched,
+                                    {one_link_flow()}, phy::channels(4),
+                                    config);
+  // Retries fire under loss: more transmissions, worse mJ/delivered.
+  EXPECT_GT(lossy.energy.data_transmissions,
+            perfect.energy.data_transmissions);
+  EXPECT_GT(lossy.energy.mj_per_delivered(lossy.instances_delivered),
+            perfect.energy.mj_per_delivered(perfect.instances_delivered));
+}
+
+TEST(Energy, ProbesAreAccounted) {
+  const auto t = two_node_topology(1.0);
+  tsch::schedule sched(10, 4);
+  sched.add(make_tx(0, 0, 0, 1), 0, 0);
+  sched.add(make_tx(0, 1, 0, 1), 1, 0);
+  auto config = clean_config(10);
+  config.probes_per_run = 3;
+  const auto result = run_simulation(t, sched, {one_link_flow()},
+                                     phy::channels(4), config);
+  // 1 data attempt + 3 probes per run.
+  EXPECT_EQ(result.energy.data_transmissions, 40);
+}
+
+}  // namespace
+}  // namespace wsan::sim

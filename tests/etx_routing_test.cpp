@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "flow/router.h"
+#include "graph/comm_graph.h"
+#include "topo/testbeds.h"
+
+namespace wsan::flow {
+namespace {
+
+/// Triangle: 0-1-2 chain of strong links plus a direct grey 0-2 edge.
+struct triangle {
+  topo::topology topology{"triangle"};
+  graph::graph comm{3};
+  std::vector<channel_t> channels = phy::channels(2);
+
+  triangle(double strong, double grey) {
+    topology.add_node({0, 0, 0});
+    topology.add_node({5, 0, 0});
+    topology.add_node({10, 0, 0});
+    const auto set_bidir = [&](node_id a, node_id b, double prr) {
+      for (channel_t ch : channels) {
+        topology.set_prr(a, b, ch, prr);
+        topology.set_prr(b, a, ch, prr);
+      }
+    };
+    set_bidir(0, 1, strong);
+    set_bidir(1, 2, strong);
+    set_bidir(0, 2, grey);
+    comm.add_edge(0, 1);
+    comm.add_edge(1, 2);
+    comm.add_edge(0, 2);
+  }
+};
+
+TEST(EtxRouting, PrefersTwoStrongHopsOverOneGreyHop) {
+  // ETX(0-2 direct) = 1/0.5 = 2.0; ETX(0-1-2) = 2 * 1/0.99 ~ 2.02 —
+  // make the grey link weaker so the detour clearly wins.
+  const triangle world(0.99, 0.45);
+  const etx_weights weights(world.comm, world.topology, world.channels);
+  const auto route =
+      route_peer_to_peer_etx(world.comm, weights, 0, 2);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->links.size(), 2u);  // 0 -> 1 -> 2
+  // Hop-count routing takes the direct grey link instead.
+  const auto direct = route_peer_to_peer(world.comm, 0, 2);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(direct->links.size(), 1u);
+}
+
+TEST(EtxRouting, TakesTheDirectLinkWhenItIsGoodEnough) {
+  const triangle world(0.95, 0.97);
+  const etx_weights weights(world.comm, world.topology, world.channels);
+  const auto route =
+      route_peer_to_peer_etx(world.comm, weights, 0, 2);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->links.size(), 1u);
+}
+
+TEST(EtxRouting, WeightsAreSymmetricAndPositive) {
+  const triangle world(0.9, 0.6);
+  const etx_weights weights(world.comm, world.topology, world.channels);
+  for (node_id u = 0; u < 3; ++u) {
+    for (node_id v : world.comm.neighbors(u)) {
+      EXPECT_GT(weights.weight(u, v), 1.0);  // ETX >= 1/PRR > 1
+      EXPECT_DOUBLE_EQ(weights.weight(u, v), weights.weight(v, u));
+    }
+  }
+  // A perfect link would approach ETX 1.
+  EXPECT_NEAR(weights.weight(0, 1), 1.0 / 0.9, 0.02);
+}
+
+TEST(EtxRouting, NonEdgeWeightIsAnError) {
+  graph::graph comm(3);
+  comm.add_edge(0, 1);
+  topo::topology t("tiny");
+  t.add_node({0, 0, 0});
+  t.add_node({1, 0, 0});
+  t.add_node({2, 0, 0});
+  const etx_weights weights(comm, t, phy::channels(1));
+  EXPECT_THROW(weights.weight(0, 2), std::invalid_argument);
+}
+
+TEST(EtxRouting, UnreachableAndSelfRoutes) {
+  graph::graph comm(4);
+  comm.add_edge(0, 1);
+  topo::topology t("tiny");
+  for (int i = 0; i < 4; ++i)
+    t.add_node({static_cast<double>(i), 0, 0});
+  const etx_weights weights(comm, t, phy::channels(1));
+  EXPECT_FALSE(route_peer_to_peer_etx(comm, weights, 0, 3).has_value());
+  EXPECT_FALSE(route_peer_to_peer_etx(comm, weights, 0, 0).has_value());
+}
+
+TEST(EtxRouting, OnTestbedEtxRoutesMinimizeTotalEtx) {
+  // Dijkstra optimality: the ETX route's total expected transmission
+  // count never exceeds the hop-count route's; hop-count routes never
+  // have more links than ETX routes.
+  const auto t = topo::make_wustl();
+  const auto channels = phy::channels(4);
+  const auto comm = graph::build_communication_graph(t, channels);
+  const etx_weights weights(comm, t, channels);
+
+  const auto total_etx_of = [&](const route_result& route) {
+    double sum = 0.0;
+    for (const auto& l : route.links)
+      sum += weights.weight(l.sender, l.receiver);
+    return sum;
+  };
+
+  int compared = 0;
+  for (node_id src = 0; src < t.num_nodes(); src += 7) {
+    for (node_id dst = 3; dst < t.num_nodes(); dst += 11) {
+      if (src == dst) continue;
+      const auto hop = route_peer_to_peer(comm, src, dst);
+      const auto etx = route_peer_to_peer_etx(comm, weights, src, dst);
+      if (!hop || !etx) continue;
+      ++compared;
+      EXPECT_GE(etx->links.size(), hop->links.size());
+      EXPECT_LE(total_etx_of(*etx), total_etx_of(*hop) + 1e-9);
+    }
+  }
+  EXPECT_GT(compared, 10);
+}
+
+}  // namespace
+}  // namespace wsan::flow

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "detect/evaluation.h"
+
+namespace wsan::detect {
+namespace {
+
+sim::link_observations obs_with_losses(long long attempts,
+                                       double internal_loss,
+                                       double external_loss) {
+  sim::link_observations obs;
+  obs.cf_attempts = attempts;
+  obs.cf_successes = attempts;
+  obs.expected_loss_internal = internal_loss;
+  obs.expected_loss_external = external_loss;
+  return obs;
+}
+
+TEST(GroundTruth, LabelsFollowLossRates) {
+  EXPECT_EQ(ground_truth_of(obs_with_losses(100, 0.0, 0.0)),
+            ground_truth_label::healthy);
+  EXPECT_EQ(ground_truth_of(obs_with_losses(100, 20.0, 0.0)),
+            ground_truth_label::reuse_degraded);
+  EXPECT_EQ(ground_truth_of(obs_with_losses(100, 0.0, 20.0)),
+            ground_truth_label::externally_degraded);
+  EXPECT_EQ(ground_truth_of(obs_with_losses(100, 20.0, 20.0)),
+            ground_truth_label::both_degraded);
+}
+
+TEST(GroundTruth, ThresholdIsRespected) {
+  // 4% loss with a 5% threshold: healthy; 6%: degraded.
+  EXPECT_EQ(ground_truth_of(obs_with_losses(100, 4.0, 0.0)),
+            ground_truth_label::healthy);
+  EXPECT_EQ(ground_truth_of(obs_with_losses(100, 6.0, 0.0)),
+            ground_truth_label::reuse_degraded);
+  ground_truth_options strict;
+  strict.reuse_loss_threshold = 0.01;
+  EXPECT_EQ(ground_truth_of(obs_with_losses(100, 4.0, 0.0), strict),
+            ground_truth_label::reuse_degraded);
+}
+
+TEST(GroundTruth, NoAttemptsMeansHealthy) {
+  sim::link_observations obs;
+  EXPECT_EQ(ground_truth_of(obs), ground_truth_label::healthy);
+  EXPECT_DOUBLE_EQ(obs.reuse_loss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(obs.external_loss_rate(), 0.0);
+}
+
+TEST(GroundTruth, NamesAreStable) {
+  EXPECT_EQ(to_string(ground_truth_label::healthy), "healthy");
+  EXPECT_EQ(to_string(ground_truth_label::reuse_degraded),
+            "reuse-degraded");
+  EXPECT_EQ(to_string(ground_truth_label::externally_degraded),
+            "externally-degraded");
+  EXPECT_EQ(to_string(ground_truth_label::both_degraded),
+            "both-degraded");
+}
+
+// -------------------------------------------------------------- score --
+
+link_report report_for(node_id s, node_id r, link_verdict verdict) {
+  link_report report;
+  report.link = {s, r};
+  report.verdict = verdict;
+  return report;
+}
+
+TEST(Score, ConfusionMatrixIsCorrect) {
+  std::map<sim::link_key, sim::link_observations> observations;
+  observations[{0, 1}] = obs_with_losses(100, 20.0, 0.0);  // truly reuse
+  observations[{2, 3}] = obs_with_losses(100, 0.0, 20.0);  // truly ext.
+  observations[{4, 5}] = obs_with_losses(100, 20.0, 0.0);  // truly reuse
+  observations[{6, 7}] = obs_with_losses(100, 0.0, 20.0);  // truly ext.
+
+  const std::vector<link_report> reports{
+      report_for(0, 1, link_verdict::degraded_by_reuse),   // TP
+      report_for(2, 3, link_verdict::degraded_by_reuse),   // FP
+      report_for(4, 5, link_verdict::degraded_by_other),   // FN
+      report_for(6, 7, link_verdict::degraded_by_other),   // TN
+  };
+  const auto score = score_detection(reports, observations);
+  EXPECT_EQ(score.true_positives, 1);
+  EXPECT_EQ(score.false_positives, 1);
+  EXPECT_EQ(score.false_negatives, 1);
+  EXPECT_EQ(score.true_negatives, 1);
+  EXPECT_EQ(score.scored_links, 4);
+  EXPECT_DOUBLE_EQ(score.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(score.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(score.f1(), 0.5);
+}
+
+TEST(Score, HealthyAndInsufficientReportsAreSkipped) {
+  std::map<sim::link_key, sim::link_observations> observations;
+  observations[{0, 1}] = obs_with_losses(100, 20.0, 0.0);
+  const std::vector<link_report> reports{
+      report_for(0, 1, link_verdict::meets_requirement),
+      report_for(0, 1, link_verdict::insufficient_data),
+  };
+  const auto score = score_detection(reports, observations);
+  EXPECT_EQ(score.scored_links, 0);
+  EXPECT_DOUBLE_EQ(score.precision(), 1.0);  // vacuous
+  EXPECT_DOUBLE_EQ(score.recall(), 1.0);
+}
+
+TEST(Score, BothDegradedCountsAsReusePositive) {
+  std::map<sim::link_key, sim::link_observations> observations;
+  observations[{0, 1}] = obs_with_losses(100, 20.0, 20.0);
+  const std::vector<link_report> reports{
+      report_for(0, 1, link_verdict::degraded_by_reuse)};
+  const auto score = score_detection(reports, observations);
+  EXPECT_EQ(score.true_positives, 1);
+}
+
+TEST(Score, MissingObservationsAreAnError) {
+  const std::map<sim::link_key, sim::link_observations> observations;
+  const std::vector<link_report> reports{
+      report_for(0, 1, link_verdict::degraded_by_reuse)};
+  EXPECT_THROW(score_detection(reports, observations),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------- isolation helper --
+
+TEST(IsolationSet, CollectsOnlyRejectedLinks) {
+  const std::vector<link_report> reports{
+      report_for(0, 1, link_verdict::degraded_by_reuse),
+      report_for(2, 3, link_verdict::degraded_by_other),
+      report_for(4, 5, link_verdict::meets_requirement),
+      report_for(6, 7, link_verdict::degraded_by_reuse),
+  };
+  const auto set = isolation_set(reports);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count({0, 1}) > 0);
+  EXPECT_TRUE(set.count({6, 7}) > 0);
+  EXPECT_EQ(set.count({2, 3}), 0u);
+}
+
+}  // namespace
+}  // namespace wsan::detect

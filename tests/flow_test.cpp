@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "flow/flow.h"
+#include "flow/flow_generator.h"
+#include "flow/priority.h"
+#include "flow/router.h"
+#include "graph/comm_graph.h"
+#include "topo/testbeds.h"
+
+namespace wsan::flow {
+namespace {
+
+// ---------------------------------------------------------------- flow --
+
+flow simple_flow(slot_t period, slot_t deadline) {
+  flow f;
+  f.id = 0;
+  f.source = 0;
+  f.destination = 2;
+  f.period = period;
+  f.deadline = deadline;
+  f.route = {link{0, 1}, link{1, 2}};
+  f.uplink_links = 2;
+  return f;
+}
+
+TEST(Flow, InstancesAndWindows) {
+  const auto f = simple_flow(100, 80);
+  EXPECT_EQ(f.instances_in(400), 4);
+  EXPECT_EQ(f.release_slot(0), 0);
+  EXPECT_EQ(f.release_slot(3), 300);
+  EXPECT_EQ(f.deadline_slot(0), 79);
+  EXPECT_EQ(f.deadline_slot(3), 379);
+}
+
+TEST(Flow, InstancesRequireDivisibleHyperperiod) {
+  const auto f = simple_flow(100, 80);
+  EXPECT_THROW(f.instances_in(250), std::invalid_argument);
+}
+
+TEST(Flow, HyperperiodIsLcm) {
+  auto f1 = simple_flow(50, 40);
+  auto f2 = simple_flow(200, 100);
+  auto f3 = simple_flow(400, 300);
+  EXPECT_EQ(hyperperiod({f1, f2, f3}), 400);
+  EXPECT_THROW(hyperperiod({}), std::invalid_argument);
+}
+
+TEST(Flow, ValidationAcceptsWellFormedFlow) {
+  EXPECT_NO_THROW(validate_flow(simple_flow(100, 80)));
+}
+
+TEST(Flow, ValidationRejectsBrokenRoutes) {
+  auto f = simple_flow(100, 80);
+  f.route = {link{0, 1}, link{5, 2}};  // discontinuous, not at boundary
+  EXPECT_THROW(validate_flow(f), std::invalid_argument);
+
+  f = simple_flow(100, 80);
+  f.route.clear();
+  EXPECT_THROW(validate_flow(f), std::invalid_argument);
+
+  f = simple_flow(100, 80);
+  f.deadline = 150;  // > period
+  EXPECT_THROW(validate_flow(f), std::invalid_argument);
+
+  f = simple_flow(100, 80);
+  f.route.front().sender = 9;  // does not start at source
+  EXPECT_THROW(validate_flow(f), std::invalid_argument);
+}
+
+TEST(Flow, ValidationAllowsGatewayDiscontinuity) {
+  // Centralized flow: uplink 0->1 (AP), wired hop, downlink 7 (AP') ->2.
+  flow f;
+  f.id = 0;
+  f.source = 0;
+  f.destination = 2;
+  f.period = 100;
+  f.deadline = 90;
+  f.type = traffic_type::centralized;
+  f.route = {link{0, 1}, link{7, 2}};
+  f.uplink_links = 1;
+  EXPECT_NO_THROW(validate_flow(f));
+}
+
+TEST(Flow, PeriodSlotsForExponent) {
+  EXPECT_EQ(period_slots_for_exp(0), 100);
+  EXPECT_EQ(period_slots_for_exp(3), 800);
+  EXPECT_EQ(period_slots_for_exp(-1), 50);
+  EXPECT_EQ(period_slots_for_exp(-2), 25);
+  EXPECT_THROW(period_slots_for_exp(-3), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- router --
+
+graph::graph line_graph(int n) {
+  graph::graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+TEST(Router, PeerToPeerUsesShortestPath) {
+  const auto g = line_graph(5);
+  const auto r = route_peer_to_peer(g, 0, 4);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->links.size(), 4u);
+  EXPECT_EQ(r->uplink_links, 4);
+  EXPECT_EQ(r->links.front().sender, 0);
+  EXPECT_EQ(r->links.back().receiver, 4);
+}
+
+TEST(Router, PeerToPeerRejectsSelfAndUnreachable) {
+  graph::graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(route_peer_to_peer(g, 0, 0).has_value());
+  EXPECT_FALSE(route_peer_to_peer(g, 0, 3).has_value());
+}
+
+TEST(Router, CentralizedRoutesThroughClosestAps) {
+  // 0-1-2-3-4 line; APs at 1 and 3. Flow 0 -> 4 should go 0->1 (uplink)
+  // then 3->4 (downlink).
+  const auto g = line_graph(5);
+  const auto r = route_centralized(g, 0, 4, {1, 3});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->uplink_links, 1);
+  EXPECT_EQ(r->links.size(), 2u);
+  EXPECT_EQ(r->links[0], (link{0, 1}));
+  EXPECT_EQ(r->links[1], (link{3, 4}));
+}
+
+TEST(Router, CentralizedPathIsRoughlyTwiceP2P) {
+  // On real testbeds the paper observes centralized routes about twice
+  // as long as peer-to-peer routes.
+  const auto t = topo::make_indriya();
+  const auto comm = graph::build_communication_graph(t, phy::channels(4));
+  const auto aps = pick_access_points(comm, 2);
+  rng gen(3);
+  double p2p_total = 0.0;
+  double central_total = 0.0;
+  int counted = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto s = static_cast<node_id>(
+        gen.uniform_int(0, comm.num_nodes() - 1));
+    const auto d = static_cast<node_id>(
+        gen.uniform_int(0, comm.num_nodes() - 1));
+    if (s == d) continue;
+    const auto p2p = route_peer_to_peer(comm, s, d);
+    const auto central = route_centralized(comm, s, d, aps);
+    if (!p2p || !central) continue;
+    p2p_total += static_cast<double>(p2p->links.size());
+    central_total += static_cast<double>(central->links.size());
+    ++counted;
+  }
+  ASSERT_GT(counted, 100);
+  EXPECT_GT(central_total, 1.2 * p2p_total);
+}
+
+TEST(Router, PathToLinksHandlesShortPaths) {
+  EXPECT_TRUE(path_to_links({0}).empty());
+  EXPECT_TRUE(path_to_links({}).empty());
+}
+
+// ----------------------------------------------------------- priority --
+
+TEST(Priority, DeadlineMonotonicSortsByDeadline) {
+  std::vector<flow> flows;
+  for (int i = 0; i < 3; ++i) flows.push_back(simple_flow(400, 400 - i * 50));
+  assign_priorities(flows, priority_policy::deadline_monotonic);
+  EXPECT_EQ(flows[0].deadline, 300);
+  EXPECT_EQ(flows[1].deadline, 350);
+  EXPECT_EQ(flows[2].deadline, 400);
+  for (std::size_t i = 0; i < flows.size(); ++i)
+    EXPECT_EQ(flows[i].id, static_cast<flow_id>(i));
+}
+
+TEST(Priority, RateMonotonicSortsByPeriod) {
+  std::vector<flow> flows;
+  flows.push_back(simple_flow(400, 100));
+  flows.push_back(simple_flow(100, 100));
+  flows.push_back(simple_flow(200, 90));
+  assign_priorities(flows, priority_policy::rate_monotonic);
+  EXPECT_EQ(flows[0].period, 100);
+  EXPECT_EQ(flows[1].period, 200);
+  EXPECT_EQ(flows[2].period, 400);
+}
+
+TEST(Priority, TiesBreakOnOriginalId) {
+  std::vector<flow> flows;
+  auto a = simple_flow(100, 80);
+  a.id = 7;
+  auto b = simple_flow(100, 80);
+  b.id = 3;
+  flows = {a, b};
+  assign_priorities(flows);
+  EXPECT_EQ(flows[0].source, b.source);  // id 3 first
+}
+
+// ------------------------------------------------------ flow generator --
+
+class FlowGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topology_ = topo::make_wustl();
+    channels_ = phy::channels(4);
+    comm_ = graph::build_communication_graph(topology_, channels_);
+  }
+  topo::topology topology_;
+  std::vector<channel_t> channels_;
+  graph::graph comm_;
+};
+
+TEST_F(FlowGeneratorTest, AccessPointsAreHighestDegree) {
+  const auto aps = pick_access_points(comm_, 2);
+  ASSERT_EQ(aps.size(), 2u);
+  int max_degree = 0;
+  for (node_id v = 0; v < comm_.num_nodes(); ++v)
+    max_degree = std::max(max_degree, comm_.degree(v));
+  EXPECT_EQ(comm_.degree(aps[0]), max_degree);
+  EXPECT_GE(comm_.degree(aps[0]), comm_.degree(aps[1]));
+}
+
+TEST_F(FlowGeneratorTest, GeneratesRequestedFlows) {
+  flow_set_params params;
+  params.num_flows = 25;
+  params.type = traffic_type::peer_to_peer;
+  params.period_min_exp = -1;
+  params.period_max_exp = 3;
+  rng gen(11);
+  const auto set = generate_flow_set(comm_, params, gen);
+  ASSERT_EQ(set.flows.size(), 25u);
+  for (const auto& f : set.flows) {
+    EXPECT_NO_THROW(validate_flow(f));
+    EXPECT_GE(f.period, 50);
+    EXPECT_LE(f.period, 800);
+    EXPECT_GE(f.deadline, f.period / 2);
+    EXPECT_LE(f.deadline, f.period);
+    // Sources and destinations are field devices, not access points.
+    for (node_id ap : set.access_points) {
+      EXPECT_NE(f.source, ap);
+      EXPECT_NE(f.destination, ap);
+    }
+  }
+}
+
+TEST_F(FlowGeneratorTest, PeriodsArePowerOfTwoHarmonic) {
+  flow_set_params params;
+  params.num_flows = 30;
+  params.period_min_exp = 0;
+  params.period_max_exp = 2;
+  rng gen(13);
+  const auto set = generate_flow_set(comm_, params, gen);
+  const std::set<slot_t> allowed{100, 200, 400};
+  for (const auto& f : set.flows) EXPECT_TRUE(allowed.count(f.period));
+}
+
+TEST_F(FlowGeneratorTest, FlowsComeOutInPriorityOrder) {
+  flow_set_params params;
+  params.num_flows = 20;
+  rng gen(17);
+  const auto set = generate_flow_set(comm_, params, gen);
+  for (std::size_t i = 0; i + 1 < set.flows.size(); ++i) {
+    EXPECT_LE(set.flows[i].deadline, set.flows[i + 1].deadline);
+    EXPECT_EQ(set.flows[i].id, static_cast<flow_id>(i));
+  }
+}
+
+TEST_F(FlowGeneratorTest, CentralizedFlowsPassThroughAps) {
+  flow_set_params params;
+  params.num_flows = 15;
+  params.type = traffic_type::centralized;
+  rng gen(19);
+  const auto set = generate_flow_set(comm_, params, gen);
+  for (const auto& f : set.flows) {
+    ASSERT_GT(f.uplink_links, 0);
+    const node_id uplink_end =
+        f.route[static_cast<std::size_t>(f.uplink_links) - 1].receiver;
+    EXPECT_TRUE(std::find(set.access_points.begin(),
+                          set.access_points.end(),
+                          uplink_end) != set.access_points.end());
+  }
+}
+
+TEST_F(FlowGeneratorTest, GenerationIsDeterministicPerSeed) {
+  flow_set_params params;
+  params.num_flows = 10;
+  rng g1(23);
+  rng g2(23);
+  const auto a = generate_flow_set(comm_, params, g1);
+  const auto b = generate_flow_set(comm_, params, g2);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].source, b.flows[i].source);
+    EXPECT_EQ(a.flows[i].destination, b.flows[i].destination);
+    EXPECT_EQ(a.flows[i].period, b.flows[i].period);
+    EXPECT_EQ(a.flows[i].deadline, b.flows[i].deadline);
+  }
+}
+
+TEST_F(FlowGeneratorTest, ThrowsOnHopelessGraph) {
+  graph::graph disconnected(10);  // no edges at all
+  flow_set_params params;
+  params.num_flows = 5;
+  rng gen(29);
+  EXPECT_THROW(generate_flow_set(disconnected, params, gen),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wsan::flow

@@ -1,0 +1,145 @@
+// Robustness "fuzz" tests: hostile or random inputs must produce clean
+// std::invalid_argument / std::logic_error failures (or valid results),
+// never crashes, hangs, or silent corruption.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "flow/flow_io.h"
+#include "graph/hop_matrix.h"
+#include "stats/ks_test.h"
+#include "stats/mann_whitney.h"
+#include "stats/summary.h"
+#include "topo/topology_io.h"
+#include "tsch/schedule_io.h"
+#include "tsch/validate.h"
+
+namespace wsan {
+namespace {
+
+/// Random printable garbage, sometimes resembling real records.
+std::string random_document(rng& gen) {
+  static const char* fragments[] = {
+      "schedule", "tx", "flowset", "flow", "accesspoint", "topology",
+      "node", "rssi", "params", "-1", "0", "1", "999999999",
+      "99999999999999999999", "nan", "inf", "-inf", "1e308", "#",
+      "peer-to-peer", "centralized", "bogus", "\t", "  ",
+  };
+  std::ostringstream os;
+  const int lines = static_cast<int>(gen.uniform_int(0, 12));
+  for (int l = 0; l < lines; ++l) {
+    const int tokens = static_cast<int>(gen.uniform_int(0, 10));
+    for (int t = 0; t < tokens; ++t) {
+      os << fragments[gen.uniform_int(
+                0, static_cast<std::int64_t>(std::size(fragments)) - 1)]
+         << ' ';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+template <typename Loader>
+void expect_clean_failure_or_success(Loader loader, int seed_base,
+                                     int iterations) {
+  for (int i = 0; i < iterations; ++i) {
+    rng gen(static_cast<std::uint64_t>(seed_base + i));
+    std::stringstream in(random_document(gen));
+    try {
+      loader(in);
+    } catch (const std::invalid_argument&) {
+      // expected for malformed input
+    } catch (const std::logic_error&) {
+      // acceptable: internal invariant caught the nonsense
+    }
+    // Anything else (segfault, uncaught bad_alloc, infinite loop) fails
+    // the test by crashing or timing out.
+  }
+}
+
+TEST(Fuzz, ScheduleLoaderSurvivesGarbage) {
+  expect_clean_failure_or_success(
+      [](std::istream& is) { return tsch::load_schedule(is); }, 1000,
+      300);
+}
+
+TEST(Fuzz, FlowSetLoaderSurvivesGarbage) {
+  expect_clean_failure_or_success(
+      [](std::istream& is) { return flow::load_flow_set(is); }, 2000,
+      300);
+}
+
+TEST(Fuzz, TopologyLoaderSurvivesGarbage) {
+  expect_clean_failure_or_success(
+      [](std::istream& is) { return topo::load_topology(is); }, 3000,
+      300);
+}
+
+TEST(Fuzz, ValidatorSurvivesRandomSchedules) {
+  // Random transmissions thrown into a schedule: the validator must
+  // return violations, never crash.
+  rng gen(4);
+  graph::graph g(20);
+  for (int e = 0; e < 30; ++e) {
+    const auto u = static_cast<node_id>(gen.uniform_int(0, 19));
+    const auto v = static_cast<node_id>(gen.uniform_int(0, 19));
+    if (u != v) g.add_edge(u, v);
+  }
+  const graph::hop_matrix hops(g);
+
+  flow::flow f;
+  f.id = 0;
+  f.source = 0;
+  f.destination = 1;
+  f.period = 50;
+  f.deadline = 40;
+  f.route = {flow::link{0, 1}};
+  f.uplink_links = 1;
+
+  for (int trial = 0; trial < 100; ++trial) {
+    tsch::schedule sched(50, 3);
+    const int placements = static_cast<int>(gen.uniform_int(0, 30));
+    for (int p = 0; p < placements; ++p) {
+      tsch::transmission tx;
+      tx.flow = static_cast<flow_id>(gen.uniform_int(0, 2));
+      tx.instance = static_cast<int>(gen.uniform_int(0, 3));
+      tx.link_index = static_cast<int>(gen.uniform_int(0, 4));
+      tx.attempt = static_cast<int>(gen.uniform_int(0, 2));
+      tx.sender = static_cast<node_id>(gen.uniform_int(0, 19));
+      tx.receiver = static_cast<node_id>(gen.uniform_int(0, 19));
+      if (tx.sender == tx.receiver) continue;
+      sched.add(tx, static_cast<slot_t>(gen.uniform_int(0, 49)),
+                static_cast<offset_t>(gen.uniform_int(0, 2)));
+    }
+    const auto result = tsch::validate_schedule(sched, {f}, hops);
+    // A random schedule essentially never satisfies the invariants;
+    // what matters is a structured answer.
+    EXPECT_EQ(result.ok, result.violations.empty());
+  }
+}
+
+TEST(Fuzz, StatsSurviveDegenerateSamples) {
+  rng gen(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n1 = static_cast<int>(gen.uniform_int(1, 6));
+    const int n2 = static_cast<int>(gen.uniform_int(1, 6));
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < n1; ++i)
+      a.push_back(gen.bernoulli(0.5) ? 0.0 : 1.0);  // heavy ties
+    for (int i = 0; i < n2; ++i)
+      b.push_back(gen.bernoulli(0.5) ? 0.0 : 1.0);
+    const auto ks = stats::ks_test(a, b);
+    EXPECT_GE(ks.p_value, 0.0);
+    EXPECT_LE(ks.p_value, 1.0);
+    const auto mw = stats::mann_whitney_test(a, b);
+    EXPECT_GE(mw.p_value, 0.0);
+    EXPECT_LE(mw.p_value, 1.0);
+    const auto box = stats::make_box_stats(a);
+    EXPECT_LE(box.min, box.max);
+  }
+}
+
+}  // namespace
+}  // namespace wsan

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+#include "graph/hop_matrix.h"
+#include "tsch/latency.h"
+
+namespace wsan::tsch {
+namespace {
+
+graph::hop_matrix path_hops(int n) {
+  graph::graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return graph::hop_matrix(g);
+}
+
+flow::flow make_flow(flow_id id, std::vector<flow::link> route,
+                     slot_t period, slot_t deadline) {
+  flow::flow f;
+  f.id = id;
+  f.source = route.front().sender;
+  f.destination = route.back().receiver;
+  f.period = period;
+  f.deadline = deadline;
+  f.uplink_links = static_cast<int>(route.size());
+  f.route = std::move(route);
+  return f;
+}
+
+transmission make_tx(flow_id f, int instance, int link_index, int attempt,
+                     node_id sender, node_id receiver) {
+  transmission tx;
+  tx.flow = f;
+  tx.instance = instance;
+  tx.link_index = link_index;
+  tx.attempt = attempt;
+  tx.sender = sender;
+  tx.receiver = receiver;
+  return tx;
+}
+
+TEST(Latency, HandBuiltScheduleDelaysAreExact) {
+  // One flow, one link, two instances: attempts at slots {0, 3} and
+  // {22, 24}. Delays: 4 slots and 5 slots.
+  const auto f = make_flow(0, {{0, 1}}, 20, 10);
+  schedule sched(40, 2);
+  sched.add(make_tx(0, 0, 0, 0, 0, 1), 0, 0);
+  sched.add(make_tx(0, 0, 0, 1, 0, 1), 3, 0);
+  sched.add(make_tx(0, 1, 0, 0, 0, 1), 22, 0);
+  sched.add(make_tx(0, 1, 0, 1, 0, 1), 24, 0);
+
+  const auto latencies = analyze_latency(sched, {f});
+  ASSERT_EQ(latencies.size(), 1u);
+  EXPECT_EQ(latencies[0].instances, 2);
+  EXPECT_EQ(latencies[0].best_delay, 4);
+  EXPECT_EQ(latencies[0].worst_delay, 5);
+  EXPECT_DOUBLE_EQ(latencies[0].mean_delay, 4.5);
+  EXPECT_EQ(latencies[0].min_slack, 5);  // deadline 10 - worst 5
+  EXPECT_EQ(max_worst_delay(latencies), 5);
+}
+
+TEST(Latency, MissingInstanceIsAnError) {
+  const auto f = make_flow(0, {{0, 1}}, 20, 10);
+  schedule sched(40, 2);  // empty: instance 0 unscheduled
+  EXPECT_THROW(analyze_latency(sched, {f}), std::invalid_argument);
+}
+
+TEST(Latency, ScheduledWorkloadNeverExceedsDeadlines) {
+  const auto hops = path_hops(8);
+  std::vector<flow::flow> flows;
+  flows.push_back(make_flow(0, {{0, 1}, {1, 2}}, 50, 30));
+  flows.push_back(make_flow(1, {{4, 5}, {5, 6}, {6, 7}}, 100, 80));
+  const auto result = core::schedule_flows(
+      flows, hops, core::make_config(core::algorithm::rc, 2));
+  ASSERT_TRUE(result.schedulable);
+  const auto latencies = analyze_latency(result.sched, flows);
+  ASSERT_EQ(latencies.size(), 2u);
+  for (const auto& lat : latencies) {
+    EXPECT_GE(lat.min_slack, 0);
+    EXPECT_LE(lat.worst_delay,
+              flows[static_cast<std::size_t>(lat.flow)].deadline);
+    EXPECT_GE(lat.best_delay,
+              2 * static_cast<slot_t>(
+                      flows[static_cast<std::size_t>(lat.flow)]
+                          .route.size()));  // 2 attempts per link minimum
+  }
+}
+
+TEST(Latency, ReuseShortensWorstCaseDelayUnderContention) {
+  // Two distant flows on one channel: NR serializes them, reuse lets
+  // them overlap, so RA's worst delay cannot exceed NR's.
+  const auto hops = path_hops(10);
+  std::vector<flow::flow> flows;
+  flows.push_back(make_flow(0, {{0, 1}, {1, 2}}, 50, 50));
+  flows.push_back(make_flow(1, {{7, 8}, {8, 9}}, 50, 50));
+
+  const auto nr = core::schedule_flows(
+      flows, hops, core::make_config(core::algorithm::nr, 1));
+  const auto ra = core::schedule_flows(
+      flows, hops, core::make_config(core::algorithm::ra, 1));
+  ASSERT_TRUE(nr.schedulable);
+  ASSERT_TRUE(ra.schedulable);
+  const auto nr_lat = analyze_latency(nr.sched, flows);
+  const auto ra_lat = analyze_latency(ra.sched, flows);
+  EXPECT_LE(max_worst_delay(ra_lat), max_worst_delay(nr_lat));
+  // The second (lower-priority) flow is where reuse pays off.
+  EXPECT_LT(ra_lat[1].worst_delay, nr_lat[1].worst_delay);
+}
+
+}  // namespace
+}  // namespace wsan::tsch

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/algorithms.h"
+#include "topo/testbeds.h"
+#include "manager/network_manager.h"
+#include "tsch/schedule_stats.h"
+#include "tsch/validate.h"
+
+namespace wsan::manager {
+namespace {
+
+manager_config rc_config(int channels = 4) {
+  manager_config config;
+  config.num_channels = channels;
+  config.scheduler = core::make_config(core::algorithm::rc, channels);
+  return config;
+}
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  ManagerTest() : manager_(topo::make_wustl(), rc_config()) {}
+
+  flow::flow_set workload(int flows, std::uint64_t seed) {
+    flow::flow_set_params params;
+    params.num_flows = flows;
+    params.period_min_exp = 0;
+    params.period_max_exp = 1;
+    rng gen(seed);
+    return manager_.generate_workload(params, gen);
+  }
+
+  network_manager manager_;
+};
+
+TEST_F(ManagerTest, ConstructionDerivesTheGraphs) {
+  EXPECT_EQ(manager_.channels().size(), 4u);
+  EXPECT_EQ(manager_.channels().front(), 11);
+  EXPECT_TRUE(graph::is_connected(manager_.communication_graph()));
+  EXPECT_GT(manager_.reuse_graph().num_edges(),
+            manager_.communication_graph().num_edges());
+  EXPECT_GE(manager_.reuse_hops().diameter(), 2);
+  EXPECT_TRUE(manager_.isolated_links().empty());
+}
+
+TEST_F(ManagerTest, AdmitsAndValidatesWorkloads) {
+  const auto set = workload(20, 11);
+  const auto result = manager_.admit(set.flows);
+  ASSERT_TRUE(result.schedulable);
+  tsch::validation_options opts;
+  opts.min_reuse_hops = 2;
+  EXPECT_TRUE(tsch::validate_schedule(result.sched, set.flows,
+                                      manager_.reuse_hops(), opts)
+                  .ok);
+}
+
+TEST_F(ManagerTest, MaintenanceWithHealthyReportsDoesNothing) {
+  const auto set = workload(20, 13);
+  const auto admitted = manager_.admit(set.flows);
+  ASSERT_TRUE(admitted.schedulable);
+
+  sim::sim_config sim_config;
+  sim_config.runs = 18;
+  sim_config.seed = 1;
+  // A gentle environment: no drift surprises, no external interference.
+  sim_config.calibration_drift_sigma_db = 0.0;
+  sim_config.maintained_drift_sigma_db = 0.0;
+  sim_config.intermittent_fraction = 0.0;
+  sim_config.temporal_fading_sigma_db = 0.0;
+  const auto observed = sim::run_simulation(
+      manager_.topology(), admitted.sched, set.flows, manager_.channels(),
+      sim_config);
+
+  const auto outcome = manager_.maintain(set.flows, observed.links);
+  EXPECT_FALSE(outcome.rescheduled);
+  EXPECT_TRUE(outcome.newly_isolated.empty());
+  EXPECT_TRUE(manager_.isolated_links().empty());
+}
+
+TEST_F(ManagerTest, MaintenanceIsolatesAndRepairsDegradedLinks) {
+  // Fabricate health reports for one link that is healthy contention-
+  // free but terrible under reuse — the classifier must isolate it and
+  // the manager must hand back a repaired schedule.
+  const auto set = workload(20, 17);
+  const auto admitted = manager_.admit(set.flows);
+  ASSERT_TRUE(admitted.schedulable);
+
+  // Pick a real link from the schedule to flag.
+  const auto& placement = admitted.sched.placements().front();
+  const sim::link_key victim{placement.tx.sender, placement.tx.receiver};
+
+  std::map<sim::link_key, sim::link_observations> reports;
+  auto& obs = reports[victim];
+  rng gen(23);
+  for (int run = 0; run < 18; ++run) {
+    obs.reuse_samples.emplace_back(run, 0.4 + 0.02 * gen.uniform01());
+    obs.cf_samples.emplace_back(run, 0.97 + 0.02 * gen.uniform01());
+  }
+  obs.reuse_attempts = 18 * 5;
+  obs.reuse_successes = static_cast<long long>(18 * 5 * 0.4);
+  obs.cf_attempts = 18 * 5;
+  obs.cf_successes = static_cast<long long>(18 * 5 * 0.97);
+
+  const auto outcome = manager_.maintain(set.flows, reports);
+  ASSERT_EQ(outcome.newly_isolated.size(), 1u);
+  EXPECT_TRUE(outcome.newly_isolated.count(
+                  {victim.sender, victim.receiver}) > 0);
+  ASSERT_TRUE(outcome.rescheduled);
+  ASSERT_TRUE(outcome.repaired.has_value());
+  if (outcome.repaired->schedulable) {
+    // The repaired schedule gives the victim exclusive cells.
+    const auto& sched = outcome.repaired->sched;
+    for (slot_t s = 0; s < sched.num_slots(); ++s) {
+      for (offset_t c = 0; c < sched.num_offsets(); ++c) {
+        const auto& cell = sched.cell(s, c);
+        if (cell.size() < 2) continue;
+        for (const auto& tx : cell) {
+          EXPECT_FALSE(tx.sender == victim.sender &&
+                       tx.receiver == victim.receiver);
+        }
+      }
+    }
+  }
+  // Isolation persists: a fresh admission honors it.
+  EXPECT_EQ(manager_.isolated_links().size(), 1u);
+  manager_.reset_isolations();
+  EXPECT_TRUE(manager_.isolated_links().empty());
+}
+
+TEST_F(ManagerTest, RepeatedMaintenanceDoesNotReisolate) {
+  const auto set = workload(15, 19);
+  const auto admitted = manager_.admit(set.flows);
+  ASSERT_TRUE(admitted.schedulable);
+  const auto& placement = admitted.sched.placements().front();
+  const sim::link_key victim{placement.tx.sender, placement.tx.receiver};
+
+  std::map<sim::link_key, sim::link_observations> reports;
+  auto& obs = reports[victim];
+  for (int run = 0; run < 18; ++run) {
+    obs.reuse_samples.emplace_back(run, 0.3);
+    obs.cf_samples.emplace_back(run, 0.95 + 0.001 * run);
+  }
+  obs.reuse_attempts = 100;
+  obs.reuse_successes = 30;
+  obs.cf_attempts = 100;
+  obs.cf_successes = 95;
+
+  const auto first = manager_.maintain(set.flows, reports);
+  EXPECT_EQ(first.newly_isolated.size(), 1u);
+  const auto second = manager_.maintain(set.flows, reports);
+  EXPECT_TRUE(second.newly_isolated.empty());
+  EXPECT_FALSE(second.rescheduled);
+}
+
+TEST_F(ManagerTest, BlacklistingRebuildsTheChannelPlan) {
+  const auto original_channels = manager_.channels();
+  ASSERT_EQ(original_channels, phy::channels(4));  // 11..14
+
+  // A WiFi AP on channel 1 jams 802.15.4 channels 11-14; blacklist them.
+  manager_.blacklist_channels({11, 12, 13, 14});
+  EXPECT_EQ(manager_.channels(),
+            (std::vector<channel_t>{15, 16, 17, 18}));
+  EXPECT_TRUE(graph::is_connected(manager_.communication_graph()));
+
+  // Workloads admit on the new plan.
+  const auto set = workload(10, 29);
+  EXPECT_TRUE(manager_.admit(set.flows).schedulable);
+
+  // Too large a blacklist is rejected.
+  std::vector<channel_t> everything;
+  for (channel_t ch = 11; ch <= 24; ++ch) everything.push_back(ch);
+  EXPECT_THROW(manager_.blacklist_channels(everything),
+               std::invalid_argument);
+}
+
+TEST(ManagerConfig, MannWhitneyPolicyWorksEndToEnd) {
+  auto config = rc_config();
+  config.detection.test = detect::detection_test::mann_whitney;
+  network_manager manager(topo::make_wustl(), config);
+  flow::flow_set_params params;
+  params.num_flows = 10;
+  rng gen(3);
+  const auto set = manager.generate_workload(params, gen);
+  EXPECT_TRUE(manager.admit(set.flows).schedulable);
+}
+
+}  // namespace
+}  // namespace wsan::manager

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/mann_whitney.h"
+
+namespace wsan::stats {
+namespace {
+
+TEST(MannWhitney, NormalSurvivalFunction) {
+  EXPECT_NEAR(normal_sf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_sf(1.96), 0.025, 1e-3);
+  EXPECT_NEAR(normal_sf(-1.96), 0.975, 1e-3);
+}
+
+TEST(MannWhitney, IdenticalConstantSamplesDoNotReject) {
+  const std::vector<double> a(10, 0.9);
+  const std::vector<double> b(10, 0.9);
+  const auto result = mann_whitney_test(a, b);
+  EXPECT_FALSE(result.reject);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(MannWhitney, ClearlySeparatedSamplesReject) {
+  std::vector<double> low;
+  std::vector<double> high;
+  for (int i = 0; i < 15; ++i) {
+    low.push_back(0.5 + 0.01 * i);
+    high.push_back(0.9 + 0.005 * i);
+  }
+  const auto result = mann_whitney_test(low, high, 0.05);
+  EXPECT_TRUE(result.reject);
+  EXPECT_LT(result.p_value, 0.001);
+}
+
+TEST(MannWhitney, IsSymmetric) {
+  rng gen(5);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(gen.normal(0.8, 0.1));
+    b.push_back(gen.normal(0.9, 0.1));
+  }
+  const auto ab = mann_whitney_test(a, b);
+  const auto ba = mann_whitney_test(b, a);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+  EXPECT_NEAR(ab.u_statistic, ba.u_statistic, 1e-9);
+}
+
+TEST(MannWhitney, FalsePositiveRateIsNearAlpha) {
+  rng gen(7);
+  int rejections = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 18; ++i) {
+      a.push_back(gen.normal(0.9, 0.05));
+      b.push_back(gen.normal(0.9, 0.05));
+    }
+    rejections += mann_whitney_test(a, b, 0.05).reject ? 1 : 0;
+  }
+  EXPECT_LT(rejections, trials / 10);  // well-behaved under H0
+}
+
+TEST(MannWhitney, DetectsLocationShiftReliably) {
+  rng gen(9);
+  int rejections = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 18; ++i) {
+      a.push_back(gen.normal(0.95, 0.03));
+      b.push_back(gen.normal(0.75, 0.08));
+    }
+    rejections += mann_whitney_test(a, b, 0.05).reject ? 1 : 0;
+  }
+  EXPECT_GT(rejections, 95);
+}
+
+TEST(MannWhitney, HandlesHeavyTies) {
+  // PRR samples are heavily tied (many 1.0 entries); the tie-corrected
+  // variance must keep the test sane.
+  std::vector<double> a(20, 1.0);
+  std::vector<double> b(20, 1.0);
+  b[0] = 0.95;
+  const auto result = mann_whitney_test(a, b);
+  EXPECT_FALSE(result.reject);
+
+  std::vector<double> c(20, 1.0);
+  std::vector<double> d(20, 0.5);
+  EXPECT_TRUE(mann_whitney_test(c, d).reject);
+}
+
+TEST(MannWhitney, MatchesHandComputedU) {
+  // a = {1, 3}, b = {2, 4}: ranks a = {1, 3}, b = {2, 4}.
+  // U1 = R1 - n1(n1+1)/2 = 4 - 3 = 1; U2 = n1 n2 - U1 = 3; min = 1.
+  const auto result = mann_whitney_test({1.0, 3.0}, {2.0, 4.0});
+  EXPECT_DOUBLE_EQ(result.u_statistic, 1.0);
+}
+
+TEST(MannWhitney, RejectsInvalidInputs) {
+  EXPECT_THROW(mann_whitney_test({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(mann_whitney_test({1.0}, {1.0}, 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsan::stats

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/hop_matrix.h"
+#include "tsch/hopping.h"
+#include "tsch/schedule.h"
+#include "tsch/schedule_stats.h"
+#include "tsch/transmission.h"
+#include "tsch/validate.h"
+
+namespace wsan::tsch {
+namespace {
+
+transmission make_tx(node_id sender, node_id receiver, flow_id f = 0,
+                     int instance = 0, int link_index = 0, int attempt = 0) {
+  transmission tx;
+  tx.flow = f;
+  tx.instance = instance;
+  tx.link_index = link_index;
+  tx.attempt = attempt;
+  tx.sender = sender;
+  tx.receiver = receiver;
+  return tx;
+}
+
+// ------------------------------------------------------- transmission --
+
+TEST(Transmission, ConflictRequiresSharedNode) {
+  const auto a = make_tx(0, 1);
+  EXPECT_TRUE(a.conflicts_with(make_tx(1, 2)));   // shares node 1
+  EXPECT_TRUE(a.conflicts_with(make_tx(2, 0)));   // shares node 0
+  EXPECT_TRUE(a.conflicts_with(make_tx(0, 1)));   // identical
+  EXPECT_TRUE(a.conflicts_with(make_tx(1, 0)));   // reversed
+  EXPECT_FALSE(a.conflicts_with(make_tx(2, 3)));  // disjoint
+}
+
+// ----------------------------------------------------------- schedule --
+
+TEST(Schedule, StoresAndRetrievesPlacements) {
+  schedule s(10, 3);
+  const auto tx = make_tx(0, 1);
+  s.add(tx, 4, 2);
+  EXPECT_EQ(s.cell(4, 2).size(), 1u);
+  EXPECT_EQ(s.cell(4, 1).size(), 0u);
+  EXPECT_EQ(s.slot_transmissions(4).size(), 1u);
+  EXPECT_EQ(s.slot_transmissions(5).size(), 0u);
+  EXPECT_EQ(s.num_transmissions(), 1u);
+  EXPECT_EQ(s.placements().front().slot, 4);
+  EXPECT_EQ(s.placements().front().offset, 2);
+}
+
+TEST(Schedule, MultipleTransmissionsPerCell) {
+  schedule s(5, 2);
+  s.add(make_tx(0, 1), 1, 0);
+  s.add(make_tx(4, 5), 1, 0);
+  EXPECT_EQ(s.cell_size(1, 0), 2);
+  EXPECT_EQ(s.slot_transmissions(1).size(), 2u);
+}
+
+TEST(Schedule, BoundsAreChecked) {
+  schedule s(5, 2);
+  EXPECT_THROW(s.cell(5, 0), std::invalid_argument);
+  EXPECT_THROW(s.cell(0, 2), std::invalid_argument);
+  EXPECT_THROW(s.add(make_tx(0, 1), -1, 0), std::invalid_argument);
+  EXPECT_THROW(schedule(0, 2), std::invalid_argument);
+  EXPECT_THROW(schedule(5, 0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ hopping --
+
+TEST(Hopping, FollowsTheStandardFormula) {
+  // logicalChannel = (ASN + offset) mod |M|
+  EXPECT_EQ(logical_channel(0, 0, 4), 0);
+  EXPECT_EQ(logical_channel(5, 2, 4), 3);
+  EXPECT_EQ(logical_channel(6, 2, 4), 0);
+}
+
+TEST(Hopping, MapsLogicalToPhysical) {
+  const std::vector<channel_t> list{11, 12, 13, 14};
+  EXPECT_EQ(physical_channel(0, 0, list), 11);
+  EXPECT_EQ(physical_channel(1, 0, list), 12);
+  EXPECT_EQ(physical_channel(3, 3, list), 13);  // (3+3)%4=2 -> 13
+}
+
+TEST(Hopping, CellCyclesThroughAllChannels) {
+  const std::vector<channel_t> list{11, 12, 13};
+  std::set<channel_t> seen;
+  for (asn_t asn = 0; asn < 3; ++asn)
+    seen.insert(physical_channel(asn, 1, list));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Hopping, RejectsBadInputs) {
+  EXPECT_THROW(logical_channel(-1, 0, 4), std::invalid_argument);
+  EXPECT_THROW(logical_channel(0, 4, 4), std::invalid_argument);
+  EXPECT_THROW(logical_channel(0, 0, 0), std::invalid_argument);
+}
+
+// ----------------------------------------------------- schedule stats --
+
+TEST(ScheduleStats, TxPerChannelCountsOccupiedCells) {
+  schedule s(4, 2);
+  s.add(make_tx(0, 1), 0, 0);
+  s.add(make_tx(2, 3), 0, 1);
+  s.add(make_tx(4, 5), 1, 0);
+  s.add(make_tx(6, 7), 1, 0);
+  const auto hist = tx_per_channel_histogram(s);
+  EXPECT_EQ(hist.count(1), 2u);  // two cells with a single transmission
+  EXPECT_EQ(hist.count(2), 1u);  // one reusing cell
+  EXPECT_EQ(hist.total(), 3u);   // empty cells are not counted
+}
+
+TEST(ScheduleStats, ReuseHopCountUsesSenderReceiverPairs) {
+  // Path graph 0-1-2-3-4-5: hop(0,5)=5 etc.
+  graph::graph g(6);
+  for (int i = 0; i + 1 < 6; ++i) g.add_edge(i, i + 1);
+  const graph::hop_matrix hm(g);
+
+  schedule s(2, 1);
+  s.add(make_tx(0, 1), 0, 0);
+  s.add(make_tx(4, 5), 0, 0);
+  const auto hist = reuse_hop_count_histogram(s, hm);
+  // min(hop(0,5), hop(4,1)) = min(5, 3) = 3.
+  EXPECT_EQ(hist.total(), 1u);
+  EXPECT_EQ(hist.count(3), 1u);
+}
+
+TEST(ScheduleStats, NonReusingScheduleHasEmptyHopHistogram) {
+  graph::graph g(4);
+  g.add_edge(0, 1);
+  const graph::hop_matrix hm(g);
+  schedule s(2, 2);
+  s.add(make_tx(0, 1), 0, 0);
+  s.add(make_tx(2, 3), 0, 1);
+  EXPECT_TRUE(reuse_hop_count_histogram(s, hm).empty());
+  EXPECT_EQ(reusing_cell_count(s), 0u);
+}
+
+TEST(ScheduleStats, LinksInReuseCountsDistinctLinks) {
+  schedule s(3, 1);
+  s.add(make_tx(0, 1), 0, 0);
+  s.add(make_tx(4, 5), 0, 0);
+  s.add(make_tx(0, 1), 1, 0);  // same link again, reused with another
+  s.add(make_tx(6, 7), 1, 0);
+  s.add(make_tx(8, 9), 2, 0);  // alone: not associated with reuse
+  EXPECT_EQ(links_in_reuse_count(s), 3u);  // {0->1, 4->5, 6->7}
+  EXPECT_EQ(reusing_cell_count(s), 2u);
+}
+
+TEST(ScheduleStats, OccupancyCountsCellsAndSlots) {
+  schedule s(10, 2);  // 20 cells
+  s.add(make_tx(0, 1), 0, 0);
+  s.add(make_tx(4, 5), 0, 0);  // same cell
+  s.add(make_tx(2, 3), 0, 1);
+  s.add(make_tx(6, 7), 5, 0);
+  const auto stats = occupancy(s);
+  EXPECT_EQ(stats.total_cells, 20u);
+  EXPECT_EQ(stats.occupied_cells, 3u);
+  EXPECT_EQ(stats.busy_slots, 2u);
+  EXPECT_EQ(stats.transmissions, 4u);
+  EXPECT_DOUBLE_EQ(stats.cell_utilization(), 3.0 / 20.0);
+  EXPECT_DOUBLE_EQ(stats.mean_tx_per_slot(10), 0.4);
+}
+
+TEST(ScheduleStats, OccupancyOfEmptySchedule) {
+  schedule s(4, 4);
+  const auto stats = occupancy(s);
+  EXPECT_EQ(stats.occupied_cells, 0u);
+  EXPECT_DOUBLE_EQ(stats.cell_utilization(), 0.0);
+}
+
+// ----------------------------------------------------------- validate --
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  ValidateTest() : hops_(make_hops()) {}
+
+  static graph::hop_matrix make_hops() {
+    // Path 0-1-2-3-4-5.
+    graph::graph g(6);
+    for (int i = 0; i + 1 < 6; ++i) g.add_edge(i, i + 1);
+    return graph::hop_matrix(g);
+  }
+
+  static flow::flow make_flow() {
+    flow::flow f;
+    f.id = 0;
+    f.source = 0;
+    f.destination = 2;
+    f.period = 20;
+    f.deadline = 20;
+    f.route = {flow::link{0, 1}, flow::link{1, 2}};
+    f.uplink_links = 2;
+    return f;
+  }
+
+  graph::hop_matrix hops_;
+};
+
+TEST_F(ValidateTest, AcceptsAWellFormedSchedule) {
+  const auto f = make_flow();
+  schedule s(20, 2);
+  // link 0 (0->1): attempts at slots 0,1; link 1 (1->2): slots 2,3.
+  s.add(make_tx(0, 1, 0, 0, 0, 0), 0, 0);
+  s.add(make_tx(0, 1, 0, 0, 0, 1), 1, 0);
+  s.add(make_tx(1, 2, 0, 0, 1, 0), 2, 0);
+  s.add(make_tx(1, 2, 0, 0, 1, 1), 3, 0);
+  const auto result = validate_schedule(s, {f}, hops_);
+  EXPECT_TRUE(result.ok) << (result.violations.empty()
+                                 ? ""
+                                 : result.violations.front());
+}
+
+TEST_F(ValidateTest, DetectsMissingTransmissions) {
+  const auto f = make_flow();
+  schedule s(20, 2);
+  s.add(make_tx(0, 1, 0, 0, 0, 0), 0, 0);
+  const auto result = validate_schedule(s, {f}, hops_);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(ValidateTest, DetectsConflictsInSlot) {
+  const auto f = make_flow();
+  schedule s(20, 2);
+  s.add(make_tx(0, 1, 0, 0, 0, 0), 0, 0);
+  s.add(make_tx(0, 1, 0, 0, 0, 1), 0, 1);  // same node pair, same slot
+  s.add(make_tx(1, 2, 0, 0, 1, 0), 2, 0);
+  s.add(make_tx(1, 2, 0, 0, 1, 1), 3, 0);
+  const auto result = validate_schedule(s, {f}, hops_);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(ValidateTest, DetectsOrderingViolations) {
+  const auto f = make_flow();
+  schedule s(20, 2);
+  s.add(make_tx(0, 1, 0, 0, 0, 0), 5, 0);
+  s.add(make_tx(0, 1, 0, 0, 0, 1), 6, 0);
+  s.add(make_tx(1, 2, 0, 0, 1, 0), 4, 0);  // before its predecessor
+  s.add(make_tx(1, 2, 0, 0, 1, 1), 7, 0);
+  const auto result = validate_schedule(s, {f}, hops_);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(ValidateTest, DetectsReuseWhenForbidden) {
+  auto f = make_flow();
+  f.route = {flow::link{0, 1}};
+  f.uplink_links = 1;
+  auto f2 = f;
+  f2.id = 1;
+  f2.source = 4;
+  f2.destination = 5;
+  f2.route = {flow::link{4, 5}};
+
+  schedule s(20, 1);
+  s.add(make_tx(0, 1, 0, 0, 0, 0), 0, 0);
+  s.add(make_tx(4, 5, 1, 0, 0, 0), 0, 0);  // shares the cell
+  s.add(make_tx(0, 1, 0, 0, 0, 1), 1, 0);
+  s.add(make_tx(4, 5, 1, 0, 0, 1), 1, 0);
+
+  validation_options forbid;
+  forbid.min_reuse_hops = k_infinite_hops;
+  EXPECT_FALSE(validate_schedule(s, {f, f2}, hops_, forbid).ok);
+
+  validation_options allow;
+  allow.min_reuse_hops = 3;  // hop(0,5)=5, hop(4,1)=3 -> ok at rho=3
+  EXPECT_TRUE(validate_schedule(s, {f, f2}, hops_, allow).ok);
+
+  validation_options strict;
+  strict.min_reuse_hops = 4;  // hop(4,1)=3 < 4 -> violation
+  EXPECT_FALSE(validate_schedule(s, {f, f2}, hops_, strict).ok);
+}
+
+TEST_F(ValidateTest, DetectsDeadlineViolations) {
+  auto f = make_flow();
+  f.deadline = 3;  // only slots 0..2 usable
+  schedule s(20, 2);
+  s.add(make_tx(0, 1, 0, 0, 0, 0), 0, 0);
+  s.add(make_tx(0, 1, 0, 0, 0, 1), 1, 0);
+  s.add(make_tx(1, 2, 0, 0, 1, 0), 2, 0);
+  s.add(make_tx(1, 2, 0, 0, 1, 1), 3, 0);  // past deadline slot 2
+  EXPECT_FALSE(validate_schedule(s, {f}, hops_).ok);
+}
+
+TEST_F(ValidateTest, DetectsDuplicatePlacements) {
+  const auto f = make_flow();
+  schedule s(20, 2);
+  s.add(make_tx(0, 1, 0, 0, 0, 0), 0, 0);
+  s.add(make_tx(0, 1, 0, 0, 0, 0), 4, 0);  // same attempt twice
+  s.add(make_tx(0, 1, 0, 0, 0, 1), 1, 0);
+  s.add(make_tx(1, 2, 0, 0, 1, 0), 2, 0);
+  s.add(make_tx(1, 2, 0, 0, 1, 1), 3, 0);
+  EXPECT_FALSE(validate_schedule(s, {f}, hops_).ok);
+}
+
+TEST_F(ValidateTest, DetectsUnknownFlows) {
+  const auto f = make_flow();
+  schedule s(20, 2);
+  s.add(make_tx(0, 1, 0, 0, 0, 0), 0, 0);
+  s.add(make_tx(0, 1, 0, 0, 0, 1), 1, 0);
+  s.add(make_tx(1, 2, 0, 0, 1, 0), 2, 0);
+  s.add(make_tx(1, 2, 0, 0, 1, 1), 3, 0);
+  s.add(make_tx(3, 4, 9, 0, 0, 0), 5, 0);  // flow 9 does not exist
+  EXPECT_FALSE(validate_schedule(s, {f}, hops_).ok);
+}
+
+}  // namespace
+}  // namespace wsan::tsch

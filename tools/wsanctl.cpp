@@ -1,0 +1,296 @@
+// wsanctl — the command-line face of the library.
+//
+// Drives the whole WirelessHART pipeline over files so every stage can
+// be scripted, inspected, and re-run:
+//
+//   wsanctl topology --testbed wustl --out topo.txt
+//   wsanctl workload --topology topo.txt --channels 4 --flows 30 \
+//           --out flows.txt
+//   wsanctl schedule --topology topo.txt --workload flows.txt \
+//           --channels 4 --algo rc --out sched.txt --render
+//   wsanctl analyze  --workload flows.txt --channels 4
+//   wsanctl simulate --topology topo.txt --workload flows.txt \
+//           --schedule sched.txt --channels 4 --runs 100 --wifi
+//   wsanctl detect   --topology topo.txt --workload flows.txt \
+//           --schedule sched.txt --channels 4 --runs 108 --wifi
+#include <iostream>
+#include <string>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/analysis.h"
+#include "core/scheduler.h"
+#include "detect/detector.h"
+#include "flow/flow_generator.h"
+#include "flow/flow_io.h"
+#include "graph/algorithms.h"
+#include "graph/comm_graph.h"
+#include "graph/reuse_graph.h"
+#include "sim/simulator.h"
+#include "stats/summary.h"
+#include "topo/testbeds.h"
+#include "topo/topology_io.h"
+#include "tsch/diff.h"
+#include "tsch/latency.h"
+#include "tsch/render.h"
+#include "tsch/schedule_io.h"
+#include "tsch/schedule_stats.h"
+#include "tsch/validate.h"
+
+namespace {
+
+using namespace wsan;
+
+int usage() {
+  std::cout <<
+      R"(wsanctl <command> [--key value ...]
+
+commands:
+  topology   generate a testbed topology file
+             --testbed wustl|indriya  --seed N  --out FILE
+  workload   generate a routed, prioritized flow set
+             --topology FILE  --channels N  --flows N
+             --type p2p|centralized  --period-min EXP  --period-max EXP
+             --seed N  --out FILE
+  schedule   schedule a workload (NR/RA/RC)
+             --topology FILE  --workload FILE  --channels N
+             --algo nr|ra|rc  --rho N  --out FILE  [--render]
+  analyze    analytical response-time bounds (no reuse)
+             --workload FILE  --channels N
+  simulate   execute a schedule against the physical layer
+             --topology FILE  --workload FILE  --schedule FILE
+             --channels N  --runs N  [--wifi]  --seed N
+  detect     simulate, then classify reuse-degraded links
+             same flags as simulate
+  diff       compare two schedules
+             --before FILE  --after FILE
+  latency    per-flow end-to-end delay and slack of a schedule
+             --workload FILE  --schedule FILE
+)";
+  return 2;
+}
+
+struct environment {
+  topo::topology topology;
+  std::vector<channel_t> channels;
+  graph::graph comm;
+  graph::hop_matrix reuse_hops;
+};
+
+environment load_environment(const cli_args& args) {
+  environment env;
+  env.topology = topo::load_topology_file(args.get("topology", ""));
+  env.channels =
+      phy::channels(static_cast<int>(args.get_int("channels", 4)));
+  env.comm = graph::build_communication_graph(env.topology, env.channels);
+  env.reuse_hops = graph::hop_matrix(
+      graph::build_channel_reuse_graph(env.topology, env.channels));
+  return env;
+}
+
+int cmd_topology(const cli_args& args) {
+  const auto name = args.get("testbed", "wustl");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2));
+  const auto out = args.get("out", name + ".topo");
+  const auto topology =
+      name == "indriya" ? topo::make_indriya(seed) : topo::make_wustl(seed);
+  topo::save_topology_file(topology, out);
+  std::cout << "wrote " << topology.num_nodes() << "-node " << name
+            << " topology to " << out << "\n";
+  return 0;
+}
+
+int cmd_workload(const cli_args& args) {
+  const auto env = load_environment(args);
+  flow::flow_set_params params;
+  params.num_flows = static_cast<int>(args.get_int("flows", 30));
+  params.type = args.get("type", "p2p") == "centralized"
+                    ? flow::traffic_type::centralized
+                    : flow::traffic_type::peer_to_peer;
+  params.period_min_exp = static_cast<int>(args.get_int("period-min", 0));
+  params.period_max_exp = static_cast<int>(args.get_int("period-max", 2));
+  rng gen(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const auto set = flow::generate_flow_set(env.comm, params, gen);
+  const auto out = args.get("out", "workload.flows");
+  flow::save_flow_set_file(set, out);
+  std::cout << "wrote " << set.flows.size() << " "
+            << flow::to_string(params.type) << " flows (hyperperiod "
+            << flow::hyperperiod(set.flows) << " slots) to " << out
+            << "\n";
+  return 0;
+}
+
+int cmd_schedule(const cli_args& args) {
+  const auto env = load_environment(args);
+  const auto set = flow::load_flow_set_file(args.get("workload", ""));
+  const auto algo_name = args.get("algo", "rc");
+  core::algorithm algo = core::algorithm::rc;
+  if (algo_name == "nr") algo = core::algorithm::nr;
+  else if (algo_name == "ra") algo = core::algorithm::ra;
+  else if (algo_name != "rc")
+    throw std::invalid_argument("unknown --algo: " + algo_name);
+  const auto config = core::make_config(
+      algo, static_cast<int>(env.channels.size()),
+      static_cast<int>(args.get_int("rho", 2)));
+  const auto result =
+      core::schedule_flows(set.flows, env.reuse_hops, config);
+  if (!result.schedulable) {
+    std::cout << "UNSCHEDULABLE (first failing flow "
+              << result.first_failed_flow << ")\n";
+    return 1;
+  }
+  tsch::validation_options vopts;
+  vopts.min_reuse_hops =
+      algo == core::algorithm::nr ? k_infinite_hops : config.rho_t;
+  const auto validation = tsch::validate_schedule(
+      result.sched, set.flows, env.reuse_hops, vopts);
+  if (!validation.ok) {
+    std::cout << "internal error: schedule failed validation: "
+              << validation.violations.front() << "\n";
+    return 1;
+  }
+  const auto out = args.get("out", "schedule.sched");
+  tsch::save_schedule_file(result.sched, out);
+  const auto occ = tsch::occupancy(result.sched);
+  std::cout << "wrote " << result.sched.num_transmissions()
+            << " transmissions (" << result.stats.reuse_placements
+            << " via reuse, cell utilization "
+            << cell(occ.cell_utilization(), 3) << ") to " << out << "\n";
+  if (args.get_bool("render", false)) {
+    tsch::render_options ropts;
+    ropts.num_slots = 24;
+    tsch::render_schedule(result.sched, std::cout, ropts);
+  }
+  return 0;
+}
+
+int cmd_analyze(const cli_args& args) {
+  const auto set = flow::load_flow_set_file(args.get("workload", ""));
+  const int channels = static_cast<int>(args.get_int("channels", 4));
+  const auto analysis = core::analyze_response_times(set.flows, channels);
+  table t({"flow", "deadline", "bound", "guaranteed"});
+  for (const auto& bound : analysis.bounds) {
+    t.add_row({cell(bound.flow),
+               cell(set.flows[static_cast<std::size_t>(bound.flow)]
+                        .deadline),
+               cell(bound.bound), bound.guaranteed ? "yes" : "no"});
+  }
+  t.print(std::cout);
+  std::cout << (analysis.schedulable
+                    ? "workload is analytically guaranteed under NR\n"
+                    : "no analytical guarantee (the scheduler may still "
+                      "succeed)\n");
+  return analysis.schedulable ? 0 : 1;
+}
+
+sim::sim_result run_sim(const cli_args& args, const environment& env,
+                        const flow::flow_set& set,
+                        const tsch::schedule& sched) {
+  sim::sim_config config;
+  config.runs = static_cast<int>(args.get_int("runs", 100));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  if (args.get_bool("wifi", false))
+    config.interferers = sim::one_interferer_per_floor(env.topology, 0.3,
+                                                       8.0);
+  return sim::run_simulation(env.topology, sched, set.flows, env.channels,
+                             config);
+}
+
+int cmd_simulate(const cli_args& args) {
+  const auto env = load_environment(args);
+  const auto set = flow::load_flow_set_file(args.get("workload", ""));
+  const auto sched = tsch::load_schedule_file(args.get("schedule", ""));
+  const auto result = run_sim(args, env, set, sched);
+  const auto box = stats::make_box_stats(result.flow_pdr);
+  table t({"metric", "value"});
+  t.add_row({"network PDR", cell(result.network_pdr(), 4)});
+  t.add_row({"median flow PDR", cell(box.median, 4)});
+  t.add_row({"worst flow PDR", cell(box.min, 4)});
+  t.add_row({"energy (mJ)", cell(result.energy.total_mj, 1)});
+  t.add_row({"mJ per delivered packet",
+             cell(result.energy.mj_per_delivered(
+                      result.instances_delivered),
+                  3)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_detect(const cli_args& args) {
+  const auto env = load_environment(args);
+  const auto set = flow::load_flow_set_file(args.get("workload", ""));
+  const auto sched = tsch::load_schedule_file(args.get("schedule", ""));
+  const auto result = run_sim(args, env, set, sched);
+  const auto reports = detect::classify_links(result.links, {});
+  table t({"link", "verdict", "PRR reuse", "PRR cont.-free", "p-value"});
+  for (const auto& report : reports) {
+    if (report.verdict == detect::link_verdict::meets_requirement)
+      continue;
+    t.add_row({std::to_string(report.link.sender) + "->" +
+                   std::to_string(report.link.receiver),
+               detect::to_string(report.verdict),
+               cell(report.prr_reuse, 3),
+               cell(report.prr_contention_free, 3),
+               cell(report.ks.p_value, 4)});
+  }
+  if (reports.empty()) {
+    std::cout << "no links are associated with channel reuse in this "
+                 "schedule\n";
+  } else if (t.num_rows() == 0) {
+    std::cout << "all " << reports.size()
+              << " reuse-associated links meet the reliability "
+                 "requirement\n";
+  } else {
+    t.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_latency(const cli_args& args) {
+  const auto set = flow::load_flow_set_file(args.get("workload", ""));
+  const auto sched = tsch::load_schedule_file(args.get("schedule", ""));
+  const auto latencies = tsch::analyze_latency(sched, set.flows);
+  table t({"flow", "instances", "best delay", "mean delay", "worst delay",
+           "deadline", "min slack"});
+  for (const auto& lat : latencies) {
+    t.add_row({cell(lat.flow), cell(lat.instances), cell(lat.best_delay),
+               cell(lat.mean_delay, 1), cell(lat.worst_delay),
+               cell(set.flows[static_cast<std::size_t>(lat.flow)].deadline),
+               cell(lat.min_slack)});
+  }
+  t.print(std::cout);
+  std::cout << "max worst-case delay: " << tsch::max_worst_delay(latencies)
+            << " slots\n";
+  return 0;
+}
+
+int cmd_diff(const cli_args& args) {
+  const auto before = tsch::load_schedule_file(args.get("before", ""));
+  const auto after = tsch::load_schedule_file(args.get("after", ""));
+  const auto diff = tsch::diff_schedules(before, after);
+  std::cout << tsch::render_diff(diff);
+  return diff.identical() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const cli_args args(argc - 1, argv + 1);
+  try {
+    if (command == "topology") return cmd_topology(args);
+    if (command == "workload") return cmd_workload(args);
+    if (command == "schedule") return cmd_schedule(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "detect") return cmd_detect(args);
+    if (command == "diff") return cmd_diff(args);
+    if (command == "latency") return cmd_latency(args);
+    std::cerr << "unknown command: " << command << "\n";
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
