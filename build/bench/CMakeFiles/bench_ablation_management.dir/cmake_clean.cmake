@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_management.dir/bench_ablation_management.cpp.o"
+  "CMakeFiles/bench_ablation_management.dir/bench_ablation_management.cpp.o.d"
+  "bench_ablation_management"
+  "bench_ablation_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

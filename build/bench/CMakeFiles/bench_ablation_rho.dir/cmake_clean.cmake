@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rho.dir/bench_ablation_rho.cpp.o"
+  "CMakeFiles/bench_ablation_rho.dir/bench_ablation_rho.cpp.o.d"
+  "bench_ablation_rho"
+  "bench_ablation_rho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

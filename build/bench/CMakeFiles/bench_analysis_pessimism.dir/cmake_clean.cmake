@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_pessimism.dir/bench_analysis_pessimism.cpp.o"
+  "CMakeFiles/bench_analysis_pessimism.dir/bench_analysis_pessimism.cpp.o.d"
+  "bench_analysis_pessimism"
+  "bench_analysis_pessimism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_pessimism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_coexistence.cpp" "bench/CMakeFiles/bench_coexistence.dir/bench_coexistence.cpp.o" "gcc" "bench/CMakeFiles/bench_coexistence.dir/bench_coexistence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/wsan_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/manager/CMakeFiles/wsan_manager.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wsan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/wsan_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wsan_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsch/CMakeFiles/wsan_tsch.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/wsan_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wsan_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/wsan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wsan_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wsan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

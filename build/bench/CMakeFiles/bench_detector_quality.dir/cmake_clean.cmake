@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detector_quality.dir/bench_detector_quality.cpp.o"
+  "CMakeFiles/bench_detector_quality.dir/bench_detector_quality.cpp.o.d"
+  "bench_detector_quality"
+  "bench_detector_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detector_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

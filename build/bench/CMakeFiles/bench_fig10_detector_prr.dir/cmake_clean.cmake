@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_detector_prr.dir/bench_fig10_detector_prr.cpp.o"
+  "CMakeFiles/bench_fig10_detector_prr.dir/bench_fig10_detector_prr.cpp.o.d"
+  "bench_fig10_detector_prr"
+  "bench_fig10_detector_prr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_detector_prr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

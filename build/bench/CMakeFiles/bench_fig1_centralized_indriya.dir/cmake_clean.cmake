@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_centralized_indriya.dir/bench_fig1_centralized_indriya.cpp.o"
+  "CMakeFiles/bench_fig1_centralized_indriya.dir/bench_fig1_centralized_indriya.cpp.o.d"
+  "bench_fig1_centralized_indriya"
+  "bench_fig1_centralized_indriya.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_centralized_indriya.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

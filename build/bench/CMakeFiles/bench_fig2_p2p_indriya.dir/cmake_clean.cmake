@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_p2p_indriya.dir/bench_fig2_p2p_indriya.cpp.o"
+  "CMakeFiles/bench_fig2_p2p_indriya.dir/bench_fig2_p2p_indriya.cpp.o.d"
+  "bench_fig2_p2p_indriya"
+  "bench_fig2_p2p_indriya.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_p2p_indriya.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_p2p_wustl.dir/bench_fig3_p2p_wustl.cpp.o"
+  "CMakeFiles/bench_fig3_p2p_wustl.dir/bench_fig3_p2p_wustl.cpp.o.d"
+  "bench_fig3_p2p_wustl"
+  "bench_fig3_p2p_wustl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_p2p_wustl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_tx_per_channel.dir/bench_fig4_tx_per_channel.cpp.o"
+  "CMakeFiles/bench_fig4_tx_per_channel.dir/bench_fig4_tx_per_channel.cpp.o.d"
+  "bench_fig4_tx_per_channel"
+  "bench_fig4_tx_per_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tx_per_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

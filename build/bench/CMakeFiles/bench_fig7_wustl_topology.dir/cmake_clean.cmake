@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_wustl_topology.dir/bench_fig7_wustl_topology.cpp.o"
+  "CMakeFiles/bench_fig7_wustl_topology.dir/bench_fig7_wustl_topology.cpp.o.d"
+  "bench_fig7_wustl_topology"
+  "bench_fig7_wustl_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_wustl_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

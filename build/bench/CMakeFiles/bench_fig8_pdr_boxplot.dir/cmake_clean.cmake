@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_pdr_boxplot.dir/bench_fig8_pdr_boxplot.cpp.o"
+  "CMakeFiles/bench_fig8_pdr_boxplot.dir/bench_fig8_pdr_boxplot.cpp.o.d"
+  "bench_fig8_pdr_boxplot"
+  "bench_fig8_pdr_boxplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_pdr_boxplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

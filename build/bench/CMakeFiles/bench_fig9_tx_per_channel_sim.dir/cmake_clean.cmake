@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_tx_per_channel_sim.dir/bench_fig9_tx_per_channel_sim.cpp.o"
+  "CMakeFiles/bench_fig9_tx_per_channel_sim.dir/bench_fig9_tx_per_channel_sim.cpp.o.d"
+  "bench_fig9_tx_per_channel_sim"
+  "bench_fig9_tx_per_channel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tx_per_channel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

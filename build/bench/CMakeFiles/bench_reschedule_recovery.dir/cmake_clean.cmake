@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reschedule_recovery.dir/bench_reschedule_recovery.cpp.o"
+  "CMakeFiles/bench_reschedule_recovery.dir/bench_reschedule_recovery.cpp.o.d"
+  "bench_reschedule_recovery"
+  "bench_reschedule_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reschedule_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

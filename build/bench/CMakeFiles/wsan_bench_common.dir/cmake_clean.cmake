@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsan_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/wsan_bench_common.dir/bench_common.cpp.o.d"
+  "libwsan_bench_common.a"
+  "libwsan_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsan_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_reuse.dir/adaptive_reuse.cpp.o"
+  "CMakeFiles/adaptive_reuse.dir/adaptive_reuse.cpp.o.d"
+  "adaptive_reuse"
+  "adaptive_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

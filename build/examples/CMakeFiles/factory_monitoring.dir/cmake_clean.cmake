@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factory_monitoring.dir/factory_monitoring.cpp.o"
+  "CMakeFiles/factory_monitoring.dir/factory_monitoring.cpp.o.d"
+  "factory_monitoring"
+  "factory_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factory_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interference_detection.dir/interference_detection.cpp.o"
+  "CMakeFiles/interference_detection.dir/interference_detection.cpp.o.d"
+  "interference_detection"
+  "interference_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interference_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsan_common.dir/cli.cpp.o"
+  "CMakeFiles/wsan_common.dir/cli.cpp.o.d"
+  "CMakeFiles/wsan_common.dir/histogram.cpp.o"
+  "CMakeFiles/wsan_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/wsan_common.dir/rng.cpp.o"
+  "CMakeFiles/wsan_common.dir/rng.cpp.o.d"
+  "CMakeFiles/wsan_common.dir/table.cpp.o"
+  "CMakeFiles/wsan_common.dir/table.cpp.o.d"
+  "libwsan_common.a"
+  "libwsan_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsan_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

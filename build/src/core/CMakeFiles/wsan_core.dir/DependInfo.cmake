@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/wsan_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/wsan_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/constraints.cpp" "src/core/CMakeFiles/wsan_core.dir/constraints.cpp.o" "gcc" "src/core/CMakeFiles/wsan_core.dir/constraints.cpp.o.d"
+  "/root/repo/src/core/exhaustive.cpp" "src/core/CMakeFiles/wsan_core.dir/exhaustive.cpp.o" "gcc" "src/core/CMakeFiles/wsan_core.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/core/laxity.cpp" "src/core/CMakeFiles/wsan_core.dir/laxity.cpp.o" "gcc" "src/core/CMakeFiles/wsan_core.dir/laxity.cpp.o.d"
+  "/root/repo/src/core/rescheduler.cpp" "src/core/CMakeFiles/wsan_core.dir/rescheduler.cpp.o" "gcc" "src/core/CMakeFiles/wsan_core.dir/rescheduler.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/wsan_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/wsan_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/slot_finder.cpp" "src/core/CMakeFiles/wsan_core.dir/slot_finder.cpp.o" "gcc" "src/core/CMakeFiles/wsan_core.dir/slot_finder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/wsan_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wsan_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsch/CMakeFiles/wsan_tsch.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/wsan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wsan_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

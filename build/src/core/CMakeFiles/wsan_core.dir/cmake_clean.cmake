@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsan_core.dir/analysis.cpp.o"
+  "CMakeFiles/wsan_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/wsan_core.dir/constraints.cpp.o"
+  "CMakeFiles/wsan_core.dir/constraints.cpp.o.d"
+  "CMakeFiles/wsan_core.dir/exhaustive.cpp.o"
+  "CMakeFiles/wsan_core.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/wsan_core.dir/laxity.cpp.o"
+  "CMakeFiles/wsan_core.dir/laxity.cpp.o.d"
+  "CMakeFiles/wsan_core.dir/rescheduler.cpp.o"
+  "CMakeFiles/wsan_core.dir/rescheduler.cpp.o.d"
+  "CMakeFiles/wsan_core.dir/scheduler.cpp.o"
+  "CMakeFiles/wsan_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/wsan_core.dir/slot_finder.cpp.o"
+  "CMakeFiles/wsan_core.dir/slot_finder.cpp.o.d"
+  "libwsan_core.a"
+  "libwsan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

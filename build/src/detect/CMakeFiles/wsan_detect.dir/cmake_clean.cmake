@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsan_detect.dir/detector.cpp.o"
+  "CMakeFiles/wsan_detect.dir/detector.cpp.o.d"
+  "CMakeFiles/wsan_detect.dir/evaluation.cpp.o"
+  "CMakeFiles/wsan_detect.dir/evaluation.cpp.o.d"
+  "libwsan_detect.a"
+  "libwsan_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsan_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

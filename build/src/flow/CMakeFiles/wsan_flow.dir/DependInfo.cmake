@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/flow.cpp" "src/flow/CMakeFiles/wsan_flow.dir/flow.cpp.o" "gcc" "src/flow/CMakeFiles/wsan_flow.dir/flow.cpp.o.d"
+  "/root/repo/src/flow/flow_generator.cpp" "src/flow/CMakeFiles/wsan_flow.dir/flow_generator.cpp.o" "gcc" "src/flow/CMakeFiles/wsan_flow.dir/flow_generator.cpp.o.d"
+  "/root/repo/src/flow/flow_io.cpp" "src/flow/CMakeFiles/wsan_flow.dir/flow_io.cpp.o" "gcc" "src/flow/CMakeFiles/wsan_flow.dir/flow_io.cpp.o.d"
+  "/root/repo/src/flow/priority.cpp" "src/flow/CMakeFiles/wsan_flow.dir/priority.cpp.o" "gcc" "src/flow/CMakeFiles/wsan_flow.dir/priority.cpp.o.d"
+  "/root/repo/src/flow/router.cpp" "src/flow/CMakeFiles/wsan_flow.dir/router.cpp.o" "gcc" "src/flow/CMakeFiles/wsan_flow.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wsan_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/wsan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wsan_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

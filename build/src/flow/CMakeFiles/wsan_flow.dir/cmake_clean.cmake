@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsan_flow.dir/flow.cpp.o"
+  "CMakeFiles/wsan_flow.dir/flow.cpp.o.d"
+  "CMakeFiles/wsan_flow.dir/flow_generator.cpp.o"
+  "CMakeFiles/wsan_flow.dir/flow_generator.cpp.o.d"
+  "CMakeFiles/wsan_flow.dir/flow_io.cpp.o"
+  "CMakeFiles/wsan_flow.dir/flow_io.cpp.o.d"
+  "CMakeFiles/wsan_flow.dir/priority.cpp.o"
+  "CMakeFiles/wsan_flow.dir/priority.cpp.o.d"
+  "CMakeFiles/wsan_flow.dir/router.cpp.o"
+  "CMakeFiles/wsan_flow.dir/router.cpp.o.d"
+  "libwsan_flow.a"
+  "libwsan_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsan_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

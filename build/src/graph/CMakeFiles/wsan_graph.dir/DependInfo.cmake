@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cpp" "src/graph/CMakeFiles/wsan_graph.dir/algorithms.cpp.o" "gcc" "src/graph/CMakeFiles/wsan_graph.dir/algorithms.cpp.o.d"
+  "/root/repo/src/graph/comm_graph.cpp" "src/graph/CMakeFiles/wsan_graph.dir/comm_graph.cpp.o" "gcc" "src/graph/CMakeFiles/wsan_graph.dir/comm_graph.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/wsan_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/wsan_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/hop_matrix.cpp" "src/graph/CMakeFiles/wsan_graph.dir/hop_matrix.cpp.o" "gcc" "src/graph/CMakeFiles/wsan_graph.dir/hop_matrix.cpp.o.d"
+  "/root/repo/src/graph/reuse_graph.cpp" "src/graph/CMakeFiles/wsan_graph.dir/reuse_graph.cpp.o" "gcc" "src/graph/CMakeFiles/wsan_graph.dir/reuse_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/wsan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wsan_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsan_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/wsan_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/wsan_graph.dir/comm_graph.cpp.o"
+  "CMakeFiles/wsan_graph.dir/comm_graph.cpp.o.d"
+  "CMakeFiles/wsan_graph.dir/graph.cpp.o"
+  "CMakeFiles/wsan_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/wsan_graph.dir/hop_matrix.cpp.o"
+  "CMakeFiles/wsan_graph.dir/hop_matrix.cpp.o.d"
+  "CMakeFiles/wsan_graph.dir/reuse_graph.cpp.o"
+  "CMakeFiles/wsan_graph.dir/reuse_graph.cpp.o.d"
+  "libwsan_graph.a"
+  "libwsan_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsan_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

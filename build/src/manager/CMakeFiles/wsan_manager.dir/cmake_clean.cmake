@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsan_manager.dir/network_manager.cpp.o"
+  "CMakeFiles/wsan_manager.dir/network_manager.cpp.o.d"
+  "libwsan_manager.a"
+  "libwsan_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsan_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/capture.cpp" "src/phy/CMakeFiles/wsan_phy.dir/capture.cpp.o" "gcc" "src/phy/CMakeFiles/wsan_phy.dir/capture.cpp.o.d"
+  "/root/repo/src/phy/channel.cpp" "src/phy/CMakeFiles/wsan_phy.dir/channel.cpp.o" "gcc" "src/phy/CMakeFiles/wsan_phy.dir/channel.cpp.o.d"
+  "/root/repo/src/phy/link_model.cpp" "src/phy/CMakeFiles/wsan_phy.dir/link_model.cpp.o" "gcc" "src/phy/CMakeFiles/wsan_phy.dir/link_model.cpp.o.d"
+  "/root/repo/src/phy/path_loss.cpp" "src/phy/CMakeFiles/wsan_phy.dir/path_loss.cpp.o" "gcc" "src/phy/CMakeFiles/wsan_phy.dir/path_loss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

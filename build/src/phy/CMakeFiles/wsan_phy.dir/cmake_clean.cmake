@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsan_phy.dir/capture.cpp.o"
+  "CMakeFiles/wsan_phy.dir/capture.cpp.o.d"
+  "CMakeFiles/wsan_phy.dir/channel.cpp.o"
+  "CMakeFiles/wsan_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/wsan_phy.dir/link_model.cpp.o"
+  "CMakeFiles/wsan_phy.dir/link_model.cpp.o.d"
+  "CMakeFiles/wsan_phy.dir/path_loss.cpp.o"
+  "CMakeFiles/wsan_phy.dir/path_loss.cpp.o.d"
+  "libwsan_phy.a"
+  "libwsan_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsan_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwsan_phy.a"
+)

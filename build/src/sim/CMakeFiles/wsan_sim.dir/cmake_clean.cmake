@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsan_sim.dir/coexistence.cpp.o"
+  "CMakeFiles/wsan_sim.dir/coexistence.cpp.o.d"
+  "CMakeFiles/wsan_sim.dir/interference.cpp.o"
+  "CMakeFiles/wsan_sim.dir/interference.cpp.o.d"
+  "CMakeFiles/wsan_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wsan_sim.dir/simulator.cpp.o.d"
+  "libwsan_sim.a"
+  "libwsan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

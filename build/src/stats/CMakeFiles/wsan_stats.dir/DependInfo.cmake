@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/wsan_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/wsan_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/wsan_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/wsan_stats.dir/ks_test.cpp.o.d"
+  "/root/repo/src/stats/mann_whitney.cpp" "src/stats/CMakeFiles/wsan_stats.dir/mann_whitney.cpp.o" "gcc" "src/stats/CMakeFiles/wsan_stats.dir/mann_whitney.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/wsan_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/wsan_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsan_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/wsan_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/wsan_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/wsan_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/wsan_stats.dir/mann_whitney.cpp.o"
+  "CMakeFiles/wsan_stats.dir/mann_whitney.cpp.o.d"
+  "CMakeFiles/wsan_stats.dir/summary.cpp.o"
+  "CMakeFiles/wsan_stats.dir/summary.cpp.o.d"
+  "libwsan_stats.a"
+  "libwsan_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsan_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/merge.cpp" "src/topo/CMakeFiles/wsan_topo.dir/merge.cpp.o" "gcc" "src/topo/CMakeFiles/wsan_topo.dir/merge.cpp.o.d"
+  "/root/repo/src/topo/testbeds.cpp" "src/topo/CMakeFiles/wsan_topo.dir/testbeds.cpp.o" "gcc" "src/topo/CMakeFiles/wsan_topo.dir/testbeds.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/wsan_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/wsan_topo.dir/topology.cpp.o.d"
+  "/root/repo/src/topo/topology_io.cpp" "src/topo/CMakeFiles/wsan_topo.dir/topology_io.cpp.o" "gcc" "src/topo/CMakeFiles/wsan_topo.dir/topology_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wsan_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsan_topo.dir/merge.cpp.o"
+  "CMakeFiles/wsan_topo.dir/merge.cpp.o.d"
+  "CMakeFiles/wsan_topo.dir/testbeds.cpp.o"
+  "CMakeFiles/wsan_topo.dir/testbeds.cpp.o.d"
+  "CMakeFiles/wsan_topo.dir/topology.cpp.o"
+  "CMakeFiles/wsan_topo.dir/topology.cpp.o.d"
+  "CMakeFiles/wsan_topo.dir/topology_io.cpp.o"
+  "CMakeFiles/wsan_topo.dir/topology_io.cpp.o.d"
+  "libwsan_topo.a"
+  "libwsan_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsan_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

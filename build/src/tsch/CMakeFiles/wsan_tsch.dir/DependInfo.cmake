@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsch/diff.cpp" "src/tsch/CMakeFiles/wsan_tsch.dir/diff.cpp.o" "gcc" "src/tsch/CMakeFiles/wsan_tsch.dir/diff.cpp.o.d"
+  "/root/repo/src/tsch/hopping.cpp" "src/tsch/CMakeFiles/wsan_tsch.dir/hopping.cpp.o" "gcc" "src/tsch/CMakeFiles/wsan_tsch.dir/hopping.cpp.o.d"
+  "/root/repo/src/tsch/latency.cpp" "src/tsch/CMakeFiles/wsan_tsch.dir/latency.cpp.o" "gcc" "src/tsch/CMakeFiles/wsan_tsch.dir/latency.cpp.o.d"
+  "/root/repo/src/tsch/render.cpp" "src/tsch/CMakeFiles/wsan_tsch.dir/render.cpp.o" "gcc" "src/tsch/CMakeFiles/wsan_tsch.dir/render.cpp.o.d"
+  "/root/repo/src/tsch/schedule.cpp" "src/tsch/CMakeFiles/wsan_tsch.dir/schedule.cpp.o" "gcc" "src/tsch/CMakeFiles/wsan_tsch.dir/schedule.cpp.o.d"
+  "/root/repo/src/tsch/schedule_io.cpp" "src/tsch/CMakeFiles/wsan_tsch.dir/schedule_io.cpp.o" "gcc" "src/tsch/CMakeFiles/wsan_tsch.dir/schedule_io.cpp.o.d"
+  "/root/repo/src/tsch/schedule_stats.cpp" "src/tsch/CMakeFiles/wsan_tsch.dir/schedule_stats.cpp.o" "gcc" "src/tsch/CMakeFiles/wsan_tsch.dir/schedule_stats.cpp.o.d"
+  "/root/repo/src/tsch/validate.cpp" "src/tsch/CMakeFiles/wsan_tsch.dir/validate.cpp.o" "gcc" "src/tsch/CMakeFiles/wsan_tsch.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/wsan_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wsan_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/wsan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wsan_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsan_tsch.dir/diff.cpp.o"
+  "CMakeFiles/wsan_tsch.dir/diff.cpp.o.d"
+  "CMakeFiles/wsan_tsch.dir/hopping.cpp.o"
+  "CMakeFiles/wsan_tsch.dir/hopping.cpp.o.d"
+  "CMakeFiles/wsan_tsch.dir/latency.cpp.o"
+  "CMakeFiles/wsan_tsch.dir/latency.cpp.o.d"
+  "CMakeFiles/wsan_tsch.dir/render.cpp.o"
+  "CMakeFiles/wsan_tsch.dir/render.cpp.o.d"
+  "CMakeFiles/wsan_tsch.dir/schedule.cpp.o"
+  "CMakeFiles/wsan_tsch.dir/schedule.cpp.o.d"
+  "CMakeFiles/wsan_tsch.dir/schedule_io.cpp.o"
+  "CMakeFiles/wsan_tsch.dir/schedule_io.cpp.o.d"
+  "CMakeFiles/wsan_tsch.dir/schedule_stats.cpp.o"
+  "CMakeFiles/wsan_tsch.dir/schedule_stats.cpp.o.d"
+  "CMakeFiles/wsan_tsch.dir/validate.cpp.o"
+  "CMakeFiles/wsan_tsch.dir/validate.cpp.o.d"
+  "libwsan_tsch.a"
+  "libwsan_tsch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsan_tsch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

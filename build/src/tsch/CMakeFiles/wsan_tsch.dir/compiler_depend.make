@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wsan_tsch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coexistence_test.dir/coexistence_test.cpp.o"
+  "CMakeFiles/coexistence_test.dir/coexistence_test.cpp.o.d"
+  "coexistence_test"
+  "coexistence_test.pdb"
+  "coexistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coexistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

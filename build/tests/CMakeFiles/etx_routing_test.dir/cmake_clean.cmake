@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etx_routing_test.dir/etx_routing_test.cpp.o"
+  "CMakeFiles/etx_routing_test.dir/etx_routing_test.cpp.o.d"
+  "etx_routing_test"
+  "etx_routing_test.pdb"
+  "etx_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etx_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_render_test.dir/io_render_test.cpp.o"
+  "CMakeFiles/io_render_test.dir/io_render_test.cpp.o.d"
+  "io_render_test"
+  "io_render_test.pdb"
+  "io_render_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mann_whitney_test.dir/mann_whitney_test.cpp.o"
+  "CMakeFiles/mann_whitney_test.dir/mann_whitney_test.cpp.o.d"
+  "mann_whitney_test"
+  "mann_whitney_test.pdb"
+  "mann_whitney_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mann_whitney_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rescheduler_test.dir/rescheduler_test.cpp.o"
+  "CMakeFiles/rescheduler_test.dir/rescheduler_test.cpp.o.d"
+  "rescheduler_test"
+  "rescheduler_test.pdb"
+  "rescheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rescheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

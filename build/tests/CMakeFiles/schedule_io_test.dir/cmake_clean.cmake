@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_io_test.dir/schedule_io_test.cpp.o"
+  "CMakeFiles/schedule_io_test.dir/schedule_io_test.cpp.o.d"
+  "schedule_io_test"
+  "schedule_io_test.pdb"
+  "schedule_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

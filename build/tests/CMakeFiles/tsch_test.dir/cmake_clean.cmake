@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsch_test.dir/tsch_test.cpp.o"
+  "CMakeFiles/tsch_test.dir/tsch_test.cpp.o.d"
+  "tsch_test"
+  "tsch_test.pdb"
+  "tsch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/phy_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/tsch_test[1]_include.cmake")
+include("/root/repo/build/tests/core_constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/core_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/detect_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_io_test[1]_include.cmake")
+include("/root/repo/build/tests/mann_whitney_test[1]_include.cmake")
+include("/root/repo/build/tests/rescheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluation_test[1]_include.cmake")
+include("/root/repo/build/tests/manager_test[1]_include.cmake")
+include("/root/repo/build/tests/latency_test[1]_include.cmake")
+include("/root/repo/build/tests/energy_test[1]_include.cmake")
+include("/root/repo/build/tests/etx_routing_test[1]_include.cmake")
+include("/root/repo/build/tests/io_render_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/exhaustive_test[1]_include.cmake")
+include("/root/repo/build/tests/diff_test[1]_include.cmake")
+include("/root/repo/build/tests/coexistence_test[1]_include.cmake")

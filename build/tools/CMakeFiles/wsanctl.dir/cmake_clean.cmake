@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsanctl.dir/wsanctl.cpp.o"
+  "CMakeFiles/wsanctl.dir/wsanctl.cpp.o.d"
+  "wsanctl"
+  "wsanctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsanctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

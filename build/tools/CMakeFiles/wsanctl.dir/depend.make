@@ -1,0 +1,2 @@
+# Empty dependencies file for wsanctl.
+# This may be replaced when dependencies are built.
