@@ -47,9 +47,11 @@ void BM_CommGraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_CommGraphBuild);
 
-void BM_Scheduler(benchmark::State& state, core::algorithm algo) {
+void BM_Scheduler(benchmark::State& state, core::algorithm algo,
+                  bool use_index = true) {
   const auto set = workload(static_cast<int>(state.range(0)), 31);
-  const auto config = core::make_config(algo, 4);
+  auto config = core::make_config(algo, 4);
+  config.use_occupancy_index = use_index;
   for (auto _ : state) {
     auto result = core::schedule_flows(set.flows, env().reuse_hops, config);
     benchmark::DoNotOptimize(result.schedulable);
@@ -66,9 +68,48 @@ void BM_SchedulerRA(benchmark::State& state) {
 void BM_SchedulerRC(benchmark::State& state) {
   BM_Scheduler(state, core::algorithm::rc);
 }
+/// The naive reference scans (occupancy index off) — the before/after
+/// pair for the indexed hot path.
+void BM_SchedulerRCNaive(benchmark::State& state) {
+  BM_Scheduler(state, core::algorithm::rc, /*use_index=*/false);
+}
 BENCHMARK(BM_SchedulerNR)->Arg(10)->Arg(20)->Arg(40);
 BENCHMARK(BM_SchedulerRA)->Arg(10)->Arg(20)->Arg(40);
 BENCHMARK(BM_SchedulerRC)->Arg(10)->Arg(20)->Arg(40);
+BENCHMARK(BM_SchedulerRCNaive)->Arg(10)->Arg(20)->Arg(40);
+
+/// One laxity evaluation over a populated schedule: indexed (one pass
+/// over busy-slot bitset words) vs naive (|post| scans of every slot's
+/// transmission list).
+void BM_Laxity(benchmark::State& state, bool use_index) {
+  const auto set = workload(30, 31);
+  const auto config = core::make_config(core::algorithm::rc, 4);
+  const auto scheduled =
+      core::schedule_flows(set.flows, env().reuse_hops, config);
+  if (!scheduled.schedulable) {
+    state.SkipWithError("workload unschedulable");
+    return;
+  }
+  // A synthetic remaining sequence walking distinct nodes.
+  std::vector<tsch::transmission> post;
+  for (int i = 0; i < 8; ++i) {
+    tsch::transmission tx;
+    tx.sender = i;
+    tx.receiver = i + 1;
+    post.push_back(tx);
+  }
+  const slot_t deadline = scheduled.sched.num_slots() - 1;
+  for (auto _ : state) {
+    auto laxity = core::calculate_laxity(scheduled.sched, post, 0,
+                                         deadline, 0, use_index);
+    benchmark::DoNotOptimize(laxity);
+  }
+}
+
+void BM_LaxityIndexed(benchmark::State& state) { BM_Laxity(state, true); }
+void BM_LaxityNaive(benchmark::State& state) { BM_Laxity(state, false); }
+BENCHMARK(BM_LaxityIndexed);
+BENCHMARK(BM_LaxityNaive);
 
 void BM_KsTest(benchmark::State& state) {
   rng gen(7);

@@ -53,6 +53,14 @@ struct scheduler_config {
   /// reproductions run without it, matching the paper's data-plane
   /// framing; the ablation bench quantifies its cost).
   int management_slot_period = 0;
+  /// When true (the default), the scheduler's transmission-conflict
+  /// checks and laxity accounting run on the schedule's incremental
+  /// occupancy index (per-node busy-slot bitsets + per-cell load
+  /// counters). When false, they fall back to the naive scans over
+  /// slot_transmissions()/cell() — the reference oracle the equivalence
+  /// tests compare against. Both paths must produce placement-identical
+  /// schedules.
+  bool use_occupancy_index = true;
   /// Directed links whose transmissions must stay contention-free: they
   /// get exclusive cells, and no other transmission may join a cell they
   /// occupy. This is the remedy Section VI motivates — once the

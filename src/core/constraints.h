@@ -17,7 +17,10 @@
 
 namespace wsan::core {
 
-/// Constraint 1: true iff tx conflicts with none of slot_txs.
+/// Constraint 1: true iff tx conflicts with none of slot_txs. This is
+/// the reference scan; tsch::schedule::slot_conflict_free answers the
+/// same predicate in O(1) from the occupancy index, and the scheduler's
+/// equivalence tests hold the two to identical placements.
 bool conflict_free(const tsch::transmission& tx,
                    const std::vector<tsch::transmission>& slot_txs);
 

@@ -118,7 +118,9 @@ schedule_result schedule_flows(const std::vector<flow::flow>& flows,
             found = find_slot(result.sched, tx, earliest, d_i,
                               k_infinite_hops, reuse_hops, config.policy,
                               &config.isolated_links,
-                              config.management_slot_period);
+                              config.management_slot_period,
+                              config.use_occupancy_index,
+                              &result.stats.probes);
             break;
           }
           case algorithm::ra: {
@@ -126,7 +128,9 @@ schedule_result schedule_flows(const std::vector<flow::flow>& flows,
             found = find_slot(result.sched, tx, earliest, d_i,
                               config.rho_t, reuse_hops, config.policy,
                               &config.isolated_links,
-                              config.management_slot_period);
+                              config.management_slot_period,
+                              config.use_occupancy_index,
+                              &result.stats.probes);
             break;
           }
           case algorithm::rc: {
@@ -138,12 +142,17 @@ schedule_result schedule_flows(const std::vector<flow::flow>& flows,
               found = find_slot(result.sched, tx, earliest, d_i, rho,
                                 reuse_hops, config.policy,
                                 &config.isolated_links,
-                                config.management_slot_period);
+                                config.management_slot_period,
+                                config.use_occupancy_index,
+                                &result.stats.probes);
               bool laxity_ok = false;
               if (found) {
                 ++result.stats.laxity_evaluations;
-                laxity_ok = calculate_laxity(result.sched, post,
-                                             found->slot, d_i) >= 0;
+                laxity_ok =
+                    calculate_laxity(result.sched, post, found->slot, d_i,
+                                     config.management_slot_period,
+                                     config.use_occupancy_index,
+                                     &result.stats.probes) >= 0;
               }
               if (laxity_ok) break;
               if (rho == k_infinite_hops) {

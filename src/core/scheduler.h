@@ -9,6 +9,7 @@
 #include "flow/flow.h"
 #include "graph/hop_matrix.h"
 #include "tsch/schedule.h"
+#include "tsch/schedule_stats.h"
 
 namespace wsan::core {
 
@@ -19,6 +20,9 @@ struct scheduler_stats {
   std::size_t laxity_evaluations = 0;
   /// Times RC switched a transmission from rho = infinity to reuse.
   std::size_t reuse_activations = 0;
+  /// Hot-path work: slots scanned, cells probed, checks answered by the
+  /// occupancy index (see scheduler_config::use_occupancy_index).
+  tsch::probe_stats probes;
 };
 
 struct schedule_result {

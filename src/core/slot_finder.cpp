@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "core/constraints.h"
+#include "tsch/schedule_stats.h"
 
 namespace wsan::core {
 
@@ -29,22 +30,46 @@ std::optional<slot_assignment> find_slot(
     slot_t earliest, slot_t latest, int rho,
     const graph::hop_matrix& reuse_hops, channel_policy policy,
     const std::set<std::pair<node_id, node_id>>* isolated,
-    int management_slot_period) {
+    int management_slot_period, bool use_index,
+    tsch::probe_stats* probes) {
   WSAN_REQUIRE(earliest >= 0, "earliest slot must be non-negative");
   WSAN_REQUIRE(management_slot_period >= 0,
                "management slot period must be non-negative");
   const slot_t end = std::min<slot_t>(latest, sched.num_slots() - 1);
   for (slot_t s = earliest; s <= end; ++s) {
     if (is_management_slot(s, management_slot_period)) continue;
-    if (!conflict_free(tx, sched.slot_transmissions(s))) continue;
+    if (probes != nullptr) ++probes->slots_scanned;
+    if (use_index) {
+      if (probes != nullptr) ++probes->index_hits;
+      if (!sched.slot_conflict_free(tx, s)) continue;
+    } else {
+      if (!conflict_free(tx, sched.slot_transmissions(s))) continue;
+    }
 
     offset_t best = k_invalid_offset;
     int best_load = 0;
     for (offset_t c = 0; c < sched.num_offsets(); ++c) {
-      const auto& cell = sched.cell(s, c);
-      if (!channel_constraint_ok(tx, cell, rho, reuse_hops)) continue;
-      if (!isolation_ok(tx, cell, isolated)) continue;
-      const int load = static_cast<int>(cell.size());
+      if (probes != nullptr) ++probes->cells_probed;
+      int load;
+      if (use_index) {
+        if (probes != nullptr) ++probes->index_hits;
+        load = sched.cell_load(s, c);
+        // An empty cell passes the channel constraint and isolation
+        // trivially — the cached load answers the probe without
+        // touching the cell contents.
+        if (load > 0) {
+          const auto& cell = sched.cell(s, c);
+          if (!channel_constraint_ok(tx, cell, rho, reuse_hops)) continue;
+          if (!isolation_ok(tx, cell, isolated)) continue;
+        }
+      } else {
+        const auto& cell = sched.cell(s, c);
+        if (!channel_constraint_ok(tx, cell, rho, reuse_hops)) continue;
+        if (!isolation_ok(tx, cell, isolated)) continue;
+        load = static_cast<int>(cell.size());
+      }
+      // Strict comparisons keep the tie-break deterministic: the first
+      // (lowest) valid offset at the winning load is retained.
       const bool better = [&] {
         if (best == k_invalid_offset) return true;
         switch (policy) {

@@ -10,6 +10,10 @@
 #include "graph/hop_matrix.h"
 #include "tsch/schedule.h"
 
+namespace wsan::tsch {
+struct probe_stats;
+}  // namespace wsan::tsch
+
 namespace wsan::core {
 
 struct slot_assignment {
@@ -23,16 +27,28 @@ struct slot_assignment {
 /// min_load: the channel with the fewest scheduled transmissions).
 /// Returns nullopt when no slot in the window works.
 ///
+/// Offset selection is deterministic: min_load takes the least-loaded
+/// valid offset, max_reuse the most-loaded, and on equal load the
+/// lowest offset index wins in every policy (first_fit is exactly that
+/// rule). min_load stops probing once an empty cell appears — no valid
+/// offset can beat load 0.
+///
 /// When `isolated` is non-null, transmissions over listed links only
 /// accept empty cells, and cells holding a listed link's transmission
 /// accept nobody else (reschedule-after-detection, Section VI).
+///
+/// With `use_index` (the default) the transmission-conflict test and
+/// the per-offset loads come from the schedule's occupancy index; the
+/// naive scan over slot_transmissions() remains as the reference
+/// oracle. `probes`, when non-null, accumulates hot-path counters.
 std::optional<slot_assignment> find_slot(
     const tsch::schedule& sched, const tsch::transmission& tx,
     slot_t earliest, slot_t latest, int rho,
     const graph::hop_matrix& reuse_hops,
     channel_policy policy = channel_policy::min_load,
     const std::set<std::pair<node_id, node_id>>* isolated = nullptr,
-    int management_slot_period = 0);
+    int management_slot_period = 0, bool use_index = true,
+    tsch::probe_stats* probes = nullptr);
 
 /// True iff the slot is reserved for management traffic under the given
 /// reservation period (0 = nothing reserved).

@@ -11,24 +11,28 @@ schedule::schedule(slot_t num_slots, int num_offsets)
   cells_.resize(static_cast<std::size_t>(num_slots) *
                 static_cast<std::size_t>(num_offsets));
   slot_all_.resize(static_cast<std::size_t>(num_slots));
+  words_per_node_ =
+      (static_cast<std::size_t>(num_slots) + k_word_bits - 1) / k_word_bits;
+  cell_load_.assign(cells_.size(), 0);
 }
 
-void schedule::check_slot(slot_t slot) const {
-  WSAN_REQUIRE(slot >= 0 && slot < num_slots_, "slot out of range");
-}
-
-std::size_t schedule::cell_index(slot_t slot, offset_t offset) const {
-  check_slot(slot);
-  WSAN_REQUIRE(offset >= 0 && offset < num_offsets_, "offset out of range");
-  return static_cast<std::size_t>(slot) *
-             static_cast<std::size_t>(num_offsets_) +
-         static_cast<std::size_t>(offset);
+void schedule::mark_busy(node_id node, slot_t slot) {
+  WSAN_REQUIRE(node >= 0, "transmission node id must be non-negative");
+  const auto row = static_cast<std::size_t>(node) * words_per_node_;
+  if (row + words_per_node_ > node_busy_.size())
+    node_busy_.resize(row + words_per_node_, 0);
+  node_busy_[row + static_cast<std::size_t>(slot) / k_word_bits] |=
+      std::uint64_t{1} << (static_cast<std::size_t>(slot) % k_word_bits);
 }
 
 void schedule::add(const transmission& tx, slot_t slot, offset_t offset) {
-  cells_[cell_index(slot, offset)].push_back(tx);
+  const std::size_t ci = cell_index(slot, offset);
+  cells_[ci].push_back(tx);
   slot_all_[static_cast<std::size_t>(slot)].push_back(tx);
   placements_.push_back(placement{tx, slot, offset});
+  ++cell_load_[ci];
+  mark_busy(tx.sender, slot);
+  mark_busy(tx.receiver, slot);
 }
 
 const std::vector<transmission>& schedule::cell(slot_t slot,

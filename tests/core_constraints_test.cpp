@@ -178,6 +178,59 @@ TEST(SlotFinder, MinLoadBreaksTiesAmongOccupied) {
   EXPECT_EQ(found->offset, 1);
 }
 
+TEST(SlotFinder, MaxReuseTieBreaksToLowestOffset) {
+  const auto hops = path_hops(20);
+  tsch::schedule sched(10, 3);
+  // Offsets 1 and 2 carry equal load; offset 0 is empty. max_reuse must
+  // pick the most-loaded cell and, on the tie, the lowest offset.
+  sched.add(make_tx(14, 15), 0, 1);
+  sched.add(make_tx(18, 19), 0, 2);
+  const auto found = find_slot(sched, make_tx(0, 1), 0, 9, 2, hops,
+                               channel_policy::max_reuse);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->slot, 0);
+  EXPECT_EQ(found->offset, 1);
+}
+
+TEST(SlotFinder, MinLoadTieBreaksToLowestOffset) {
+  const auto hops = path_hops(20);
+  tsch::schedule sched(10, 3);
+  // Every offset carries load 1: the lowest offset must win.
+  sched.add(make_tx(14, 15), 0, 0);
+  sched.add(make_tx(16, 17), 0, 1);
+  sched.add(make_tx(18, 19), 0, 2);
+  const auto found = find_slot(sched, make_tx(0, 1), 0, 9, 2, hops,
+                               channel_policy::min_load);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->offset, 0);
+}
+
+TEST(SlotFinder, IndexedAndNaivePathsAgree) {
+  const auto hops = path_hops(20);
+  tsch::schedule sched(12, 3);
+  sched.add(make_tx(14, 15), 0, 0);
+  sched.add(make_tx(18, 19), 0, 1);
+  sched.add(make_tx(1, 2), 1, 0);  // conflicts with the candidate
+  sched.add(make_tx(10, 11), 2, 2);
+  for (const auto policy :
+       {channel_policy::min_load, channel_policy::first_fit,
+        channel_policy::max_reuse}) {
+    for (const int period : {0, 3}) {
+      const auto indexed =
+          find_slot(sched, make_tx(0, 1), 0, 11, 2, hops, policy, nullptr,
+                    period, /*use_index=*/true);
+      const auto naive =
+          find_slot(sched, make_tx(0, 1), 0, 11, 2, hops, policy, nullptr,
+                    period, /*use_index=*/false);
+      ASSERT_EQ(indexed.has_value(), naive.has_value());
+      if (indexed) {
+        EXPECT_EQ(indexed->slot, naive->slot);
+        EXPECT_EQ(indexed->offset, naive->offset);
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------------- laxity --
 
 TEST(Laxity, EmptyScheduleLeavesFullWindow) {
@@ -210,8 +263,63 @@ TEST(Laxity, SumsOverAllRemainingTransmissions) {
   sched.add(make_tx(1, 9), 11, 0);  // conflicts with 1->2 only
   sched.add(make_tx(3, 8), 12, 0);  // conflicts with 2->3 only
   const std::vector<tsch::transmission> post{make_tx(1, 2), make_tx(2, 3)};
-  // Each remaining transmission loses one slot: (20-10) - 2 - 2 = 6.
+  // Two distinct unusable slots: (20-10) - 2 - 2 = 6.
   EXPECT_EQ(calculate_laxity(sched, post, 10, 20), 6);
+}
+
+TEST(Laxity, SlotConflictingWithSeveralRemainingTxsCountsOnce) {
+  tsch::schedule sched(100, 2);
+  // Slot 11 holds 1->3, which conflicts with both remaining
+  // transmissions. Eq. 1 subtracts an unusable slot once — counting it
+  // per transmission (the seed behaviour, laxity 6) makes RC believe it
+  // has less slack than it does.
+  sched.add(make_tx(1, 3), 11, 0);
+  const std::vector<tsch::transmission> post{make_tx(1, 2), make_tx(2, 3)};
+  // (20 - 10) - 1 - 2 = 7.
+  EXPECT_EQ(calculate_laxity(sched, post, 10, 20), 7);
+}
+
+TEST(Laxity, ManagementSlotsAreUnusable) {
+  tsch::schedule sched(100, 2);
+  const std::vector<tsch::transmission> post{make_tx(1, 2)};
+  // Period 5 reserves slots 15 and 20 inside (10, 20] — find_slot never
+  // places data there, so laxity must not count them as usable.
+  EXPECT_EQ(calculate_laxity(sched, post, 10, 20, 5), 7);  // 10 - 2 - 1
+  // Without the reservation the full window is available.
+  EXPECT_EQ(calculate_laxity(sched, post, 10, 20, 0), 9);
+}
+
+TEST(Laxity, ConflictingManagementSlotCountsOnce) {
+  tsch::schedule sched(100, 2);
+  // Slot 15 is both management-reserved (period 5) and holds a
+  // conflicting transmission: still one unusable slot, not two.
+  sched.add(make_tx(1, 9), 15, 0);
+  const std::vector<tsch::transmission> post{make_tx(1, 2)};
+  // Unusable: 15 (management + conflict), 20 (management) -> 10 - 2 - 1.
+  EXPECT_EQ(calculate_laxity(sched, post, 10, 20, 5), 7);
+}
+
+TEST(Laxity, EmptyPostIgnoresManagementSlots) {
+  // With nothing left to place, no slot in the window is needed.
+  tsch::schedule sched(100, 2);
+  EXPECT_EQ(calculate_laxity(sched, {}, 10, 20, 5), 10);
+}
+
+TEST(Laxity, IndexedAndNaivePathsAgree) {
+  tsch::schedule sched(200, 2);
+  sched.add(make_tx(1, 3), 11, 0);
+  sched.add(make_tx(2, 9), 64, 0);   // exercises a word boundary
+  sched.add(make_tx(5, 1), 65, 1);
+  sched.add(make_tx(6, 7), 70, 0);   // non-conflicting
+  sched.add(make_tx(3, 8), 128, 0);  // another word
+  const std::vector<tsch::transmission> post{make_tx(1, 2), make_tx(2, 3)};
+  for (const int period : {0, 5, 64}) {
+    for (const slot_t deadline : {20, 64, 100, 150, 500}) {
+      EXPECT_EQ(calculate_laxity(sched, post, 10, deadline, period, true),
+                calculate_laxity(sched, post, 10, deadline, period, false))
+          << "period=" << period << " deadline=" << deadline;
+    }
+  }
 }
 
 TEST(Laxity, CanGoNegative) {

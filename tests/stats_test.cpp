@@ -183,6 +183,55 @@ TEST(KsTest, PermutationMatchesExactProbabilityAtTinySamples) {
   EXPECT_LT(ks_test(low, high, 0.05).p_value, perm.p_value);
 }
 
+TEST(KsTest, PermutationAndAsymptoticPValuesConvergeAtModerateN) {
+  // The detector's accuracy claims rest on the asymptotic p-value being
+  // a faithful stand-in for the exact (permutation) one at the sample
+  // sizes the network manager sees. At n >= ~20 per side the two must
+  // agree within Monte-Carlo noise across the whole effect-size range,
+  // from identical distributions to clearly separated ones.
+  rng gen(53);
+  for (const double shift : {0.0, 0.02, 0.05, 0.10}) {
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 40; ++i) {
+      a.push_back(gen.normal(0.90, 0.05));
+      b.push_back(gen.normal(0.90 - shift, 0.05));
+    }
+    const auto asym = ks_test(a, b, 0.05);
+    const auto perm = ks_test_permutation(a, b, 0.05, 4000, 11);
+    EXPECT_DOUBLE_EQ(asym.statistic, perm.statistic);
+    EXPECT_NEAR(asym.p_value, perm.p_value, 0.06) << "shift=" << shift;
+  }
+}
+
+TEST(KsTest, PermutationAndAsymptoticDecisionsAgreeOnSweep) {
+  // Decision-level agreement over many matched samples: the two variants
+  // may disagree only in a thin band around the significance threshold.
+  rng gen(59);
+  int disagreements = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    const double shift = 0.04 * (t % 3);  // 0, mild, strong
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 30; ++i) {
+      a.push_back(gen.normal(0.9, 0.05));
+      b.push_back(gen.normal(0.9 - shift, 0.05));
+    }
+    const auto asym = ks_test(a, b, 0.05);
+    const auto perm =
+        ks_test_permutation(a, b, 0.05, 2000,
+                            static_cast<std::uint64_t>(t) + 1);
+    if (asym.reject != perm.reject) {
+      ++disagreements;
+      // Any disagreement must sit near the threshold, not be a gross
+      // mismatch between the two p-value computations.
+      EXPECT_NEAR(asym.p_value, 0.05, 0.05);
+    }
+  }
+  EXPECT_LE(disagreements, trials / 10);
+}
+
 TEST(KsTest, PermutationPValueNeverZero) {
   const auto r = ks_test_permutation({1.0, 2.0}, {10.0, 11.0}, 0.05, 100,
                                      1);

@@ -67,6 +67,52 @@ TEST(Schedule, BoundsAreChecked) {
   EXPECT_THROW(schedule(5, 0), std::invalid_argument);
 }
 
+// ---------------------------------------------------- occupancy index --
+
+TEST(Schedule, OccupancyIndexTracksBusyNodes) {
+  schedule s(100, 2);
+  s.add(make_tx(3, 7), 64, 1);  // word boundary of the per-node bitset
+  EXPECT_TRUE(s.node_busy(3, 64));
+  EXPECT_TRUE(s.node_busy(7, 64));
+  EXPECT_FALSE(s.node_busy(3, 63));
+  EXPECT_FALSE(s.node_busy(3, 65));
+  EXPECT_FALSE(s.node_busy(5, 64));           // never scheduled
+  EXPECT_EQ(s.node_busy_words(1000), nullptr);  // row never allocated
+  ASSERT_NE(s.node_busy_words(3), nullptr);
+  EXPECT_EQ(s.node_busy_words(3)[1], std::uint64_t{1});  // bit 64
+}
+
+TEST(Schedule, SlotConflictFreeMatchesTransmissionScan) {
+  schedule s(10, 2);
+  s.add(make_tx(1, 2), 4, 0);
+  // Shares a node in slot 4 either way around.
+  EXPECT_FALSE(s.slot_conflict_free(make_tx(2, 3), 4));
+  EXPECT_FALSE(s.slot_conflict_free(make_tx(0, 1), 4));
+  // Disjoint nodes or a different slot are fine.
+  EXPECT_TRUE(s.slot_conflict_free(make_tx(5, 6), 4));
+  EXPECT_TRUE(s.slot_conflict_free(make_tx(1, 2), 5));
+}
+
+TEST(Schedule, CellLoadMatchesCellSize) {
+  schedule s(5, 2);
+  s.add(make_tx(0, 1), 1, 0);
+  s.add(make_tx(4, 5), 1, 0);
+  s.add(make_tx(7, 8), 1, 1);
+  for (slot_t slot = 0; slot < 5; ++slot)
+    for (offset_t c = 0; c < 2; ++c)
+      EXPECT_EQ(s.cell_load(slot, c), s.cell_size(slot, c));
+}
+
+TEST(Schedule, ShiftedScheduleRebuildsItsIndex) {
+  schedule s(10, 2);
+  s.add(make_tx(1, 2), 3, 0);
+  const auto shifted = shift_node_ids(s, 100);
+  EXPECT_TRUE(shifted.node_busy(101, 3));
+  EXPECT_TRUE(shifted.node_busy(102, 3));
+  EXPECT_FALSE(shifted.node_busy(1, 3));
+  EXPECT_EQ(shifted.cell_load(3, 0), 1);
+}
+
 // ------------------------------------------------------------ hopping --
 
 TEST(Hopping, FollowsTheStandardFormula) {
