@@ -14,4 +14,24 @@ reschedule_result reschedule_isolating(
   return out;
 }
 
+shed_result schedule_shedding(std::vector<flow::flow> flows,
+                              const graph::hop_matrix& reuse_hops,
+                              const scheduler_config& config) {
+  shed_result out;
+  while (!flows.empty()) {
+    out.result = schedule_flows(flows, reuse_hops, config);
+    if (out.result.schedulable) break;
+    out.shed.push_back(flows.back().id);
+    flows.pop_back();
+  }
+  if (flows.empty()) {
+    // Everything was shed (or the workload was empty to begin with):
+    // the empty workload is trivially schedulable with an empty grid.
+    out.result = schedule_result{};
+    out.result.schedulable = true;
+  }
+  out.kept = std::move(flows);
+  return out;
+}
+
 }  // namespace wsan::core

@@ -36,4 +36,26 @@ reschedule_result reschedule_isolating(
     const graph::hop_matrix& reuse_hops, scheduler_config config,
     const link_set& degraded_links);
 
+/// Graceful degradation: when the workload no longer fits (e.g. after a
+/// node death forced longer detours), shed load by dropping the
+/// lowest-priority flow — the highest id, since id order is priority
+/// order — one at a time until the remainder is schedulable. The drop
+/// order is fully determined by the priority assignment, so two managers
+/// looking at the same workload shed the same flows.
+struct shed_result {
+  /// Schedule for the surviving flows; schedulable is true even when
+  /// everything was shed (an empty workload trivially fits).
+  schedule_result result;
+  /// Surviving flows — a prefix of the input, ids untouched (dense).
+  std::vector<flow::flow> kept;
+  /// Ids of dropped flows, in drop order (lowest priority first).
+  std::vector<flow_id> shed;
+};
+
+/// Schedules `flows` (already in dense priority order) under `config`,
+/// shedding from the back until the result is schedulable.
+shed_result schedule_shedding(std::vector<flow::flow> flows,
+                              const graph::hop_matrix& reuse_hops,
+                              const scheduler_config& config);
+
 }  // namespace wsan::core

@@ -107,6 +107,35 @@ std::optional<route_result> route_peer_to_peer_etx(
   return result;
 }
 
+std::optional<route_result> reroute_flow(const graph::graph& comm,
+                                         const flow& f,
+                                         const std::set<node_id>& excluded) {
+  WSAN_REQUIRE(!f.route.empty(), "flow has no route to re-route");
+  if (excluded.count(f.source) > 0 || excluded.count(f.destination) > 0)
+    return std::nullopt;
+  if (f.type == traffic_type::peer_to_peer)
+    return route_peer_to_peer(comm, f.source, f.destination);
+
+  // Centralized: keep the flow on its access-point infrastructure. The
+  // uplink AP terminates the uplink segment; the downlink AP starts the
+  // remainder (they coincide when the wired hop returns to the same AP).
+  WSAN_REQUIRE(f.uplink_links >= 1 &&
+                   f.uplink_links <= static_cast<int>(f.route.size()),
+               "centralized flow has a malformed uplink segment");
+  const node_id ap_up =
+      f.route[static_cast<std::size_t>(f.uplink_links - 1)].receiver;
+  const node_id ap_down =
+      f.uplink_links < static_cast<int>(f.route.size())
+          ? f.route[static_cast<std::size_t>(f.uplink_links)].sender
+          : ap_up;
+  std::vector<node_id> access_points{ap_up};
+  if (ap_down != ap_up) access_points.push_back(ap_down);
+  std::erase_if(access_points,
+                [&](node_id ap) { return excluded.count(ap) > 0; });
+  if (access_points.empty()) return std::nullopt;  // infrastructure died
+  return route_centralized(comm, f.source, f.destination, access_points);
+}
+
 std::optional<route_result> route_centralized(
     const graph::graph& comm, node_id source, node_id destination,
     const std::vector<node_id>& access_points) {

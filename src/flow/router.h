@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "flow/flow.h"
@@ -38,6 +39,19 @@ std::optional<route_result> route_centralized(
 
 /// Converts a node path (from graph::shortest_path) to links.
 std::vector<link> path_to_links(const std::vector<node_id>& path);
+
+/// Re-routes one existing flow around excluded (failed) nodes. `comm`
+/// must be the communication graph with the excluded nodes' edges
+/// removed (graph::remove_nodes), so every returned path avoids them.
+/// Peer-to-peer flows re-route source -> destination; centralized flows
+/// keep their infrastructure: the access points are read off the flow's
+/// current route, and segments are re-routed through the surviving
+/// ones. Returns nullopt when the flow can no longer be carried — its
+/// source, destination, or every access point is excluded, or no path
+/// survives.
+std::optional<route_result> reroute_flow(const graph::graph& comm,
+                                         const flow& f,
+                                         const std::set<node_id>& excluded);
 
 /// Route metric. The paper's network manager uses shortest (fewest-hop)
 /// paths; ETX routing — expected transmission count, the classic

@@ -101,4 +101,16 @@ int diameter(const graph& g) {
   return best;
 }
 
+graph remove_nodes(const graph& g, const std::set<node_id>& removed) {
+  graph pruned(g.num_nodes());
+  for (node_id u = 0; u < g.num_nodes(); ++u) {
+    if (removed.count(u) > 0) continue;
+    for (node_id v : g.neighbors(u)) {
+      if (v < u || removed.count(v) > 0) continue;
+      pruned.add_edge(u, v);
+    }
+  }
+  return pruned;
+}
+
 }  // namespace wsan::graph

@@ -5,6 +5,7 @@
 #include <limits>
 #include <optional>
 #include <queue>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -40,6 +41,12 @@ std::vector<int> connected_components(const graph& g);
 /// disconnected graph, the diameter of the largest distances among
 /// reachable pairs is returned. Returns 0 for graphs with < 2 nodes.
 int diameter(const graph& g);
+
+/// Copy of g with every edge incident to a node in `removed` dropped.
+/// Node count and ids are preserved — removed nodes become isolated —
+/// so routes computed on the pruned graph stay in the original id
+/// space. Used to route around nodes declared dead.
+graph remove_nodes(const graph& g, const std::set<node_id>& removed);
 
 // ---- template implementation -------------------------------------------
 

@@ -1,6 +1,10 @@
 #include "manager/network_manager.h"
 
+#include <algorithm>
+
 #include "common/error.h"
+#include "flow/router.h"
+#include "graph/algorithms.h"
 #include "phy/channel.h"
 
 namespace wsan::manager {
@@ -16,6 +20,8 @@ network_manager::network_manager(topo::topology topology,
                                               config_.reuse)),
       reuse_hops_(reuse_) {
   config_.scheduler.num_channels = config_.num_channels;
+  WSAN_REQUIRE(config_.watchdog_epochs >= 1,
+               "watchdog must allow at least one missed epoch");
 }
 
 flow::flow_set network_manager::generate_workload(
@@ -58,6 +64,99 @@ network_manager::maintenance_outcome network_manager::maintain(
     outcome.rescheduled = true;
     outcome.repaired = std::move(repaired.result);
   }
+  return outcome;
+}
+
+void network_manager::mark_dead(node_id node) {
+  WSAN_REQUIRE(node >= 0 && node < topology_.num_nodes(),
+               "node id out of range");
+  dead_.insert(node);
+  silent_epochs_.erase(node);
+}
+
+network_manager::recovery_outcome network_manager::recover(
+    const std::vector<flow::flow>& flows,
+    const std::map<sim::link_key, sim::link_observations>& observations) {
+  recovery_outcome outcome;
+  outcome.epoch = epoch_++;
+
+  // Watchdog: every sender in the routed workload owes health reports
+  // (it reports its outgoing links' statistics). Nodes already declared
+  // dead owe nothing.
+  std::set<node_id> expected;
+  for (const auto& f : flows)
+    for (const auto& l : f.route)
+      if (dead_.count(l.sender) == 0) expected.insert(l.sender);
+  std::set<node_id> heard;
+  for (const auto& [key, obs] : observations)
+    if (!obs.reuse_samples.empty() || !obs.cf_samples.empty())
+      heard.insert(key.sender);
+
+  for (node_id node : expected) {
+    if (heard.count(node) > 0) {
+      silent_epochs_.erase(node);
+      continue;
+    }
+    outcome.silent_nodes.push_back(node);
+    const int silent = ++silent_epochs_[node];
+    if (silent >= config_.watchdog_epochs) {
+      dead_.insert(node);
+      silent_epochs_.erase(node);
+      outcome.newly_dead.push_back(node);
+      outcome.detection_latency_epochs =
+          std::max(outcome.detection_latency_epochs, silent);
+    }
+  }
+  if (outcome.newly_dead.empty()) return outcome;
+
+  // Recovery: route the workload around the dead set, drop what cannot
+  // be carried, then shed by priority until the remainder fits.
+  const auto pruned = graph::remove_nodes(comm_, dead_);
+  std::vector<flow::flow> survivors;
+  std::vector<flow_id> original_ids;
+  for (const auto& f : flows) {
+    const bool touches_dead =
+        dead_.count(f.source) > 0 || dead_.count(f.destination) > 0 ||
+        std::any_of(f.route.begin(), f.route.end(), [&](const auto& l) {
+          return dead_.count(l.sender) > 0 || dead_.count(l.receiver) > 0;
+        });
+    if (!touches_dead) {
+      survivors.push_back(f);
+      original_ids.push_back(f.id);
+      continue;
+    }
+    const auto rerouted = flow::reroute_flow(pruned, f, dead_);
+    if (!rerouted) {
+      outcome.unroutable_flows.push_back(f.id);
+      continue;
+    }
+    flow::flow repaired = f;
+    repaired.route = rerouted->links;
+    repaired.uplink_links = rerouted->uplink_links;
+    flow::validate_flow(repaired);
+    outcome.rerouted_flows.push_back(f.id);
+    survivors.push_back(std::move(repaired));
+    original_ids.push_back(f.id);
+  }
+  // Renumber densely: relative order (and therefore the fixed-priority
+  // assignment) is preserved, ids become priority ranks again.
+  for (std::size_t i = 0; i < survivors.size(); ++i)
+    survivors[i].id = static_cast<flow_id>(i);
+
+  auto config = config_.scheduler;
+  config.isolated_links.insert(isolated_.begin(), isolated_.end());
+  auto shed = core::schedule_shedding(std::move(survivors), reuse_hops_,
+                                      config);
+  for (flow_id dense : shed.shed)
+    outcome.shed_flows.push_back(
+        original_ids[static_cast<std::size_t>(dense)]);
+  outcome.surviving_flows = std::move(shed.kept);
+  outcome.surviving_original_ids.assign(
+      original_ids.begin(),
+      original_ids.begin() +
+          static_cast<std::ptrdiff_t>(outcome.surviving_flows.size()));
+  outcome.rescheduled = true;
+  outcome.repaired = std::move(shed.result);
   return outcome;
 }
 

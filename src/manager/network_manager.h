@@ -11,6 +11,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/rescheduler.h"
@@ -35,6 +36,12 @@ struct manager_config {
   core::scheduler_config scheduler = core::make_config(
       core::algorithm::rc, 4);
   detect::detection_policy detection;
+  /// Health-report watchdog (recover()): a node expected to report whose
+  /// reports miss this many consecutive epochs is declared dead. A
+  /// silent node is indistinguishable from a crashed one — exactly the
+  /// WirelessHART manager's situation — so the watchdog is the manager's
+  /// only crash detector.
+  int watchdog_epochs = 2;
 };
 
 class network_manager {
@@ -76,6 +83,66 @@ class network_manager {
       const std::vector<flow::flow>& flows,
       const std::map<sim::link_key, sim::link_observations>& observations);
 
+  /// One fault-recovery epoch. The watchdog side: every node that
+  /// appears as a sender in the flows' routes is expected to deliver
+  /// health reports (it is the reporter of its outgoing links); a node
+  /// whose reports miss `watchdog_epochs` consecutive epochs is declared
+  /// dead. The recovery side: flows riding a dead node are re-routed
+  /// around it on the pruned communication graph; flows whose endpoint
+  /// or access-point infrastructure died are dropped; and when the
+  /// repaired workload no longer fits, load is shed in priority order
+  /// (core::schedule_shedding) until the remainder is schedulable.
+  struct recovery_outcome {
+    /// Maintenance epoch index (0-based, counts recover() calls).
+    int epoch = 0;
+    /// Expected reporters not heard from this epoch (watchdog counting).
+    std::vector<node_id> silent_nodes;
+    /// Nodes declared dead this epoch.
+    std::vector<node_id> newly_dead;
+    /// Consecutive silent epochs before the declaration (0 when no node
+    /// was declared dead this epoch) — the detection latency.
+    int detection_latency_epochs = 0;
+    /// Original ids of flows re-routed around dead nodes.
+    std::vector<flow_id> rerouted_flows;
+    /// Original ids of flows with no surviving route (dead endpoint,
+    /// dead access point, or partitioned network). Always dropped.
+    std::vector<flow_id> unroutable_flows;
+    /// Original ids of flows shed for schedulability, in drop order
+    /// (lowest priority first).
+    std::vector<flow_id> shed_flows;
+    /// True iff a node died this epoch and a new schedule was computed.
+    bool rescheduled = false;
+    /// The repaired schedule (for surviving_flows) when rescheduled.
+    std::optional<core::schedule_result> repaired;
+    /// Surviving workload with dense re-assigned ids (priority order
+    /// preserved) — what the manager distributes next.
+    std::vector<flow::flow> surviving_flows;
+    /// Original id of each surviving flow, aligned with surviving_flows.
+    std::vector<flow_id> surviving_original_ids;
+  };
+
+  /// Feeds one epoch of health reports to the watchdog and repairs the
+  /// network when nodes are declared dead. `observations` are this
+  /// epoch's reports only (one simulator execution per epoch, as in
+  /// maintain()).
+  recovery_outcome recover(
+      const std::vector<flow::flow>& flows,
+      const std::map<sim::link_key, sim::link_observations>& observations);
+
+  /// Nodes the watchdog (or an operator via mark_dead) declared dead.
+  const std::set<node_id>& dead_nodes() const { return dead_; }
+
+  /// Declares a node dead out-of-band (operator knowledge, e.g. a
+  /// planned decommissioning). The next recover() routes around it.
+  void mark_dead(node_id node);
+
+  /// Forgets all deaths and watchdog counters (e.g. after the field
+  /// crew replaced the hardware).
+  void reset_watchdog() {
+    dead_.clear();
+    silent_epochs_.clear();
+  }
+
   /// Drops all accumulated isolations (e.g. after the interference
   /// environment changed and the links were re-validated).
   void reset_isolations() { isolated_.clear(); }
@@ -97,6 +164,10 @@ class network_manager {
   graph::graph reuse_;
   graph::hop_matrix reuse_hops_;
   core::link_set isolated_;
+  // Fault-recovery state.
+  std::set<node_id> dead_;
+  std::map<node_id, int> silent_epochs_;  // consecutive missed epochs
+  int epoch_ = 0;                         // recover() calls so far
 };
 
 }  // namespace wsan::manager

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "common/error.h"
@@ -30,6 +31,35 @@ struct link_run_counts {
 
 }  // namespace
 
+void validate_sim_config(const sim_config& config) {
+  WSAN_REQUIRE(config.runs >= 1, "need at least one run");
+  WSAN_REQUIRE(config.probes_per_run >= 0,
+               "probe count must be non-negative");
+  WSAN_REQUIRE(config.interferer_start_run >= 0,
+               "interferer start run must be non-negative");
+  const auto valid_sigma = [](double sigma) {
+    return std::isfinite(sigma) && sigma >= 0.0;
+  };
+  WSAN_REQUIRE(valid_sigma(config.calibration_drift_sigma_db),
+               "calibration drift sigma must be finite and non-negative");
+  WSAN_REQUIRE(valid_sigma(config.maintained_drift_sigma_db),
+               "maintained drift sigma must be finite and non-negative");
+  WSAN_REQUIRE(valid_sigma(config.intermittent_sigma_db),
+               "intermittent sigma must be finite and non-negative");
+  WSAN_REQUIRE(valid_sigma(config.temporal_fading_sigma_db),
+               "temporal fading sigma must be finite and non-negative");
+  WSAN_REQUIRE(std::isfinite(config.intermittent_fraction) &&
+                   config.intermittent_fraction >= 0.0 &&
+                   config.intermittent_fraction <= 1.0,
+               "intermittent fraction must be in [0, 1]");
+  WSAN_REQUIRE(std::isfinite(config.capture_threshold_db),
+               "capture threshold must be finite");
+  WSAN_REQUIRE(std::isfinite(config.capture_transition_db) &&
+                   config.capture_transition_db >= 0.0,
+               "capture transition width must be finite and non-negative");
+  validate_fault_plan(config.faults);
+}
+
 sim_result run_simulation(const topo::topology& topo,
                           const tsch::schedule& sched,
                           const std::vector<flow::flow>& flows,
@@ -37,13 +67,9 @@ sim_result run_simulation(const topo::topology& topo,
                           const sim_config& config) {
   WSAN_REQUIRE(!flows.empty(), "flow set must be non-empty");
   WSAN_REQUIRE(!channels.empty(), "channel set must be non-empty");
-  WSAN_REQUIRE(config.runs >= 1, "need at least one run");
   WSAN_REQUIRE(static_cast<int>(channels.size()) == sched.num_offsets(),
                "channel list size must equal the schedule's offset count");
-  WSAN_REQUIRE(config.probes_per_run >= 0,
-               "probe count must be non-negative");
-  WSAN_REQUIRE(config.interferer_start_run >= 0,
-               "interferer start run must be non-negative");
+  validate_sim_config(config);
 
   const slot_t hp = sched.num_slots();
 
@@ -85,6 +111,7 @@ sim_result run_simulation(const topo::topology& topo,
 
   interference_field field(topo, config.interferers, config.seed ^ 0x5eedULL);
   rng gen(config.seed);
+  fault_state faults(config.faults, topo.num_nodes());
 
   // Temporal fading: deterministic per (unordered pair, channel, run).
   // Fast multipath variation is frequency-selective, which is exactly
@@ -155,6 +182,7 @@ sim_result run_simulation(const topo::topology& topo,
   auto& energy = result.energy;
 
   for (int run = 0; run < config.runs; ++run) {
+    faults.begin_run(run);
     // Reset per-run packet state; every instance releases anew.
     for (std::size_t fi = 0; fi < flows.size(); ++fi) {
       const int instances = flows[fi].instances_in(hp);
@@ -178,13 +206,19 @@ sim_result run_simulation(const topo::topology& topo,
         const auto fi = static_cast<std::size_t>(entry.tx.flow);
         const int prog = progress[fi][static_cast<std::size_t>(
             entry.tx.instance)];
-        if (prog != entry.tx.link_index) {
-          // The sender knows its queue is empty and sleeps; the receiver
+        // A crashed sender is silent; a crashed receiver's radio is off
+        // (no guard window, no energy).
+        const bool sender_crashed = faults.node_down(entry.tx.sender);
+        if (prog != entry.tx.link_index || sender_crashed) {
+          // Nothing on the air for this entry: the sender either knows
+          // its queue is empty and sleeps, or is dead. An alive receiver
           // must still open its guard window.
-          energy.per_node_mj[static_cast<std::size_t>(
-              entry.tx.receiver)] += em.idle_listen_mj;
-          ++energy.idle_listens;
-          continue;  // done, dead, or past
+          if (!faults.node_down(entry.tx.receiver)) {
+            energy.per_node_mj[static_cast<std::size_t>(
+                entry.tx.receiver)] += em.idle_listen_mj;
+            ++energy.idle_listens;
+          }
+          continue;  // done, dead, past, or crashed
         }
         active.push_back(&entry);
         active_channel.push_back(
@@ -218,16 +252,24 @@ sim_result run_simulation(const topo::topology& topo,
         combined.insert(combined.end(), external.begin(), external.end());
         const double p =
             phy::reception_probability(capture, signal, combined);
-        success[i] = gen.bernoulli(p);
+        // A crashed receiver or failed link loses the packet regardless
+        // of the channel (the sender, not knowing, transmits anyway and
+        // still interferes with concurrent receptions). The Bernoulli
+        // draw is consumed either way so a fault does not reshuffle the
+        // sample path of unrelated links within the slot.
+        const bool faulted_rx = faults.node_down(tx.receiver) ||
+                                faults.link_down(tx.sender, tx.receiver);
+        success[i] = gen.bernoulli(p) && !faulted_rx;
 
-        // Ground-truth attribution (counterfactual reception).
+        // Ground-truth attribution (counterfactual reception). Fault
+        // losses are neither internal nor external interference.
         auto& counts =
             run_counts[link_key{tx.sender, tx.receiver}];
-        if (!internal.empty()) {
+        if (!internal.empty() && !faulted_rx) {
           counts.loss_internal +=
               phy::reception_probability(capture, signal, external) - p;
         }
-        if (!external.empty()) {
+        if (!external.empty() && !faulted_rx) {
           counts.loss_external +=
               phy::reception_probability(capture, signal, internal) - p;
         }
@@ -250,12 +292,15 @@ sim_result run_simulation(const topo::topology& topo,
           counts.cf_successes += success[i] ? 1 : 0;
         }
 
-        // Energy: sender transmits and listens for the ACK; receiver
-        // listens for the packet and ACKs only what it decoded.
+        // Energy: sender transmits and listens for the ACK; an alive
+        // receiver listens for the packet and ACKs only what it decoded
+        // (a crashed receiver's radio draws nothing).
         energy.per_node_mj[static_cast<std::size_t>(tx.sender)] +=
             em.tx_packet_mj + em.rx_ack_mj;
-        energy.per_node_mj[static_cast<std::size_t>(tx.receiver)] +=
-            em.rx_packet_mj + (success[i] ? em.tx_ack_mj : 0.0);
+        if (!faults.node_down(tx.receiver)) {
+          energy.per_node_mj[static_cast<std::size_t>(tx.receiver)] +=
+              em.rx_packet_mj + (success[i] ? em.tx_ack_mj : 0.0);
+        }
         ++energy.data_transmissions;
 
         if (success[i]) {
@@ -273,6 +318,10 @@ sim_result run_simulation(const topo::topology& topo,
     // Neighbor-discovery probes: contention-free broadcasts that hop
     // across the channel list, exposed only to external interference.
     for (const auto& link : schedule_links) {
+      if (faults.node_down(link.sender)) continue;  // dead nodes are mute
+      const bool probe_faulted = faults.node_down(link.receiver) ||
+                                 faults.link_down(link.sender,
+                                                  link.receiver);
       auto& counts = run_counts[link];
       for (int probe = 0; probe < config.probes_per_run; ++probe) {
         const channel_t ch = channels[static_cast<std::size_t>(
@@ -292,13 +341,15 @@ sim_result run_simulation(const topo::topology& topo,
         const double p =
             phy::reception_probability(capture, signal, interference);
         ++counts.cf_attempts;
-        counts.cf_successes += gen.bernoulli(p) ? 1 : 0;
+        counts.cf_successes += (gen.bernoulli(p) && !probe_faulted) ? 1 : 0;
         energy.per_node_mj[static_cast<std::size_t>(link.sender)] +=
             em.tx_packet_mj;  // broadcast: no ACK
-        energy.per_node_mj[static_cast<std::size_t>(link.receiver)] +=
-            em.rx_packet_mj;
+        if (!faults.node_down(link.receiver)) {
+          energy.per_node_mj[static_cast<std::size_t>(link.receiver)] +=
+              em.rx_packet_mj;
+        }
         ++energy.data_transmissions;
-        if (!interference.empty()) {
+        if (!interference.empty() && !probe_faulted) {
           counts.loss_external +=
               phy::reception_probability(capture, signal, {}) - p;
         }
@@ -307,6 +358,9 @@ sim_result run_simulation(const topo::topology& topo,
 
     for (const auto& [key, counts] : run_counts) {
       if (counts.reuse_attempts == 0 && counts.cf_attempts == 0) continue;
+      // Health reports are the sender's to deliver: a crashed or
+      // suppressed sender's statistics never reach the manager.
+      if (faults.reports_withheld(key.sender)) continue;
       auto& obs = result.links[key];
       if (counts.reuse_attempts > 0) {
         obs.reuse_samples.emplace_back(

@@ -18,6 +18,7 @@
 #include "flow/flow.h"
 #include "phy/capture.h"
 #include "sim/energy.h"
+#include "sim/faults.h"
 #include "sim/interference.h"
 #include "topo/topology.h"
 #include "tsch/schedule.h"
@@ -80,6 +81,11 @@ struct sim_config {
   double temporal_fading_sigma_db = 2.0;
   /// Radio energy model used for the energy report.
   energy_model energy;
+  /// Fault script executed during the simulation (node crashes, directed
+  /// link failures, suppressed health reports), at run granularity. An
+  /// empty plan is a strict no-op: the output is bit-identical to a run
+  /// without fault support, so every figure and bench is unaffected.
+  fault_plan faults;
   /// Neighbor-discovery probe transmissions per link per run. The
   /// WirelessHART manager reserves contention-free slots for periodic
   /// neighbor-discovery broadcasts (Section VI); these give every link —
@@ -169,8 +175,16 @@ struct sim_result {
   }
 };
 
+/// Validates the configuration's numeric invariants (positive run count,
+/// non-negative and finite sigmas, intermittent fraction in [0, 1],
+/// non-negative probe count and interferer onset, a structurally valid
+/// fault plan). Throws std::invalid_argument on violation — hostile
+/// configurations must fail loudly, never silently produce garbage.
+void validate_sim_config(const sim_config& config);
+
 /// Runs the simulation. The schedule must have been produced for exactly
-/// these flows (validated: every placement must reference a known flow).
+/// these flows (validated: every placement must reference a known flow),
+/// and the configuration must pass validate_sim_config.
 sim_result run_simulation(const topo::topology& topo,
                           const tsch::schedule& sched,
                           const std::vector<flow::flow>& flows,

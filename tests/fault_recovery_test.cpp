@@ -1,0 +1,342 @@
+// End-to-end fault recovery: watchdog detection, rerouting around dead
+// nodes, and priority-ordered load shedding (the ISSUE's acceptance
+// scenario: crash one relay on WUSTL, watch the manager detect and
+// repair, and check the survivors' delivery returns to baseline).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "flow/router.h"
+#include "graph/algorithms.h"
+#include "manager/network_manager.h"
+#include "sim/faults.h"
+#include "topo/testbeds.h"
+
+namespace wsan::manager {
+namespace {
+
+manager_config rc_config(int channels = 4) {
+  manager_config config;
+  config.num_channels = channels;
+  config.scheduler = core::make_config(core::algorithm::rc, channels);
+  return config;
+}
+
+/// The busiest pure relay: forwards for the most flows while being
+/// nobody's source or destination.
+node_id pick_relay(const std::vector<flow::flow>& flows) {
+  std::set<node_id> endpoints;
+  for (const auto& f : flows) {
+    endpoints.insert(f.source);
+    endpoints.insert(f.destination);
+  }
+  std::map<node_id, int> forwards;
+  for (const auto& f : flows)
+    for (std::size_t i = 1; i < f.route.size(); ++i)
+      ++forwards[f.route[i].sender];
+  node_id best = k_invalid_node;
+  int best_count = 0;
+  for (const auto& [node, count] : forwards) {
+    if (endpoints.count(node) > 0) continue;
+    if (count > best_count) {
+      best = node;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+/// Fabricated all-healthy health reports: one perfect contention-free
+/// sample per route link, keyed by sender as the simulator reports.
+std::map<sim::link_key, sim::link_observations> healthy_reports(
+    const std::vector<flow::flow>& flows) {
+  std::map<sim::link_key, sim::link_observations> reports;
+  for (const auto& f : flows) {
+    for (const auto& l : f.route) {
+      auto& obs = reports[sim::link_key{l.sender, l.receiver}];
+      if (obs.cf_samples.empty()) obs.cf_samples.emplace_back(0, 1.0);
+      obs.cf_attempts += 10;
+      obs.cf_successes += 10;
+    }
+  }
+  return reports;
+}
+
+/// A node the watchdog certainly expects reports from: the second-link
+/// sender of any multi-hop flow. pick_relay can return k_invalid_node on
+/// small workloads; this cannot (as long as one flow has two hops).
+node_id some_expected_relay(const std::vector<flow::flow>& flows) {
+  const node_id strict = pick_relay(flows);
+  if (strict != k_invalid_node) return strict;
+  for (const auto& f : flows)
+    if (f.route.size() >= 2) return f.route[1].sender;
+  return k_invalid_node;
+}
+
+/// Removes every stream the node reports (it is the sender) — what the
+/// manager sees when the node crashes or its reports are suppressed.
+void mute(std::map<sim::link_key, sim::link_observations>& reports,
+          node_id node) {
+  std::erase_if(reports,
+                [&](const auto& kv) { return kv.first.sender == node; });
+}
+
+class FaultRecoveryTest : public ::testing::Test {
+ protected:
+  FaultRecoveryTest() : manager_(topo::make_wustl(), rc_config()) {}
+
+  flow::flow_set workload(int flows, std::uint64_t seed) {
+    flow::flow_set_params params;
+    params.num_flows = flows;
+    params.period_min_exp = 0;
+    params.period_max_exp = 0;
+    rng gen(seed);
+    return manager_.generate_workload(params, gen);
+  }
+
+  network_manager manager_;
+};
+
+// ------------------------------------------------------------ watchdog --
+
+TEST_F(FaultRecoveryTest, WatchdogDeclaresDeathAfterConsecutiveSilence) {
+  const auto set = workload(12, 11);
+  ASSERT_TRUE(manager_.admit(set.flows).schedulable);
+  const node_id victim = some_expected_relay(set.flows);
+  ASSERT_NE(victim, k_invalid_node);
+
+  auto reports = healthy_reports(set.flows);
+  mute(reports, victim);
+
+  // First silent epoch: counting, not yet dead (watchdog_epochs == 2).
+  const auto first = manager_.recover(set.flows, reports);
+  EXPECT_EQ(first.silent_nodes, std::vector<node_id>{victim});
+  EXPECT_TRUE(first.newly_dead.empty());
+  EXPECT_FALSE(first.rescheduled);
+  EXPECT_TRUE(manager_.dead_nodes().empty());
+
+  // Second consecutive silent epoch: declared dead, repair computed.
+  const auto second = manager_.recover(set.flows, reports);
+  EXPECT_EQ(second.newly_dead, std::vector<node_id>{victim});
+  EXPECT_EQ(second.detection_latency_epochs, 2);
+  EXPECT_TRUE(second.rescheduled);
+  EXPECT_EQ(manager_.dead_nodes().count(victim), 1u);
+
+  // A dead node owes no reports: no further silence, no re-declaration.
+  const auto third = manager_.recover(set.flows, reports);
+  EXPECT_TRUE(third.silent_nodes.empty());
+  EXPECT_TRUE(third.newly_dead.empty());
+}
+
+TEST_F(FaultRecoveryTest, HeardEpochResetsTheWatchdogCounter) {
+  const auto set = workload(12, 11);
+  ASSERT_TRUE(manager_.admit(set.flows).schedulable);
+  const node_id victim = some_expected_relay(set.flows);
+  ASSERT_NE(victim, k_invalid_node);
+
+  const auto healthy = healthy_reports(set.flows);
+  auto muted = healthy;
+  mute(muted, victim);
+
+  manager_.recover(set.flows, muted);    // silent: counter 1
+  manager_.recover(set.flows, healthy);  // heard: counter resets
+  const auto after = manager_.recover(set.flows, muted);  // counter 1 again
+  EXPECT_TRUE(after.newly_dead.empty());
+  EXPECT_TRUE(manager_.dead_nodes().empty());
+  const auto declared = manager_.recover(set.flows, muted);  // counter 2
+  EXPECT_EQ(declared.newly_dead, std::vector<node_id>{victim});
+}
+
+TEST_F(FaultRecoveryTest, MarkDeadAndResetWatchdog) {
+  const auto set = workload(12, 11);
+  const node_id victim = some_expected_relay(set.flows);
+  ASSERT_NE(victim, k_invalid_node);
+
+  EXPECT_THROW(manager_.mark_dead(-1), std::invalid_argument);
+  EXPECT_THROW(manager_.mark_dead(manager_.topology().num_nodes()),
+               std::invalid_argument);
+
+  manager_.mark_dead(victim);
+  EXPECT_EQ(manager_.dead_nodes().count(victim), 1u);
+  // The next epoch routes around it without any silence.
+  const auto outcome = manager_.recover(set.flows, healthy_reports(set.flows));
+  EXPECT_TRUE(outcome.newly_dead.empty());
+  EXPECT_TRUE(std::find(outcome.silent_nodes.begin(),
+                        outcome.silent_nodes.end(),
+                        victim) == outcome.silent_nodes.end());
+
+  manager_.reset_watchdog();
+  EXPECT_TRUE(manager_.dead_nodes().empty());
+}
+
+TEST(ManagerConfig, RejectsNonPositiveWatchdog) {
+  auto config = rc_config();
+  config.watchdog_epochs = 0;
+  EXPECT_THROW(network_manager(topo::make_wustl(), config),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- rerouting --
+
+TEST_F(FaultRecoveryTest, RemoveNodesIsolatesWithoutRenumbering) {
+  const auto& comm = manager_.communication_graph();
+  ASSERT_GT(comm.num_nodes(), 2);
+  const node_id removed = 1;
+  const auto pruned = graph::remove_nodes(comm, {removed});
+  EXPECT_EQ(pruned.num_nodes(), comm.num_nodes());
+  EXPECT_TRUE(pruned.neighbors(removed).empty());
+  // Edges not touching the removed node survive.
+  int kept = 0;
+  for (node_id u = 0; u < comm.num_nodes(); ++u) {
+    if (u == removed) continue;
+    for (node_id v : comm.neighbors(u))
+      if (v != removed && pruned.has_edge(u, v)) ++kept;
+  }
+  EXPECT_GT(kept, 0);
+  EXPECT_EQ(pruned.num_edges(),
+            comm.num_edges() - comm.neighbors(removed).size());
+}
+
+TEST_F(FaultRecoveryTest, RerouteAvoidsExcludedNodes) {
+  const auto set = workload(12, 11);
+  // Find a flow with an interior uplink relay to knock out.
+  for (const auto& f : set.flows) {
+    if (f.uplink_links < 2) continue;
+    const node_id excluded_node = f.route[0].receiver;
+    const std::set<node_id> excluded{excluded_node};
+    const auto pruned =
+        graph::remove_nodes(manager_.communication_graph(), excluded);
+    const auto rerouted = flow::reroute_flow(pruned, f, excluded);
+    if (!rerouted) continue;  // that relay was a cut vertex; try another
+    for (const auto& l : rerouted->links) {
+      EXPECT_NE(l.sender, excluded_node);
+      EXPECT_NE(l.receiver, excluded_node);
+    }
+    EXPECT_EQ(rerouted->links.front().sender, f.source);
+    EXPECT_EQ(rerouted->links.back().receiver, f.destination);
+    flow::flow repaired = f;
+    repaired.route = rerouted->links;
+    repaired.uplink_links = rerouted->uplink_links;
+    EXPECT_NO_THROW(flow::validate_flow(repaired));
+    return;
+  }
+  FAIL() << "workload had no reroutable multi-hop flow";
+}
+
+TEST_F(FaultRecoveryTest, RerouteFailsWhenAnEndpointDied) {
+  const auto set = workload(12, 11);
+  const auto& f = set.flows.front();
+  const std::set<node_id> dead_source{f.source};
+  const auto pruned =
+      graph::remove_nodes(manager_.communication_graph(), dead_source);
+  EXPECT_FALSE(flow::reroute_flow(pruned, f, dead_source).has_value());
+  const std::set<node_id> dead_dest{f.destination};
+  EXPECT_FALSE(
+      flow::reroute_flow(
+          graph::remove_nodes(manager_.communication_graph(), dead_dest), f,
+          dead_dest)
+          .has_value());
+}
+
+// -------------------------------------------- the acceptance scenario --
+
+TEST(FaultRecoveryEndToEnd, CrashedRelayIsDetectedAndRoutedAround) {
+  auto config = rc_config();
+  config.watchdog_epochs = 2;
+  network_manager manager(topo::make_wustl(), config);
+
+  flow::flow_set_params params;
+  params.num_flows = 30;
+  params.period_min_exp = 0;
+  params.period_max_exp = 0;
+  rng gen(8);
+  const auto set = manager.generate_workload(params, gen);
+  auto scheduled = manager.admit(set.flows);
+  ASSERT_TRUE(scheduled.schedulable);
+  auto flows = set.flows;
+
+  const node_id victim = pick_relay(flows);
+  ASSERT_NE(victim, k_invalid_node);
+
+  const int runs_per_epoch = 18;
+  auto make_sim_config = [&] {
+    sim::sim_config c;
+    c.runs = runs_per_epoch;
+    c.seed = 5;
+    // A gentle, static RF world: delivery differences measure the
+    // repair, not channel luck.
+    c.calibration_drift_sigma_db = 0.0;
+    c.maintained_drift_sigma_db = 0.0;
+    c.intermittent_fraction = 0.0;
+    c.temporal_fading_sigma_db = 0.0;
+    return c;
+  };
+
+  // Pre-fault baseline delivery per flow id.
+  const auto baseline = sim::run_simulation(
+      manager.topology(), scheduled.sched, flows, manager.channels(),
+      make_sim_config());
+
+  // The victim crashes permanently at the start of epoch 1.
+  sim::fault_plan plan;
+  plan.crashes.push_back(sim::node_crash{victim, runs_per_epoch, -1});
+
+  int detected_epoch = -1;
+  std::vector<flow_id> survivors_original_ids;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    auto sim_config = make_sim_config();
+    sim_config.faults = sim::slice_fault_plan(plan, epoch * runs_per_epoch,
+                                              runs_per_epoch);
+    const auto observed = sim::run_simulation(
+        manager.topology(), scheduled.sched, flows, manager.channels(),
+        sim_config);
+    const auto outcome = manager.recover(flows, observed.links);
+    if (!outcome.newly_dead.empty()) {
+      ASSERT_EQ(outcome.newly_dead, std::vector<node_id>{victim});
+      EXPECT_LE(outcome.detection_latency_epochs, config.watchdog_epochs);
+      detected_epoch = epoch;
+      ASSERT_TRUE(outcome.rescheduled);
+      ASSERT_TRUE(outcome.repaired.has_value());
+      ASSERT_TRUE(outcome.repaired->schedulable);
+      // Some flows were rerouted; at most a few could not be saved.
+      EXPECT_FALSE(outcome.rerouted_flows.empty());
+      EXPECT_GE(outcome.surviving_flows.size(), flows.size() / 2);
+      scheduled = *outcome.repaired;
+      flows = outcome.surviving_flows;
+      survivors_original_ids = outcome.surviving_original_ids;
+      // No surviving route touches the dead node.
+      for (const auto& f : flows)
+        for (const auto& l : f.route) {
+          EXPECT_NE(l.sender, victim);
+          EXPECT_NE(l.receiver, victim);
+        }
+      break;
+    }
+  }
+  // Detection: the crash starts at epoch 1, so the watchdog must declare
+  // the node dead within watchdog_epochs epochs of the onset.
+  ASSERT_NE(detected_epoch, -1) << "watchdog never declared the crash";
+  EXPECT_LE(detected_epoch, 1 + config.watchdog_epochs - 1);
+
+  // Recovery: re-run the post-repair era (the victim is still crashed)
+  // and compare each survivor to its own pre-fault baseline.
+  auto post_config = make_sim_config();
+  post_config.faults.crashes.push_back(sim::node_crash{victim, 0, -1});
+  const auto post = sim::run_simulation(
+      manager.topology(), scheduled.sched, flows, manager.channels(),
+      post_config);
+  ASSERT_EQ(post.flow_pdr.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto original =
+        static_cast<std::size_t>(survivors_original_ids[i]);
+    EXPECT_GE(post.flow_pdr[i], baseline.flow_pdr[original] - 0.02)
+        << "survivor " << i << " (original flow " << original
+        << ") fell more than 2% below its pre-fault delivery";
+  }
+}
+
+}  // namespace
+}  // namespace wsan::manager

@@ -8,6 +8,8 @@
 #include "common/rng.h"
 #include "flow/flow_io.h"
 #include "graph/hop_matrix.h"
+#include "sim/faults.h"
+#include "sim/simulator.h"
 #include "stats/ks_test.h"
 #include "stats/mann_whitney.h"
 #include "stats/summary.h"
@@ -25,6 +27,7 @@ std::string random_document(rng& gen) {
       "node", "rssi", "params", "-1", "0", "1", "999999999",
       "99999999999999999999", "nan", "inf", "-inf", "1e308", "#",
       "peer-to-peer", "centralized", "bogus", "\t", "  ",
+      "faultplan", "crash", "linkfail", "suppress",
   };
   std::ostringstream os;
   const int lines = static_cast<int>(gen.uniform_int(0, 12));
@@ -74,6 +77,90 @@ TEST(Fuzz, TopologyLoaderSurvivesGarbage) {
   expect_clean_failure_or_success(
       [](std::istream& is) { return topo::load_topology(is); }, 3000,
       300);
+}
+
+TEST(Fuzz, FaultPlanLoaderSurvivesGarbage) {
+  expect_clean_failure_or_success(
+      [](std::istream& is) { return sim::load_fault_plan(is); }, 4000,
+      300);
+}
+
+TEST(Fuzz, FaultPlanRoundTripsRandomValidPlans) {
+  for (int trial = 0; trial < 200; ++trial) {
+    rng gen(static_cast<std::uint64_t>(5000 + trial));
+    sim::fault_plan plan;
+    const auto interval = [&](int& start, int& end) {
+      start = static_cast<int>(gen.uniform_int(0, 100));
+      end = gen.bernoulli(0.3)
+                ? -1
+                : start + 1 + static_cast<int>(gen.uniform_int(0, 50));
+    };
+    const int crashes = static_cast<int>(gen.uniform_int(0, 4));
+    for (int i = 0; i < crashes; ++i) {
+      sim::node_crash c;
+      c.node = static_cast<node_id>(gen.uniform_int(0, 60));
+      interval(c.start_run, c.restart_run);
+      plan.crashes.push_back(c);
+    }
+    const int fails = static_cast<int>(gen.uniform_int(0, 4));
+    for (int i = 0; i < fails; ++i) {
+      sim::link_failure l;
+      l.sender = static_cast<node_id>(gen.uniform_int(0, 60));
+      l.receiver = static_cast<node_id>(gen.uniform_int(0, 60));
+      if (l.sender == l.receiver) continue;
+      interval(l.start_run, l.end_run);
+      plan.link_failures.push_back(l);
+    }
+    const int mutes = static_cast<int>(gen.uniform_int(0, 4));
+    for (int i = 0; i < mutes; ++i) {
+      sim::report_suppression s;
+      s.node = static_cast<node_id>(gen.uniform_int(0, 60));
+      interval(s.start_run, s.end_run);
+      plan.suppressions.push_back(s);
+    }
+    std::stringstream ss;
+    sim::save_fault_plan(plan, ss);
+    EXPECT_EQ(sim::load_fault_plan(ss), plan);
+  }
+}
+
+TEST(Fuzz, AllNodesCrashedDeliversNothing) {
+  // The harshest plan: every node dead from run 0. No packet is ever
+  // delivered and nobody reports anything.
+  topo::topology t("pair");
+  t.add_node({0.0, 0.0, 0});
+  t.add_node({10.0, 0.0, 0});
+  const auto channels = phy::channels(4);
+  for (channel_t ch : channels) {
+    t.set_prr(0, 1, ch, 1.0);
+    t.set_prr(1, 0, ch, 1.0);
+  }
+  flow::flow f;
+  f.id = 0;
+  f.source = 0;
+  f.destination = 1;
+  f.period = 10;
+  f.deadline = 10;
+  f.route = {flow::link{0, 1}};
+  f.uplink_links = 1;
+  tsch::schedule sched(10, 4);
+  tsch::transmission tx;
+  tx.flow = 0;
+  tx.instance = 0;
+  tx.link_index = 0;
+  tx.attempt = 0;
+  tx.sender = 0;
+  tx.receiver = 1;
+  sched.add(tx, 0, 0);
+
+  sim::sim_config config;
+  config.runs = 20;
+  config.faults.crashes.push_back(sim::node_crash{0, 0, -1});
+  config.faults.crashes.push_back(sim::node_crash{1, 0, -1});
+  const auto result = sim::run_simulation(t, sched, {f}, channels, config);
+  EXPECT_EQ(result.instances_delivered, 0);
+  EXPECT_DOUBLE_EQ(result.flow_pdr[0], 0.0);
+  EXPECT_TRUE(result.links.empty());
 }
 
 TEST(Fuzz, ValidatorSurvivesRandomSchedules) {

@@ -137,6 +137,66 @@ TEST(Rescheduler, ReportsUnschedulableWhenIsolationDoesNotFit) {
   EXPECT_FALSE(repaired.result.schedulable);
 }
 
+TEST(Rescheduler, LargeIsolationSetReportsTheFailingFlow) {
+  // Isolating *every* scheduled link removes all concurrency: each link
+  // needs its own exclusive cells, and the tight deadlines stop fitting.
+  const auto hops = path_hops(10);
+  const auto f1 = make_flow(0, {{0, 1}}, 10, 2);
+  const auto f2 = make_flow(1, {{8, 9}}, 10, 2);
+  auto config = make_config(algorithm::rc, 1);
+  ASSERT_TRUE(schedule_flows({f1, f2}, hops, config).schedulable);
+
+  const link_set everything{{0, 1}, {8, 9}};
+  const auto repaired =
+      reschedule_isolating({f1, f2}, hops, config, everything);
+  ASSERT_FALSE(repaired.result.schedulable);
+  EXPECT_EQ(repaired.result.first_failed_flow, 1);
+  EXPECT_EQ(repaired.isolated, everything);
+}
+
+// ------------------------------------------------------- load shedding --
+
+TEST(Shedding, SchedulableWorkloadShedsNothing) {
+  const auto hops = path_hops(10);
+  const auto f1 = make_flow(0, {{0, 1}}, 20, 20);
+  const auto f2 = make_flow(1, {{8, 9}}, 20, 20);
+  const auto shed = schedule_shedding({f1, f2}, hops,
+                                      make_config(algorithm::rc, 1));
+  EXPECT_TRUE(shed.result.schedulable);
+  EXPECT_TRUE(shed.shed.empty());
+  EXPECT_EQ(shed.kept.size(), 2u);
+}
+
+TEST(Shedding, DropsStrictlyFromTheBack) {
+  // f1 conflicts with f0 (shared node, same 2-slot deadline window on one
+  // channel) and can never be scheduled; f2 is harmless. Shedding is
+  // priority-ordered, not minimal: it must drop the innocent f2 first,
+  // then f1, keeping the strict guarantee that a shed flow is never
+  // higher-priority than a kept one.
+  const auto hops = path_hops(10);
+  const auto f0 = make_flow(0, {{0, 1}}, 10, 2);
+  const auto f1 = make_flow(1, {{1, 2}}, 10, 2);
+  const auto f2 = make_flow(2, {{8, 9}}, 10, 2);
+  const auto shed = schedule_shedding({f0, f1, f2}, hops,
+                                      make_config(algorithm::rc, 1));
+  EXPECT_TRUE(shed.result.schedulable);
+  EXPECT_EQ(shed.shed, (std::vector<flow_id>{2, 1}));
+  ASSERT_EQ(shed.kept.size(), 1u);
+  EXPECT_EQ(shed.kept[0].id, 0);
+}
+
+TEST(Shedding, EmptyRemainderIsTriviallySchedulable) {
+  // A flow that cannot fit even alone (two hops, two attempts each,
+  // 2-slot deadline) is shed; the empty remainder counts as schedulable.
+  const auto hops = path_hops(10);
+  const auto f = make_flow(0, {{0, 1}, {1, 2}}, 10, 2);
+  const auto shed =
+      schedule_shedding({f}, hops, make_config(algorithm::rc, 1));
+  EXPECT_TRUE(shed.result.schedulable);
+  EXPECT_TRUE(shed.kept.empty());
+  EXPECT_EQ(shed.shed, (std::vector<flow_id>{0}));
+}
+
 // --------------------------------------------------- testbed round trip --
 
 TEST(Rescheduler, RepairedScheduleStillValidates) {

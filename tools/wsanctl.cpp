@@ -14,6 +14,7 @@
 //   wsanctl detect   --topology topo.txt --workload flows.txt \
 //           --schedule sched.txt --channels 4 --runs 108 --wifi
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/cli.h"
@@ -27,6 +28,8 @@
 #include "graph/algorithms.h"
 #include "graph/comm_graph.h"
 #include "graph/reuse_graph.h"
+#include "manager/network_manager.h"
+#include "sim/faults.h"
 #include "sim/simulator.h"
 #include "stats/summary.h"
 #include "topo/testbeds.h"
@@ -67,6 +70,10 @@ commands:
              --before FILE  --after FILE
   latency    per-flow end-to-end delay and slack of a schedule
              --workload FILE  --schedule FILE
+  faults     inject faults and drive the detect/reroute/shed loop
+             --topology FILE  --workload FILE  --channels N
+             [--plan FILE | --crash IDS [--crash-run N]]
+             --epochs N  --runs-per-epoch N  --watchdog N  --seed N
 )";
   return 2;
 }
@@ -264,6 +271,99 @@ int cmd_latency(const cli_args& args) {
   return 0;
 }
 
+int cmd_faults(const cli_args& args) {
+  auto topology = topo::load_topology_file(args.get("topology", ""));
+  const auto set = flow::load_flow_set_file(args.get("workload", ""));
+  const int epochs = static_cast<int>(args.get_int("epochs", 6));
+  const int runs_per_epoch =
+      static_cast<int>(args.get_int("runs-per-epoch", 18));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  // The fault script: an explicit plan file, or crash records assembled
+  // from --crash (comma-separated node ids) at --crash-run.
+  sim::fault_plan plan;
+  if (args.has("plan")) {
+    plan = sim::load_fault_plan_file(args.get("plan", ""));
+  } else {
+    const auto crash_list = args.get("crash", "");
+    WSAN_REQUIRE(!crash_list.empty(),
+                 "faults needs --plan FILE or --crash IDS");
+    const int crash_run =
+        static_cast<int>(args.get_int("crash-run", runs_per_epoch));
+    std::istringstream ids(crash_list);
+    std::string token;
+    while (std::getline(ids, token, ',')) {
+      WSAN_REQUIRE(!token.empty(), "empty node id in --crash list");
+      plan.crashes.push_back(
+          sim::node_crash{static_cast<node_id>(std::stol(token)),
+                          crash_run, -1});
+    }
+  }
+  sim::validate_fault_plan(plan, topology.num_nodes());
+
+  manager::manager_config config;
+  config.num_channels = static_cast<int>(args.get_int("channels", 4));
+  config.scheduler = core::make_config(core::algorithm::rc,
+                                       config.num_channels);
+  config.watchdog_epochs = static_cast<int>(args.get_int("watchdog", 2));
+  manager::network_manager manager(std::move(topology), config);
+
+  auto scheduled = manager.admit(set.flows);
+  if (!scheduled.schedulable) {
+    std::cout << "UNSCHEDULABLE at admission (first failing flow "
+              << scheduled.first_failed_flow << ")\n";
+    return 1;
+  }
+  auto flows = set.flows;
+
+  table t({"epoch", "network PDR", "silent", "dead", "rerouted", "shed",
+           "action"});
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    sim::sim_config sim_config;
+    sim_config.runs = runs_per_epoch;
+    sim_config.seed = seed;
+    if (args.get_bool("wifi", false))
+      sim_config.interferers =
+          sim::one_interferer_per_floor(manager.topology(), 0.3, 8.0);
+    sim_config.faults = sim::slice_fault_plan(plan, epoch * runs_per_epoch,
+                                              runs_per_epoch);
+    const auto observed = sim::run_simulation(
+        manager.topology(), scheduled.sched, flows, manager.channels(),
+        sim_config);
+
+    const auto outcome = manager.recover(flows, observed.links);
+    std::string action = "none";
+    if (outcome.rescheduled) {
+      if (outcome.repaired->schedulable) {
+        scheduled = *outcome.repaired;
+        flows = outcome.surviving_flows;
+        action = "rerouted + redistributed";
+      } else {
+        action = "repair failed";
+      }
+    } else if (!outcome.silent_nodes.empty()) {
+      action = "watchdog counting";
+    }
+    std::string silent;
+    for (node_id n : outcome.silent_nodes)
+      silent += (silent.empty() ? "" : ",") + std::to_string(n);
+    std::string dead;
+    for (node_id n : outcome.newly_dead)
+      dead += (dead.empty() ? "" : ",") + std::to_string(n);
+    t.add_row({cell(epoch), cell(observed.network_pdr(), 3),
+               silent.empty() ? "-" : silent, dead.empty() ? "-" : dead,
+               cell(outcome.rerouted_flows.size()),
+               cell(outcome.shed_flows.size() +
+                    outcome.unroutable_flows.size()),
+               action});
+  }
+  t.print(std::cout);
+  std::cout << manager.dead_nodes().size()
+            << " node(s) declared dead; " << flows.size() << " of "
+            << set.flows.size() << " flows still scheduled.\n";
+  return 0;
+}
+
 int cmd_diff(const cli_args& args) {
   const auto before = tsch::load_schedule_file(args.get("before", ""));
   const auto after = tsch::load_schedule_file(args.get("after", ""));
@@ -285,6 +385,7 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "detect") return cmd_detect(args);
+    if (command == "faults") return cmd_faults(args);
     if (command == "diff") return cmd_diff(args);
     if (command == "latency") return cmd_latency(args);
     std::cerr << "unknown command: " << command << "\n";
