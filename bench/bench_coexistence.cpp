@@ -8,93 +8,11 @@
 // coexistence costs, the backdrop against which coordinated
 // conservative reuse (this paper) operates.
 //
-// Usage: --flows N (default 15), --runs N (default 40)
-#include <iostream>
-
-#include "bench_common.h"
-#include "common/cli.h"
-#include "common/table.h"
-#include "sim/coexistence.h"
-#include "topo/merge.h"
+// Usage: --flows N (default 25), --runs N (default 40), plus the
+// harness flags --jobs/--seed/--json/--replay (exp/options.h). A replay
+// point is one separation index (0: 2000 m ... 5: 0 m).
+#include "experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace wsan;
-  const cli_args args(argc, argv);
-  const int flows = static_cast<int>(args.get_int("flows", 25));
-  const int runs = static_cast<int>(args.get_int("runs", 40));
-
-  bench::print_banner("Coexistence",
-                      "two uncoordinated WirelessHART networks vs "
-                      "separation distance (WUSTL x2, 4 channels)");
-
-  // Two independently generated and scheduled networks.
-  const auto ta = topo::make_wustl(1);
-  const auto tb = topo::make_wustl(2);
-  struct net {
-    flow::flow_set set;
-    core::schedule_result scheduled;
-  };
-  const auto build = [&](const topo::topology& t, std::uint64_t seed) {
-    const auto channels = phy::channels(4);
-    const auto comm = graph::build_communication_graph(t, channels);
-    const graph::hop_matrix hops(
-        graph::build_channel_reuse_graph(t, channels));
-    flow::flow_set_params params;
-    params.num_flows = flows;
-    params.period_min_exp = 0;
-    params.period_max_exp = 0;
-    rng gen(seed);
-    net out;
-    out.set = flow::generate_flow_set(comm, params, gen);
-    out.scheduled = core::schedule_flows(
-        out.set.flows, hops, core::make_config(core::algorithm::rc, 4));
-    return out;
-  };
-  auto na = build(ta, 31);
-  auto nb = build(tb, 37);
-  if (!na.scheduled.schedulable || !nb.scheduled.schedulable) {
-    std::cout << "workloads unschedulable; lower --flows\n";
-    return 1;
-  }
-
-  std::cout << "\nEach network: " << flows
-            << " peer-to-peer flows at 1 s, RC schedules, " << runs
-            << " joint executions\n\n";
-  table t({"separation (m)", "net A PDR", "net B PDR", "worst flow PDR",
-           "joint deliveries lost vs isolated"});
-
-  long long isolated_delivered = -1;
-  for (const double separation :
-       {2000.0, 200.0, 100.0, 60.0, 30.0, 0.0}) {
-    const auto merged = topo::merge_topologies(ta, tb, separation, 9);
-    auto flows_b = nb.set.flows;
-    flow::shift_node_ids(flows_b, merged.node_offset);
-    const auto sched_b =
-        tsch::shift_node_ids(nb.scheduled.sched, merged.node_offset);
-    const std::vector<sim::coexisting_network> networks{
-        {&na.scheduled.sched, &na.set.flows, phy::channels(4), 0},
-        {&sched_b, &flows_b, phy::channels(4), 0},
-    };
-    sim::coexistence_config config;
-    config.runs = runs;
-    const auto results =
-        sim::run_coexistence(merged.merged, networks, config);
-    const long long delivered = results[0].instances_delivered +
-                                results[1].instances_delivered;
-    if (isolated_delivered < 0) isolated_delivered = delivered;
-    t.add_row({cell(separation, 0),
-               cell(results[0].network_pdr(), 4),
-               cell(results[1].network_pdr(), 4),
-               cell(std::min(results[0].worst_flow_pdr(),
-                             results[1].worst_flow_pdr()),
-                    3),
-               cell(isolated_delivered - delivered)});
-  }
-  t.print(std::cout);
-  std::cout << "\nExpected: at 2 km the networks are independent; as the "
-               "buildings approach, uncoordinated same-band operation "
-               "loses packets that no per-network policy can prevent — "
-               "the coexistence problem WirelessHART accepts in exchange "
-               "for forbidding reuse within each network.\n";
-  return 0;
+  return wsan::bench::run_figure_main("coexistence", argc, argv);
 }

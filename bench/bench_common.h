@@ -3,6 +3,11 @@
 // Each bench binary prints the series of one figure of the paper.
 // Common mechanics — building a testbed environment, sweeping flow sets,
 // running the three schedulers, and accumulating statistics — live here.
+//
+// Monte-Carlo sweeps run on exp::trial_runner: every trial's RNG stream
+// is derived counter-style from (experiment_seed, point_index,
+// trial_index) (see common/rng.h), so results are bit-identical at any
+// --jobs value and any single trial can be replayed in isolation.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +16,7 @@
 
 #include "common/histogram.h"
 #include "core/scheduler.h"
+#include "exp/runner.h"
 #include "flow/flow_generator.h"
 #include "graph/comm_graph.h"
 #include "graph/hop_matrix.h"
@@ -36,7 +42,9 @@ struct experiment_env {
 experiment_env make_env(const std::string& testbed, int num_channels,
                         double prr_threshold = 0.9);
 
-/// Outcome of one schedulable-ratio data point.
+/// Outcome of one schedulable-ratio data point. Merging two points
+/// (operator+=) adds the counters, so partial results from parallel
+/// workers fold together in any order.
 struct ratio_point {
   int trials = 0;
   int nr_ok = 0;
@@ -46,28 +54,60 @@ struct ratio_point {
   double nr() const { return trials ? double(nr_ok) / trials : 0.0; }
   double ra() const { return trials ? double(ra_ok) / trials : 0.0; }
   double rc() const { return trials ? double(rc_ok) / trials : 0.0; }
+
+  ratio_point& operator+=(const ratio_point& other) {
+    trials += other.trials;
+    nr_ok += other.nr_ok;
+    ra_ok += other.ra_ok;
+    rc_ok += other.rc_ok;
+    return *this;
+  }
 };
 
-/// Runs `trials` random flow sets through NR, RA (rho_t), and RC (rho_t)
-/// and counts which are schedulable. Optionally accumulates the
-/// efficiency histograms of Figures 4/5 for RA and RC.
+/// Optional efficiency histograms of Figures 4/5 for RA and RC.
+/// merge() is commutative (per-bin addition).
 struct efficiency_accumulator {
   histogram ra_tx_per_channel;
   histogram rc_tx_per_channel;
   histogram ra_hop_count;
   histogram rc_hop_count;
+
+  efficiency_accumulator& operator+=(const efficiency_accumulator& other);
 };
 
+/// One schedulable-ratio trial: generates a flow set from `gen` and
+/// runs it through NR, RA (rho_t), and RC (rho_t). This is the unit of
+/// work that schedulable_ratio fans out and that --replay re-runs in
+/// isolation.
+struct ratio_trial_outcome {
+  bool generated = false;  ///< false: unroutable workload (all fail)
+  bool nr_ok = false;
+  bool ra_ok = false;
+  bool rc_ok = false;
+};
+
+ratio_trial_outcome run_ratio_trial(const experiment_env& env,
+                                    const flow::flow_set_params& fsp,
+                                    int rho_t, rng& gen,
+                                    efficiency_accumulator* acc = nullptr);
+
+/// Runs `trials` random flow sets through NR, RA (rho_t), and RC
+/// (rho_t) across `jobs` worker threads and counts which are
+/// schedulable. Trial t draws from derive_seed(seed, point_index, t);
+/// the result is bit-identical for any jobs value (tests/exp_test.cpp).
 ratio_point schedulable_ratio(const experiment_env& env,
                               const flow::flow_set_params& fsp, int trials,
                               std::uint64_t seed, int rho_t = 2,
-                              efficiency_accumulator* acc = nullptr);
+                              efficiency_accumulator* acc = nullptr,
+                              int jobs = 1, std::uint64_t point_index = 0);
 
 /// Finds `count` flow sets that are schedulable under NR, RA, and RC at
 /// once (the reliability experiments compare the three algorithms on the
-/// same workloads). Scans seeds from base_seed; if too few qualify
-/// within max_seeds, retries with progressively fewer flows. Returns the
-/// sets plus the flow count actually used.
+/// same workloads). Attempts are evaluated in parallel waves but
+/// qualifying sets are taken in attempt order, so the selection is
+/// independent of `jobs`. If too few qualify within max_seeds, retries
+/// with progressively fewer flows. Returns the sets plus the flow count
+/// actually used.
 struct reliability_workloads {
   std::vector<flow::flow_set> sets;
   int flows_used = 0;
@@ -76,7 +116,7 @@ struct reliability_workloads {
 reliability_workloads find_reliability_sets(
     const experiment_env& env, const flow::flow_set_params& base_params,
     int count, std::uint64_t base_seed, int rho_t = 2,
-    int max_seeds = 200);
+    int max_seeds = 200, int jobs = 1);
 
 /// Wall-clock milliseconds of one scheduler invocation.
 double time_schedule_ms(const std::vector<flow::flow>& flows,
@@ -85,7 +125,7 @@ double time_schedule_ms(const std::vector<flow::flow>& flows,
                         bool* schedulable = nullptr);
 
 /// Renders a schedulable ratio with its 95% Wilson interval:
-/// "0.78 [0.65,0.87]".
+/// "0.78 [0.65,0.87]". Zero trials render as "0.00 [0.00,1.00]".
 std::string ratio_cell(int successes, int trials);
 
 /// Standard banner so bench outputs are self-describing.

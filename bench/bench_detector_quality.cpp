@@ -6,84 +6,12 @@
 // so the classifier's reject/accept decisions can be scored exactly —
 // something the paper could not do on a physical testbed.
 //
-// Usage: --flows N (default 50), --epochs N (default 6), --trials N (3)
-#include <iostream>
-
-#include "bench_common.h"
-#include "common/cli.h"
-#include "common/table.h"
-#include "detect/evaluation.h"
-#include "sim/simulator.h"
+// Usage: --flows N (default 50), --epochs N (default 6), --trials N
+// (workload count, default 3), plus the harness flags --jobs/--seed/
+// --json/--replay (exp/options.h). A replay point is one (environment,
+// flow set) pair: point = wifi * sets + set, wifi in {0: clean, 1: WiFi}.
+#include "experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace wsan;
-  const cli_args args(argc, argv);
-  const int flows = static_cast<int>(args.get_int("flows", 50));
-  const int epochs = static_cast<int>(args.get_int("epochs", 6));
-  const int trials = static_cast<int>(args.get_int("trials", 3));
-
-  bench::print_banner("Detector quality",
-                      "precision/recall of the detection policy vs "
-                      "simulator ground truth (WUSTL, 4 channels)");
-
-  const auto env = bench::make_env("wustl", 4);
-  flow::flow_set_params fsp;
-  fsp.type = flow::traffic_type::peer_to_peer;
-  fsp.num_flows = flows;
-  fsp.period_min_exp = 0;
-  fsp.period_max_exp = 0;
-  const auto workloads =
-      bench::find_reliability_sets(env, fsp, trials, 17000);
-  std::cout << "\n" << workloads.sets.size() << " workloads of "
-            << workloads.flows_used << " flows, " << epochs
-            << " epochs of 18 executions each, WiFi interference on\n\n";
-
-  table t({"test", "environment", "scored links", "TP", "FP", "FN", "TN",
-           "precision", "recall", "F1"});
-
-  for (const auto test : {detect::detection_test::kolmogorov_smirnov,
-                          detect::detection_test::mann_whitney}) {
-    for (const bool with_wifi : {false, true}) {
-      detect::detector_score total;
-      for (std::size_t si = 0; si < workloads.sets.size(); ++si) {
-        const auto& set = workloads.sets[si];
-        const auto scheduled = core::schedule_flows(
-            set.flows, env.reuse_hops,
-            core::make_config(core::algorithm::ra, 4));
-        sim::sim_config sim_config;
-        sim_config.runs = epochs * 18;
-        sim_config.seed = 4242 + si;
-        if (with_wifi)
-          sim_config.interferers =
-              sim::one_interferer_per_floor(env.topology, 0.3, 8.0);
-        const auto result = sim::run_simulation(
-            env.topology, scheduled.sched, set.flows, env.channels,
-            sim_config);
-        detect::detection_policy policy;
-        policy.test = test;
-        const auto reports = detect::classify_links(result.links, policy);
-        const auto score =
-            detect::score_detection(reports, result.links);
-        total.true_positives += score.true_positives;
-        total.false_positives += score.false_positives;
-        total.false_negatives += score.false_negatives;
-        total.true_negatives += score.true_negatives;
-        total.scored_links += score.scored_links;
-      }
-      t.add_row({detect::to_string(test),
-                 with_wifi ? "WiFi interference" : "clean",
-                 cell(total.scored_links), cell(total.true_positives),
-                 cell(total.false_positives), cell(total.false_negatives),
-                 cell(total.true_negatives), cell(total.precision(), 2),
-                 cell(total.recall(), 2), cell(total.f1(), 2)});
-    }
-  }
-  t.print(std::cout);
-  std::cout << "\nExpected: high precision/recall in the clean "
-               "environment; under WiFi the task is harder (links suffer "
-               "both causes at once) but the classifier should remain "
-               "clearly better than chance. K-S and Mann-Whitney behave "
-               "similarly here; K-S additionally reacts to shape "
-               "changes, which justifies the paper's choice.\n";
-  return 0;
+  return wsan::bench::run_figure_main("detector", argc, argv);
 }

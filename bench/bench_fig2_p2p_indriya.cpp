@@ -5,67 +5,10 @@
 //   (b) channels 3..8, periods [2^-1, 2^3] s   (NR fails everywhere)
 //   (c) flows 40..160, 5 channels, periods [2^0, 2^2] s
 //
-// Usage: --trials N (default 50), --flows N (panels a/b, default 60)
-#include <iostream>
-
-#include "bench_common.h"
-#include "common/cli.h"
-#include "common/table.h"
+// Usage: --trials N (default 50), --flows N (panels a/b, default 60),
+// plus the harness flags --jobs/--seed/--json/--replay (exp/options.h).
+#include "experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace wsan;
-  const cli_args args(argc, argv);
-  const int trials = static_cast<int>(args.get_int("trials", 50));
-  const int fixed_flows = static_cast<int>(args.get_int("flows", 60));
-
-  bench::print_banner("Figure 2",
-                      "schedulable ratio, peer-to-peer traffic (Indriya)");
-
-  flow::flow_set_params fsp;
-  fsp.type = flow::traffic_type::peer_to_peer;
-  fsp.num_flows = fixed_flows;
-
-  const struct {
-    const char* label;
-    int min_exp;
-    int max_exp;
-  } panels[] = {{"(a) P=[2^0,2^2]s", 0, 2}, {"(b) P=[2^-1,2^3]s", -1, 3}};
-
-  for (const auto& panel : panels) {
-    std::cout << "\nPanel " << panel.label << ", " << fixed_flows
-              << " flows, " << trials << " flow sets per point\n";
-    table t({"#channels", "NR", "RA", "RC"});
-    for (int ch = 3; ch <= 8; ++ch) {
-      const auto env = bench::make_env("indriya", ch);
-      fsp.period_min_exp = panel.min_exp;
-      fsp.period_max_exp = panel.max_exp;
-      const auto point = bench::schedulable_ratio(
-          env, fsp, trials, 3000 + static_cast<std::uint64_t>(ch));
-      t.add_row({cell(ch), bench::ratio_cell(point.nr_ok, point.trials),
-                 bench::ratio_cell(point.ra_ok, point.trials),
-                 bench::ratio_cell(point.rc_ok, point.trials)});
-    }
-    t.print(std::cout);
-  }
-
-  std::cout << "\nPanel (c) varying flows, 5 channels, P=[2^0,2^2]s, "
-            << trials << " flow sets per point\n";
-  const auto env = bench::make_env("indriya", 5);
-  table t({"#flows", "NR", "RA", "RC"});
-  fsp.period_min_exp = 0;
-  fsp.period_max_exp = 2;
-  for (int flows = 40; flows <= 160; flows += 20) {
-    fsp.num_flows = flows;
-    const auto point = bench::schedulable_ratio(
-        env, fsp, trials, 4000 + static_cast<std::uint64_t>(flows));
-    t.add_row({cell(flows), bench::ratio_cell(point.nr_ok, point.trials),
-               bench::ratio_cell(point.ra_ok, point.trials),
-               bench::ratio_cell(point.rc_ok, point.trials)});
-  }
-  t.print(std::cout);
-  std::cout << "\nPaper shape: the peer-to-peer margin of RA/RC over NR "
-               "is larger than under centralized traffic; with the tight "
-               "period range NR collapses while RA/RC stay near 100% "
-               "until very high loads.\n";
-  return 0;
+  return wsan::bench::run_figure_main("fig2", argc, argv);
 }

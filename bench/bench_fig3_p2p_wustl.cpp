@@ -1,57 +1,10 @@
 // Figure 3: schedulable ratios under a varying number of channels and
 // flows, peer-to-peer traffic, WUSTL topology (generality check).
 //
-// Usage: --trials N (default 50), --flows N (panel a, default 50)
-#include <iostream>
-
-#include "bench_common.h"
-#include "common/cli.h"
-#include "common/table.h"
+// Usage: --trials N (default 50), --flows N (panel a, default 90),
+// plus the harness flags --jobs/--seed/--json/--replay (exp/options.h).
+#include "experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace wsan;
-  const cli_args args(argc, argv);
-  const int trials = static_cast<int>(args.get_int("trials", 50));
-  const int fixed_flows = static_cast<int>(args.get_int("flows", 90));
-
-  bench::print_banner("Figure 3",
-                      "schedulable ratio, peer-to-peer traffic (WUSTL)");
-
-  flow::flow_set_params fsp;
-  fsp.type = flow::traffic_type::peer_to_peer;
-  fsp.period_min_exp = 0;
-  fsp.period_max_exp = 2;
-
-  std::cout << "\nPanel (a) varying channels, " << fixed_flows
-            << " flows, P=[2^0,2^2]s, " << trials
-            << " flow sets per point\n";
-  table ta({"#channels", "NR", "RA", "RC"});
-  for (int ch = 3; ch <= 8; ++ch) {
-    const auto env = bench::make_env("wustl", ch);
-    fsp.num_flows = fixed_flows;
-    const auto point = bench::schedulable_ratio(
-        env, fsp, trials, 5000 + static_cast<std::uint64_t>(ch));
-    ta.add_row({cell(ch), bench::ratio_cell(point.nr_ok, point.trials),
-                bench::ratio_cell(point.ra_ok, point.trials),
-                bench::ratio_cell(point.rc_ok, point.trials)});
-  }
-  ta.print(std::cout);
-
-  std::cout << "\nPanel (b) varying flows, 5 channels, P=[2^0,2^2]s, "
-            << trials << " flow sets per point\n";
-  const auto env = bench::make_env("wustl", 5);
-  table tb({"#flows", "NR", "RA", "RC"});
-  for (int flows = 20; flows <= 120; flows += 20) {
-    fsp.num_flows = flows;
-    const auto point = bench::schedulable_ratio(
-        env, fsp, trials, 6000 + static_cast<std::uint64_t>(flows));
-    tb.add_row({cell(flows), bench::ratio_cell(point.nr_ok, point.trials),
-                bench::ratio_cell(point.ra_ok, point.trials),
-                bench::ratio_cell(point.rc_ok, point.trials)});
-  }
-  tb.print(std::cout);
-  std::cout << "\nPaper shape: same ordering as on Indriya — RA/RC over "
-               "NR; RC may trail RA slightly in the worst case (the "
-               "paper reports up to 22% on this testbed).\n";
-  return 0;
+  return wsan::bench::run_figure_main("fig3", argc, argv);
 }

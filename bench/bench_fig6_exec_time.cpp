@@ -5,100 +5,12 @@
 // reference scans) and the resulting speedup, plus the hot-path probe
 // counters, to quantify what the index buys on the Indriya-80 scenario.
 //
-// Usage: --trials N (average over N flow sets per point, default 5)
-#include <algorithm>
-#include <iostream>
-
-#include "bench_common.h"
-#include "common/cli.h"
-#include "common/rng.h"
-#include "common/table.h"
-#include "tsch/schedule_stats.h"
+// Usage: --trials N (average over N flow sets per point, default 5),
+// plus the harness flags --jobs/--seed/--json/--replay (exp/options.h).
+// Note the timing columns are measurements: only the schedulability and
+// probe columns are thread-count-invariant.
+#include "experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace wsan;
-  const cli_args args(argc, argv);
-  const int trials = static_cast<int>(args.get_int("trials", 5));
-
-  bench::print_banner("Figure 6",
-                      "scheduler execution time in ms (Indriya, p2p, "
-                      "5 channels, P=[2^0,2^2]s)");
-
-  const auto env = bench::make_env("indriya", 5);
-  table t({"#flows", "NR (ms)", "RA (ms)", "RC (ms)", "RC naive (ms)",
-           "speedup", "RC sched?"});
-
-  tsch::probe_stats total_probes;
-  for (int flows = 40; flows <= 160; flows += 20) {
-    flow::flow_set_params fsp;
-    fsp.type = flow::traffic_type::peer_to_peer;
-    fsp.num_flows = flows;
-    fsp.period_min_exp = 0;
-    fsp.period_max_exp = 2;
-
-    // nr, ra, rc (indexed), rc (naive reference scans)
-    double ms[4] = {0.0, 0.0, 0.0, 0.0};
-    int rc_ok = 0;
-    rng gen(9000 + static_cast<std::uint64_t>(flows));
-    int generated = 0;
-    for (int trial = 0; trial < trials; ++trial) {
-      rng trial_gen = gen.fork();
-      flow::flow_set set;
-      try {
-        set = flow::generate_flow_set(env.comm, fsp, trial_gen);
-      } catch (const std::runtime_error&) {
-        continue;
-      }
-      ++generated;
-      // Best-of-k timing per workload: the indexed/naive comparison
-      // should reflect algorithmic work, not scheduler jitter on a
-      // loaded machine.
-      const auto timed = [&](const core::scheduler_config& config,
-                             bool* schedulable) {
-        double best = bench::time_schedule_ms(set.flows, env.reuse_hops,
-                                              config, schedulable);
-        for (int rep = 1; rep < 3; ++rep)
-          best = std::min(best,
-                          bench::time_schedule_ms(set.flows,
-                                                  env.reuse_hops, config));
-        return best;
-      };
-      const core::algorithm algos[] = {core::algorithm::nr,
-                                       core::algorithm::ra,
-                                       core::algorithm::rc};
-      for (int a = 0; a < 3; ++a) {
-        const auto config = core::make_config(algos[a], 5);
-        bool schedulable = false;
-        ms[a] += timed(config, &schedulable);
-        if (a == 2) {
-          rc_ok += schedulable ? 1 : 0;
-          total_probes += core::schedule_flows(set.flows, env.reuse_hops,
-                                               config)
-                              .stats.probes;
-        }
-      }
-      auto naive = core::make_config(core::algorithm::rc, 5);
-      naive.use_occupancy_index = false;
-      ms[3] += timed(naive, nullptr);
-    }
-    if (generated == 0) continue;
-    const double rc_ms = ms[2] / generated;
-    const double rc_naive_ms = ms[3] / generated;
-    t.add_row({cell(flows), cell(ms[0] / generated, 2),
-               cell(ms[1] / generated, 2), cell(rc_ms, 2),
-               cell(rc_naive_ms, 2),
-               cell(rc_ms > 0.0 ? rc_naive_ms / rc_ms : 0.0, 1),
-               cell(static_cast<double>(rc_ok) / generated, 2)});
-  }
-  t.print(std::cout);
-  std::cout << "\nRC hot-path probes (indexed, all points): "
-            << tsch::to_string(total_probes) << "\n";
-  std::cout << "\nPaper shape: NR is fastest (well under a millisecond at "
-               "low load); RC sits between NR and RA at high load because "
-               "it computes laxity but reuses sparingly, while RA's time "
-               "grows fastest with the workload. Absolute numbers depend "
-               "on this machine; the speedup column is RC-naive / "
-               "RC-indexed on identical workloads (the two produce "
-               "placement-identical schedules).\n";
-  return 0;
+  return wsan::bench::run_figure_main("fig6", argc, argv);
 }

@@ -2,72 +2,12 @@
 // five distinct flow sets (WUSTL, 4 channels, 50 flows, half at 0.5 s
 // and half at 1 s, the schedule executed 100 times).
 //
-// Usage: --flows N (default 50), --runs N (default 100), --sets N (5)
-#include <iostream>
-
-#include "bench_common.h"
-#include "common/cli.h"
-#include "common/table.h"
-#include "sim/simulator.h"
-#include "stats/summary.h"
+// Usage: --flows N (default 50), --runs N (default 100), --sets N (5;
+// --trials is an alias), plus the harness flags --jobs/--seed/--json/
+// --replay (exp/options.h). A replay point is one (flow set, algorithm)
+// pair: point = set * 3 + {0:NR, 1:RA, 2:RC}.
+#include "experiments.h"
 
 int main(int argc, char** argv) {
-  using namespace wsan;
-  const cli_args args(argc, argv);
-  const int flows = static_cast<int>(args.get_int("flows", 50));
-  const int runs = static_cast<int>(args.get_int("runs", 100));
-  const int num_sets = static_cast<int>(args.get_int("sets", 5));
-  const double capture_db = args.get_double("capture", 4.0);
-  const double fading_db = args.get_double("fading", 2.0);
-  const double drift_db = args.get_double("drift", 6.0);
-  const double mdrift_db = args.get_double("mdrift", 1.0);
-  const double intermittent = args.get_double("intermittent", 0.15);
-
-  bench::print_banner("Figure 8",
-                      "PDR box plots of NR/RA/RC over distinct flow sets "
-                      "(WUSTL, 4 channels)");
-
-  const auto env = bench::make_env("wustl", 4);
-  flow::flow_set_params fsp;
-  fsp.type = flow::traffic_type::peer_to_peer;
-  fsp.num_flows = flows;
-  fsp.period_min_exp = -1;  // 0.5 s
-  fsp.period_max_exp = 0;   // 1 s
-  const auto workloads =
-      bench::find_reliability_sets(env, fsp, num_sets, 11000);
-  std::cout << "\nUsing " << workloads.sets.size() << " flow sets of "
-            << workloads.flows_used << " flows (each schedulable under "
-            << "NR, RA, and RC); " << runs << " schedule executions\n\n";
-
-  table t({"flow set", "algo", "min", "q1", "median", "q3", "max"});
-  for (std::size_t si = 0; si < workloads.sets.size(); ++si) {
-    const auto& set = workloads.sets[si];
-    for (const auto algo : {core::algorithm::nr, core::algorithm::ra,
-                            core::algorithm::rc}) {
-      const auto config = core::make_config(algo, 4);
-      const auto scheduled =
-          core::schedule_flows(set.flows, env.reuse_hops, config);
-      sim::sim_config sim_config;
-      sim_config.runs = runs;
-      sim_config.seed = 77 + si;
-      sim_config.capture_threshold_db = capture_db;
-      sim_config.temporal_fading_sigma_db = fading_db;
-      sim_config.calibration_drift_sigma_db = drift_db;
-      sim_config.maintained_drift_sigma_db = mdrift_db;
-      sim_config.intermittent_fraction = intermittent;
-      const auto result = sim::run_simulation(
-          env.topology, scheduled.sched, set.flows, env.channels,
-          sim_config);
-      const auto box = stats::make_box_stats(result.flow_pdr);
-      t.add_row({cell(si + 1), core::to_string(algo), cell(box.min, 3),
-                 cell(box.q1, 3), cell(box.median, 3), cell(box.q3, 3),
-                 cell(box.max, 3)});
-    }
-  }
-  t.print(std::cout);
-  std::cout << "\nPaper shape: medians of all three are within a couple "
-               "of percent; the separator is the worst case — RC's "
-               "minimum PDR stays within a few percent of NR's while "
-               "RA's drops by tens of percent.\n";
-  return 0;
+  return wsan::bench::run_figure_main("fig8", argc, argv);
 }

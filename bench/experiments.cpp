@@ -1,0 +1,1052 @@
+#include "experiments.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "bench_common.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "detect/evaluation.h"
+#include "exp/aggregator.h"
+#include "exp/runner.h"
+#include "sim/coexistence.h"
+#include "sim/simulator.h"
+#include "stats/summary.h"
+#include "topo/merge.h"
+#include "tsch/schedule_stats.h"
+
+namespace wsan::bench {
+
+namespace {
+
+// Default experiment seeds, one per figure, so separate figures never
+// share derived trial streams even at equal (point, trial) coordinates.
+constexpr std::uint64_t k_fig1_seed = 901;
+constexpr std::uint64_t k_fig2_seed = 902;
+constexpr std::uint64_t k_fig3_seed = 903;
+constexpr std::uint64_t k_fig6_seed = 906;
+constexpr std::uint64_t k_fig8_seed = 908;
+constexpr std::uint64_t k_detector_seed = 917;
+constexpr std::uint64_t k_coexistence_seed = 931;
+
+/// Builds testbed environments lazily; ratio sweeps revisit the same
+/// (testbed, channels) combination across panels.
+class env_cache {
+ public:
+  const experiment_env& get(const std::string& testbed, int channels) {
+    const auto key = std::make_pair(testbed, channels);
+    auto it = envs_.find(key);
+    if (it == envs_.end())
+      it = envs_.emplace(key, make_env(testbed, channels)).first;
+    return it->second;
+  }
+
+ private:
+  std::map<std::pair<std::string, int>, experiment_env> envs_;
+};
+
+// ---------------------------------------------------------------------
+// Schedulable-ratio figures (1-3): shared sweep machinery.
+
+struct ratio_point_spec {
+  double x = 0.0;
+  std::string testbed;
+  int channels = 0;
+  flow::flow_set_params fsp;
+};
+
+struct ratio_panel_spec {
+  std::string name;    ///< short panel id for the report
+  std::string desc;    ///< printed header (without the trial count)
+  std::string x_label;
+  std::vector<ratio_point_spec> points;
+};
+
+struct ratio_figure_spec {
+  std::string title;
+  std::string note;  ///< trailing "Paper shape" commentary
+  std::map<std::string, std::string> parameters;
+  std::vector<ratio_panel_spec> panels;
+};
+
+std::vector<const ratio_point_spec*> flatten(
+    const ratio_figure_spec& spec) {
+  std::vector<const ratio_point_spec*> flat;
+  for (const auto& panel : spec.panels)
+    for (const auto& point : panel.points) flat.push_back(&point);
+  return flat;
+}
+
+exp::figure_report run_ratio_figure(const std::string& id,
+                                    std::uint64_t default_seed,
+                                    const ratio_figure_spec& spec,
+                                    const exp::run_options& options,
+                                    std::ostream& out) {
+  const int trials = options.trials_or(50);
+  const std::uint64_t seed = options.seed_or(default_seed);
+  print_banner("Figure " + id.substr(3), spec.title);
+
+  exp::figure_report report;
+  report.figure = id;
+  report.title = spec.title;
+  report.seed = seed;
+  report.jobs = exp::resolve_jobs(options.jobs);
+  report.trials = trials;
+  report.parameters = spec.parameters;
+
+  env_cache envs;
+  std::uint64_t point_index = 0;
+  for (const auto& panel : spec.panels) {
+    out << "\nPanel " << panel.desc << ", " << trials
+        << " flow sets per point\n";
+    table t({panel.x_label, "NR", "RA", "RC"});
+    exp::report_panel report_panel;
+    report_panel.name = panel.name;
+    report_panel.x_label = panel.x_label;
+    for (const auto& point : panel.points) {
+      const auto& env = envs.get(point.testbed, point.channels);
+      const auto result =
+          schedulable_ratio(env, point.fsp, trials, seed, 2, nullptr,
+                            options.jobs, point_index);
+      ++point_index;
+      t.add_row({cell(static_cast<int>(point.x)),
+                 ratio_cell(result.nr_ok, result.trials),
+                 ratio_cell(result.ra_ok, result.trials),
+                 ratio_cell(result.rc_ok, result.trials)});
+      exp::report_point rp;
+      rp.x = point.x;
+      const struct {
+        const char* name;
+        int ok;
+      } algos[] = {{"nr", result.nr_ok},
+                   {"ra", result.ra_ok},
+                   {"rc", result.rc_ok}};
+      for (const auto& algo : algos) {
+        const auto ci = stats::wilson_interval(algo.ok, result.trials);
+        rp.values[algo.name] = ci.estimate;
+        rp.values[std::string(algo.name) + "_low"] = ci.low;
+        rp.values[std::string(algo.name) + "_high"] = ci.high;
+      }
+      report_panel.points.push_back(std::move(rp));
+    }
+    t.print(out);
+    report.panels.push_back(std::move(report_panel));
+  }
+  out << spec.note;
+  return report;
+}
+
+bool replay_ratio_figure(std::uint64_t default_seed,
+                         const ratio_figure_spec& spec,
+                         const exp::run_options& options,
+                         std::ostream& out) {
+  const auto flat = flatten(spec);
+  const auto& target = options.replay;
+  if (target.point >= static_cast<int>(flat.size())) return false;
+  const auto& point = *flat[static_cast<std::size_t>(target.point)];
+  const auto env = make_env(point.testbed, point.channels);
+  rng gen(derive_seed(options.seed_or(default_seed),
+                      static_cast<std::uint64_t>(target.point),
+                      static_cast<std::uint64_t>(target.trial)));
+  const auto outcome = run_ratio_trial(env, point.fsp, 2, gen);
+  out << "replay point " << target.point << " (" << point.testbed << ", "
+      << point.channels << " channels, x=" << static_cast<int>(point.x)
+      << ") trial " << target.trial << ":\n"
+      << "  generated=" << (outcome.generated ? "yes" : "no")
+      << " nr=" << (outcome.nr_ok ? "yes" : "no")
+      << " ra=" << (outcome.ra_ok ? "yes" : "no")
+      << " rc=" << (outcome.rc_ok ? "yes" : "no") << "\n";
+  return true;
+}
+
+ratio_figure_spec fig1_spec(const cli_args& args) {
+  const int fixed_flows = static_cast<int>(args.get_int("flows", 40));
+  ratio_figure_spec spec;
+  spec.title = "schedulable ratio, centralized traffic (Indriya)";
+  spec.note =
+      "\nPaper shape: RA and RC track each other and dominate "
+      "NR, most visibly at 3-5 channels and high flow counts.\n";
+  spec.parameters = {{"testbed", "indriya"},
+                     {"traffic", "centralized"},
+                     {"flows", std::to_string(fixed_flows)}};
+
+  flow::flow_set_params fsp;
+  fsp.type = flow::traffic_type::centralized;
+  fsp.num_flows = fixed_flows;
+
+  const struct {
+    const char* label;
+    int min_exp;
+    int max_exp;
+  } panels[] = {{"(a) P=[2^0,2^2]s", 0, 2}, {"(b) P=[2^-1,2^3]s", -1, 3}};
+  for (const auto& panel : panels) {
+    ratio_panel_spec p;
+    p.name = panel.label;
+    p.desc = std::string(panel.label) + ", " +
+             std::to_string(fixed_flows) + " flows";
+    p.x_label = "#channels";
+    for (int ch = 3; ch <= 8; ++ch) {
+      fsp.period_min_exp = panel.min_exp;
+      fsp.period_max_exp = panel.max_exp;
+      p.points.push_back({double(ch), "indriya", ch, fsp});
+    }
+    spec.panels.push_back(std::move(p));
+  }
+
+  ratio_panel_spec c;
+  c.name = "(c) varying flows";
+  c.desc = "(c) varying flows, 5 channels, P=[2^0,2^2]s";
+  c.x_label = "#flows";
+  fsp.period_min_exp = 0;
+  fsp.period_max_exp = 2;
+  for (int flows = 10; flows <= 60; flows += 10) {
+    fsp.num_flows = flows;
+    c.points.push_back({double(flows), "indriya", 5, fsp});
+  }
+  spec.panels.push_back(std::move(c));
+  return spec;
+}
+
+ratio_figure_spec fig2_spec(const cli_args& args) {
+  const int fixed_flows = static_cast<int>(args.get_int("flows", 60));
+  ratio_figure_spec spec;
+  spec.title = "schedulable ratio, peer-to-peer traffic (Indriya)";
+  spec.note =
+      "\nPaper shape: the peer-to-peer margin of RA/RC over NR "
+      "is larger than under centralized traffic; with the tight "
+      "period range NR collapses while RA/RC stay near 100% "
+      "until very high loads.\n";
+  spec.parameters = {{"testbed", "indriya"},
+                     {"traffic", "p2p"},
+                     {"flows", std::to_string(fixed_flows)}};
+
+  flow::flow_set_params fsp;
+  fsp.type = flow::traffic_type::peer_to_peer;
+  fsp.num_flows = fixed_flows;
+
+  const struct {
+    const char* label;
+    int min_exp;
+    int max_exp;
+  } panels[] = {{"(a) P=[2^0,2^2]s", 0, 2}, {"(b) P=[2^-1,2^3]s", -1, 3}};
+  for (const auto& panel : panels) {
+    ratio_panel_spec p;
+    p.name = panel.label;
+    p.desc = std::string(panel.label) + ", " +
+             std::to_string(fixed_flows) + " flows";
+    p.x_label = "#channels";
+    for (int ch = 3; ch <= 8; ++ch) {
+      fsp.period_min_exp = panel.min_exp;
+      fsp.period_max_exp = panel.max_exp;
+      p.points.push_back({double(ch), "indriya", ch, fsp});
+    }
+    spec.panels.push_back(std::move(p));
+  }
+
+  ratio_panel_spec c;
+  c.name = "(c) varying flows";
+  c.desc = "(c) varying flows, 5 channels, P=[2^0,2^2]s";
+  c.x_label = "#flows";
+  fsp.period_min_exp = 0;
+  fsp.period_max_exp = 2;
+  for (int flows = 40; flows <= 160; flows += 20) {
+    fsp.num_flows = flows;
+    c.points.push_back({double(flows), "indriya", 5, fsp});
+  }
+  spec.panels.push_back(std::move(c));
+  return spec;
+}
+
+ratio_figure_spec fig3_spec(const cli_args& args) {
+  const int fixed_flows = static_cast<int>(args.get_int("flows", 90));
+  ratio_figure_spec spec;
+  spec.title = "schedulable ratio, peer-to-peer traffic (WUSTL)";
+  spec.note =
+      "\nPaper shape: same ordering as on Indriya — RA/RC over "
+      "NR; RC may trail RA slightly in the worst case (the "
+      "paper reports up to 22% on this testbed).\n";
+  spec.parameters = {{"testbed", "wustl"},
+                     {"traffic", "p2p"},
+                     {"flows", std::to_string(fixed_flows)}};
+
+  flow::flow_set_params fsp;
+  fsp.type = flow::traffic_type::peer_to_peer;
+  fsp.period_min_exp = 0;
+  fsp.period_max_exp = 2;
+  fsp.num_flows = fixed_flows;
+
+  ratio_panel_spec a;
+  a.name = "(a) varying channels";
+  a.desc = "(a) varying channels, " + std::to_string(fixed_flows) +
+           " flows, P=[2^0,2^2]s";
+  a.x_label = "#channels";
+  for (int ch = 3; ch <= 8; ++ch)
+    a.points.push_back({double(ch), "wustl", ch, fsp});
+  spec.panels.push_back(std::move(a));
+
+  ratio_panel_spec b;
+  b.name = "(b) varying flows";
+  b.desc = "(b) varying flows, 5 channels, P=[2^0,2^2]s";
+  b.x_label = "#flows";
+  for (int flows = 20; flows <= 120; flows += 20) {
+    fsp.num_flows = flows;
+    b.points.push_back({double(flows), "wustl", 5, fsp});
+  }
+  spec.panels.push_back(std::move(b));
+  return spec;
+}
+
+exp::figure_report run_fig1(const exp::run_options& options,
+                            const cli_args& args, std::ostream& out) {
+  return run_ratio_figure("fig1", k_fig1_seed, fig1_spec(args), options,
+                          out);
+}
+bool replay_fig1(const exp::run_options& options, const cli_args& args,
+                 std::ostream& out) {
+  return replay_ratio_figure(k_fig1_seed, fig1_spec(args), options, out);
+}
+
+exp::figure_report run_fig2(const exp::run_options& options,
+                            const cli_args& args, std::ostream& out) {
+  return run_ratio_figure("fig2", k_fig2_seed, fig2_spec(args), options,
+                          out);
+}
+bool replay_fig2(const exp::run_options& options, const cli_args& args,
+                 std::ostream& out) {
+  return replay_ratio_figure(k_fig2_seed, fig2_spec(args), options, out);
+}
+
+exp::figure_report run_fig3(const exp::run_options& options,
+                            const cli_args& args, std::ostream& out) {
+  return run_ratio_figure("fig3", k_fig3_seed, fig3_spec(args), options,
+                          out);
+}
+bool replay_fig3(const exp::run_options& options, const cli_args& args,
+                 std::ostream& out) {
+  return replay_ratio_figure(k_fig3_seed, fig3_spec(args), options, out);
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: scheduler execution time.
+
+struct fig6_trial_result {
+  bool generated = false;
+  double ms[4] = {0.0, 0.0, 0.0, 0.0};  ///< nr, ra, rc, rc-naive
+  bool rc_ok = false;
+  tsch::probe_stats probes;
+};
+
+fig6_trial_result run_fig6_trial(const experiment_env& env,
+                                 const flow::flow_set_params& fsp,
+                                 rng& gen) {
+  fig6_trial_result result;
+  flow::flow_set set;
+  try {
+    set = flow::generate_flow_set(env.comm, fsp, gen);
+  } catch (const std::runtime_error&) {
+    return result;
+  }
+  result.generated = true;
+  // Best-of-k timing per workload: the indexed/naive comparison should
+  // reflect algorithmic work, not scheduler jitter on a loaded machine.
+  const auto timed = [&](const core::scheduler_config& config,
+                         bool* schedulable) {
+    double best =
+        time_schedule_ms(set.flows, env.reuse_hops, config, schedulable);
+    for (int rep = 1; rep < 3; ++rep)
+      best = std::min(best,
+                      time_schedule_ms(set.flows, env.reuse_hops, config));
+    return best;
+  };
+  const core::algorithm algos[] = {core::algorithm::nr,
+                                   core::algorithm::ra,
+                                   core::algorithm::rc};
+  for (int a = 0; a < 3; ++a) {
+    const auto config = core::make_config(algos[a], 5);
+    bool schedulable = false;
+    result.ms[a] = timed(config, &schedulable);
+    if (a == 2) {
+      result.rc_ok = schedulable;
+      result.probes =
+          core::schedule_flows(set.flows, env.reuse_hops, config)
+              .stats.probes;
+    }
+  }
+  auto naive = core::make_config(core::algorithm::rc, 5);
+  naive.use_occupancy_index = false;
+  result.ms[3] = timed(naive, nullptr);
+  return result;
+}
+
+flow::flow_set_params fig6_params(int flows) {
+  flow::flow_set_params fsp;
+  fsp.type = flow::traffic_type::peer_to_peer;
+  fsp.num_flows = flows;
+  fsp.period_min_exp = 0;
+  fsp.period_max_exp = 2;
+  return fsp;
+}
+
+exp::figure_report run_fig6(const exp::run_options& options,
+                            const cli_args& args, std::ostream& out) {
+  (void)args;
+  const int trials = options.trials_or(5);
+  const std::uint64_t seed = options.seed_or(k_fig6_seed);
+  print_banner("Figure 6",
+               "scheduler execution time in ms (Indriya, p2p, "
+               "5 channels, P=[2^0,2^2]s)");
+
+  exp::figure_report report;
+  report.figure = "fig6";
+  report.title = "scheduler execution time (Indriya, p2p, 5 channels)";
+  report.seed = seed;
+  report.jobs = exp::resolve_jobs(options.jobs);
+  report.trials = trials;
+  report.parameters = {{"testbed", "indriya"}, {"traffic", "p2p"}};
+
+  const auto env = make_env("indriya", 5);
+  const exp::trial_runner runner(options.jobs);
+  table t({"#flows", "NR (ms)", "RA (ms)", "RC (ms)", "RC naive (ms)",
+           "speedup", "RC sched?"});
+  exp::report_panel panel;
+  panel.name = "execution time";
+  panel.x_label = "#flows";
+
+  tsch::probe_stats total_probes;
+  std::uint64_t point_index = 0;
+  for (int flows = 40; flows <= 160; flows += 20) {
+    const auto fsp = fig6_params(flows);
+    const auto agg = runner.run_point<exp::aggregator>(
+        seed, point_index, trials,
+        [&](int trial, rng& gen, exp::aggregator& local) {
+          const auto result = run_fig6_trial(env, fsp, gen);
+          if (!result.generated) return;
+          local.add_count("generated");
+          local.add_count("rc_ok", result.rc_ok ? 1 : 0);
+          local.add_count("probe_slots",
+                          static_cast<std::int64_t>(
+                              result.probes.slots_scanned));
+          local.add_count("probe_cells",
+                          static_cast<std::int64_t>(
+                              result.probes.cells_probed));
+          local.add_count("probe_index_hits",
+                          static_cast<std::int64_t>(
+                              result.probes.index_hits));
+          local.add_value("nr_ms", trial, result.ms[0]);
+          local.add_value("ra_ms", trial, result.ms[1]);
+          local.add_value("rc_ms", trial, result.ms[2]);
+          local.add_value("rc_naive_ms", trial, result.ms[3]);
+        });
+    ++point_index;
+    const auto generated = agg.count("generated");
+    if (generated == 0) continue;
+    total_probes.slots_scanned +=
+        static_cast<std::size_t>(agg.count("probe_slots"));
+    total_probes.cells_probed +=
+        static_cast<std::size_t>(agg.count("probe_cells"));
+    total_probes.index_hits +=
+        static_cast<std::size_t>(agg.count("probe_index_hits"));
+    const double rc_ms = agg.mean("rc_ms");
+    const double rc_naive_ms = agg.mean("rc_naive_ms");
+    const double rc_sched =
+        static_cast<double>(agg.count("rc_ok")) /
+        static_cast<double>(generated);
+    t.add_row({cell(flows), cell(agg.mean("nr_ms"), 2),
+               cell(agg.mean("ra_ms"), 2), cell(rc_ms, 2),
+               cell(rc_naive_ms, 2),
+               cell(rc_ms > 0.0 ? rc_naive_ms / rc_ms : 0.0, 1),
+               cell(rc_sched, 2)});
+    exp::report_point rp;
+    rp.x = flows;
+    rp.values = {{"nr_ms", agg.mean("nr_ms")},
+                 {"ra_ms", agg.mean("ra_ms")},
+                 {"rc_ms", rc_ms},
+                 {"rc_naive_ms", rc_naive_ms},
+                 {"speedup", rc_ms > 0.0 ? rc_naive_ms / rc_ms : 0.0},
+                 {"rc_schedulable", rc_sched},
+                 {"generated", static_cast<double>(generated)}};
+    panel.points.push_back(std::move(rp));
+  }
+  t.print(out);
+  report.panels.push_back(std::move(panel));
+  out << "\nRC hot-path probes (indexed, all points): "
+      << tsch::to_string(total_probes) << "\n";
+  out << "\nPaper shape: NR is fastest (well under a millisecond at "
+         "low load); RC sits between NR and RA at high load because "
+         "it computes laxity but reuses sparingly, while RA's time "
+         "grows fastest with the workload. Absolute numbers depend "
+         "on this machine; the speedup column is RC-naive / "
+         "RC-indexed on identical workloads (the two produce "
+         "placement-identical schedules). Timings are measurements — "
+         "only the schedulability and probe columns are "
+         "thread-count-invariant.\n";
+  return report;
+}
+
+bool replay_fig6(const exp::run_options& options, const cli_args& args,
+                 std::ostream& out) {
+  (void)args;
+  const auto& target = options.replay;
+  const int num_points = 7;  // flows 40..160 step 20
+  if (target.point >= num_points) return false;
+  const int flows = 40 + 20 * target.point;
+  const auto env = make_env("indriya", 5);
+  rng gen(derive_seed(options.seed_or(k_fig6_seed),
+                      static_cast<std::uint64_t>(target.point),
+                      static_cast<std::uint64_t>(target.trial)));
+  const auto result = run_fig6_trial(env, fig6_params(flows), gen);
+  out << "replay point " << target.point << " (" << flows
+      << " flows) trial " << target.trial << ":\n"
+      << "  generated=" << (result.generated ? "yes" : "no");
+  if (result.generated) {
+    out << " nr_ms=" << cell(result.ms[0], 2)
+        << " ra_ms=" << cell(result.ms[1], 2)
+        << " rc_ms=" << cell(result.ms[2], 2)
+        << " rc_naive_ms=" << cell(result.ms[3], 2)
+        << " rc_sched=" << (result.rc_ok ? "yes" : "no");
+  }
+  out << "\n";
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: PDR box plots of NR/RA/RC over distinct flow sets.
+
+struct fig8_setup {
+  experiment_env env;
+  reliability_workloads workloads;
+  int runs = 0;
+  sim::sim_config base_sim;
+};
+
+fig8_setup make_fig8_setup(const exp::run_options& options,
+                           const cli_args& args) {
+  fig8_setup setup;
+  setup.env = make_env("wustl", 4);
+  const int flows = static_cast<int>(args.get_int("flows", 50));
+  const int num_sets =
+      static_cast<int>(args.get_int("sets", options.trials_or(5)));
+  setup.runs = static_cast<int>(args.get_int("runs", 100));
+  flow::flow_set_params fsp;
+  fsp.type = flow::traffic_type::peer_to_peer;
+  fsp.num_flows = flows;
+  fsp.period_min_exp = -1;  // 0.5 s
+  fsp.period_max_exp = 0;   // 1 s
+  setup.workloads = find_reliability_sets(
+      setup.env, fsp, num_sets, options.seed_or(k_fig8_seed), 2, 200,
+      options.jobs);
+  setup.base_sim.runs = setup.runs;
+  setup.base_sim.capture_threshold_db = args.get_double("capture", 4.0);
+  setup.base_sim.temporal_fading_sigma_db =
+      args.get_double("fading", 2.0);
+  setup.base_sim.calibration_drift_sigma_db =
+      args.get_double("drift", 6.0);
+  setup.base_sim.maintained_drift_sigma_db =
+      args.get_double("mdrift", 1.0);
+  setup.base_sim.intermittent_fraction =
+      args.get_double("intermittent", 0.15);
+  return setup;
+}
+
+constexpr core::algorithm k_algos[] = {
+    core::algorithm::nr, core::algorithm::ra, core::algorithm::rc};
+
+/// One (flow set, algorithm) unit: schedule and simulate. The sim seed
+/// is shared by the three algorithms of a set (paired comparison, like
+/// the paper's fixed workloads).
+stats::box_stats run_fig8_unit(const fig8_setup& setup,
+                               std::uint64_t seed, int set_index,
+                               core::algorithm algo) {
+  const auto& set =
+      setup.workloads.sets[static_cast<std::size_t>(set_index)];
+  const auto config = core::make_config(algo, 4);
+  const auto scheduled =
+      core::schedule_flows(set.flows, setup.env.reuse_hops, config);
+  sim::sim_config sim_config = setup.base_sim;
+  sim_config.seed =
+      derive_seed(seed, 100 + static_cast<std::uint64_t>(set_index), 0);
+  const auto result =
+      sim::run_simulation(setup.env.topology, scheduled.sched, set.flows,
+                          setup.env.channels, sim_config);
+  return stats::make_box_stats(result.flow_pdr);
+}
+
+exp::figure_report run_fig8(const exp::run_options& options,
+                            const cli_args& args, std::ostream& out) {
+  const std::uint64_t seed = options.seed_or(k_fig8_seed);
+  print_banner("Figure 8",
+               "PDR box plots of NR/RA/RC over distinct flow sets "
+               "(WUSTL, 4 channels)");
+  const auto setup = make_fig8_setup(options, args);
+  const int num_sets = static_cast<int>(setup.workloads.sets.size());
+  out << "\nUsing " << num_sets << " flow sets of "
+      << setup.workloads.flows_used << " flows (each schedulable under "
+      << "NR, RA, and RC); " << setup.runs << " schedule executions\n\n";
+
+  exp::figure_report report;
+  report.figure = "fig8";
+  report.title = "PDR box plots of NR/RA/RC (WUSTL, 4 channels)";
+  report.seed = seed;
+  report.jobs = exp::resolve_jobs(options.jobs);
+  report.trials = num_sets;
+  report.parameters = {
+      {"testbed", "wustl"},
+      {"runs", std::to_string(setup.runs)},
+      {"flows_used", std::to_string(setup.workloads.flows_used)}};
+
+  // All (set, algo) units in parallel; results land in their slot, so
+  // completion order is irrelevant.
+  const int units = num_sets * 3;
+  std::vector<stats::box_stats> boxes(static_cast<std::size_t>(units));
+  exp::parallel_trials(units, options.jobs, [&](int, int unit) {
+    boxes[static_cast<std::size_t>(unit)] = run_fig8_unit(
+        setup, seed, unit / 3, k_algos[unit % 3]);
+  });
+
+  table t({"flow set", "algo", "min", "q1", "median", "q3", "max"});
+  std::vector<exp::report_panel> panels(3);
+  for (int a = 0; a < 3; ++a) {
+    panels[static_cast<std::size_t>(a)].name =
+        core::to_string(k_algos[a]);
+    panels[static_cast<std::size_t>(a)].x_label = "flow set";
+  }
+  for (int unit = 0; unit < units; ++unit) {
+    const int si = unit / 3;
+    const int a = unit % 3;
+    const auto& box = boxes[static_cast<std::size_t>(unit)];
+    t.add_row({cell(si + 1), core::to_string(k_algos[a]),
+               cell(box.min, 3), cell(box.q1, 3), cell(box.median, 3),
+               cell(box.q3, 3), cell(box.max, 3)});
+    exp::report_point rp;
+    rp.x = si + 1;
+    rp.values = {{"min", box.min},
+                 {"q1", box.q1},
+                 {"median", box.median},
+                 {"q3", box.q3},
+                 {"max", box.max}};
+    panels[static_cast<std::size_t>(a)].points.push_back(std::move(rp));
+  }
+  t.print(out);
+  for (auto& panel : panels) report.panels.push_back(std::move(panel));
+  out << "\nPaper shape: medians of all three are within a couple "
+         "of percent; the separator is the worst case — RC's "
+         "minimum PDR stays within a few percent of NR's while "
+         "RA's drops by tens of percent.\n";
+  return report;
+}
+
+bool replay_fig8(const exp::run_options& options, const cli_args& args,
+                 std::ostream& out) {
+  const auto setup = make_fig8_setup(options, args);
+  const int units = static_cast<int>(setup.workloads.sets.size()) * 3;
+  const auto& target = options.replay;
+  if (target.point >= units) return false;
+  const auto box =
+      run_fig8_unit(setup, options.seed_or(k_fig8_seed),
+                    target.point / 3, k_algos[target.point % 3]);
+  out << "replay point " << target.point << " (flow set "
+      << target.point / 3 + 1 << ", "
+      << core::to_string(k_algos[target.point % 3])
+      << "): min=" << cell(box.min, 3) << " q1=" << cell(box.q1, 3)
+      << " median=" << cell(box.median, 3) << " q3=" << cell(box.q3, 3)
+      << " max=" << cell(box.max, 3) << "\n";
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Detector quality: precision/recall vs simulator ground truth.
+
+struct detector_setup {
+  experiment_env env;
+  reliability_workloads workloads;
+  int epochs = 0;
+};
+
+detector_setup make_detector_setup(const exp::run_options& options,
+                                   const cli_args& args) {
+  detector_setup setup;
+  setup.env = make_env("wustl", 4);
+  setup.epochs = static_cast<int>(args.get_int("epochs", 6));
+  const int flows = static_cast<int>(args.get_int("flows", 50));
+  const int sets = options.trials_or(3);
+  flow::flow_set_params fsp;
+  fsp.type = flow::traffic_type::peer_to_peer;
+  fsp.num_flows = flows;
+  fsp.period_min_exp = 0;
+  fsp.period_max_exp = 0;
+  setup.workloads = find_reliability_sets(
+      setup.env, fsp, sets, options.seed_or(k_detector_seed), 2, 200,
+      options.jobs);
+  return setup;
+}
+
+constexpr detect::detection_test k_tests[] = {
+    detect::detection_test::kolmogorov_smirnov,
+    detect::detection_test::mann_whitney};
+
+/// One (wifi, flow set) unit: simulate once, classify with both tests.
+/// The sim seed ignores the wifi flag (paired clean/interfered runs,
+/// as in the original bench).
+std::array<detect::detector_score, 2> run_detector_unit(
+    const detector_setup& setup, std::uint64_t seed, bool with_wifi,
+    int set_index) {
+  const auto& set =
+      setup.workloads.sets[static_cast<std::size_t>(set_index)];
+  const auto scheduled = core::schedule_flows(
+      set.flows, setup.env.reuse_hops,
+      core::make_config(core::algorithm::ra, 4));
+  sim::sim_config sim_config;
+  sim_config.runs = setup.epochs * 18;
+  sim_config.seed =
+      derive_seed(seed, 300 + static_cast<std::uint64_t>(set_index), 0);
+  if (with_wifi)
+    sim_config.interferers =
+        sim::one_interferer_per_floor(setup.env.topology, 0.3, 8.0);
+  const auto result =
+      sim::run_simulation(setup.env.topology, scheduled.sched, set.flows,
+                          setup.env.channels, sim_config);
+  std::array<detect::detector_score, 2> scores;
+  for (std::size_t ti = 0; ti < 2; ++ti) {
+    detect::detection_policy policy;
+    policy.test = k_tests[ti];
+    const auto reports = detect::classify_links(result.links, policy);
+    scores[ti] = detect::score_detection(reports, result.links);
+  }
+  return scores;
+}
+
+exp::figure_report run_detector(const exp::run_options& options,
+                                const cli_args& args, std::ostream& out) {
+  const std::uint64_t seed = options.seed_or(k_detector_seed);
+  print_banner("Detector quality",
+               "precision/recall of the detection policy vs "
+               "simulator ground truth (WUSTL, 4 channels)");
+  const auto setup = make_detector_setup(options, args);
+  const int num_sets = static_cast<int>(setup.workloads.sets.size());
+  out << "\n" << num_sets << " workloads of "
+      << setup.workloads.flows_used << " flows, " << setup.epochs
+      << " epochs of 18 executions each, WiFi interference on\n\n";
+
+  exp::figure_report report;
+  report.figure = "detector";
+  report.title = "detection policy precision/recall vs ground truth";
+  report.seed = seed;
+  report.jobs = exp::resolve_jobs(options.jobs);
+  report.trials = num_sets;
+  report.parameters = {
+      {"testbed", "wustl"},
+      {"epochs", std::to_string(setup.epochs)},
+      {"flows_used", std::to_string(setup.workloads.flows_used)}};
+
+  // Units: (wifi, set). Each simulates once and scores both tests.
+  const int units = 2 * num_sets;
+  std::vector<std::array<detect::detector_score, 2>> scores(
+      static_cast<std::size_t>(units));
+  exp::parallel_trials(units, options.jobs, [&](int, int unit) {
+    scores[static_cast<std::size_t>(unit)] = run_detector_unit(
+        setup, seed, unit / num_sets == 1, unit % num_sets);
+  });
+
+  table t({"test", "environment", "scored links", "TP", "FP", "FN", "TN",
+           "precision", "recall", "F1"});
+  for (std::size_t ti = 0; ti < 2; ++ti) {
+    exp::report_panel panel;
+    panel.name = detect::to_string(k_tests[ti]);
+    panel.x_label = "wifi";
+    for (const bool with_wifi : {false, true}) {
+      detect::detector_score total;
+      for (int si = 0; si < num_sets; ++si) {
+        const auto& score =
+            scores[static_cast<std::size_t>((with_wifi ? num_sets : 0) +
+                                            si)][ti];
+        total.true_positives += score.true_positives;
+        total.false_positives += score.false_positives;
+        total.false_negatives += score.false_negatives;
+        total.true_negatives += score.true_negatives;
+        total.scored_links += score.scored_links;
+      }
+      t.add_row({detect::to_string(k_tests[ti]),
+                 with_wifi ? "WiFi interference" : "clean",
+                 cell(total.scored_links), cell(total.true_positives),
+                 cell(total.false_positives), cell(total.false_negatives),
+                 cell(total.true_negatives), cell(total.precision(), 2),
+                 cell(total.recall(), 2), cell(total.f1(), 2)});
+      exp::report_point rp;
+      rp.x = with_wifi ? 1.0 : 0.0;
+      rp.values = {
+          {"scored_links", static_cast<double>(total.scored_links)},
+          {"tp", static_cast<double>(total.true_positives)},
+          {"fp", static_cast<double>(total.false_positives)},
+          {"fn", static_cast<double>(total.false_negatives)},
+          {"tn", static_cast<double>(total.true_negatives)},
+          {"precision", total.precision()},
+          {"recall", total.recall()},
+          {"f1", total.f1()}};
+      panel.points.push_back(std::move(rp));
+    }
+    report.panels.push_back(std::move(panel));
+  }
+  t.print(out);
+  out << "\nExpected: high precision/recall in the clean "
+         "environment; under WiFi the task is harder (links suffer "
+         "both causes at once) but the classifier should remain "
+         "clearly better than chance. K-S and Mann-Whitney behave "
+         "similarly here; K-S additionally reacts to shape "
+         "changes, which justifies the paper's choice.\n";
+  return report;
+}
+
+bool replay_detector(const exp::run_options& options, const cli_args& args,
+                     std::ostream& out) {
+  const auto setup = make_detector_setup(options, args);
+  const int num_sets = static_cast<int>(setup.workloads.sets.size());
+  const auto& target = options.replay;
+  if (target.point >= 2 * num_sets) return false;
+  const bool with_wifi = target.point / num_sets == 1;
+  const int si = target.point % num_sets;
+  const auto scores = run_detector_unit(
+      setup, options.seed_or(k_detector_seed), with_wifi, si);
+  out << "replay point " << target.point << " ("
+      << (with_wifi ? "WiFi" : "clean") << ", flow set " << si + 1
+      << "):\n";
+  for (std::size_t ti = 0; ti < 2; ++ti) {
+    const auto& s = scores[ti];
+    out << "  " << detect::to_string(k_tests[ti]) << ": tp="
+        << s.true_positives << " fp=" << s.false_positives
+        << " fn=" << s.false_negatives << " tn=" << s.true_negatives
+        << " f1=" << cell(s.f1(), 2) << "\n";
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Coexistence: two uncoordinated networks vs separation distance.
+
+constexpr double k_separations[] = {2000.0, 200.0, 100.0, 60.0, 30.0,
+                                    0.0};
+constexpr int k_num_separations = 6;
+
+struct coexistence_setup {
+  topo::topology ta;
+  topo::topology tb;
+  flow::flow_set set_a;
+  flow::flow_set set_b;
+  core::schedule_result sched_a;
+  core::schedule_result sched_b;
+  int runs = 0;
+  int flows = 0;
+};
+
+coexistence_setup make_coexistence_setup(const exp::run_options& options,
+                                         const cli_args& args) {
+  coexistence_setup setup;
+  setup.flows = static_cast<int>(args.get_int("flows", 25));
+  setup.runs = static_cast<int>(args.get_int("runs", 40));
+  setup.ta = topo::make_wustl(1);
+  setup.tb = topo::make_wustl(2);
+  const std::uint64_t seed = options.seed_or(k_coexistence_seed);
+  const auto build = [&](const topo::topology& t, std::uint64_t net,
+                         flow::flow_set& set,
+                         core::schedule_result& scheduled) {
+    const auto channels = phy::channels(4);
+    const auto comm = graph::build_communication_graph(t, channels);
+    const graph::hop_matrix hops(
+        graph::build_channel_reuse_graph(t, channels));
+    flow::flow_set_params params;
+    params.num_flows = setup.flows;
+    params.period_min_exp = 0;
+    params.period_max_exp = 0;
+    rng gen(derive_seed(seed, net, 0));
+    set = flow::generate_flow_set(comm, params, gen);
+    scheduled = core::schedule_flows(
+        set.flows, hops, core::make_config(core::algorithm::rc, 4));
+  };
+  build(setup.ta, 0, setup.set_a, setup.sched_a);
+  build(setup.tb, 1, setup.set_b, setup.sched_b);
+  if (!setup.sched_a.schedulable || !setup.sched_b.schedulable)
+    throw std::runtime_error("workloads unschedulable; lower --flows");
+  return setup;
+}
+
+struct coexistence_point_result {
+  double pdr_a = 0.0;
+  double pdr_b = 0.0;
+  double worst_flow_pdr = 0.0;
+  long long delivered = 0;
+};
+
+coexistence_point_result run_coexistence_point(
+    const coexistence_setup& setup, std::uint64_t seed,
+    double separation) {
+  const auto merged =
+      topo::merge_topologies(setup.ta, setup.tb, separation, 9);
+  auto flows_b = setup.set_b.flows;
+  flow::shift_node_ids(flows_b, merged.node_offset);
+  const auto sched_b =
+      tsch::shift_node_ids(setup.sched_b.sched, merged.node_offset);
+  const std::vector<sim::coexisting_network> networks{
+      {&setup.sched_a.sched, &setup.set_a.flows, phy::channels(4), 0},
+      {&sched_b, &flows_b, phy::channels(4), 0},
+  };
+  sim::coexistence_config config;
+  config.runs = setup.runs;
+  // One shared sim seed across separations: the sweep compares the
+  // same fading/capture draws at every distance (paired points).
+  config.seed = derive_seed(seed, 2, 0);
+  const auto results =
+      sim::run_coexistence(merged.merged, networks, config);
+  coexistence_point_result point;
+  point.pdr_a = results[0].network_pdr();
+  point.pdr_b = results[1].network_pdr();
+  point.worst_flow_pdr = std::min(results[0].worst_flow_pdr(),
+                                  results[1].worst_flow_pdr());
+  point.delivered =
+      results[0].instances_delivered + results[1].instances_delivered;
+  return point;
+}
+
+exp::figure_report run_coexistence(const exp::run_options& options,
+                                   const cli_args& args,
+                                   std::ostream& out) {
+  const std::uint64_t seed = options.seed_or(k_coexistence_seed);
+  print_banner("Coexistence",
+               "two uncoordinated WirelessHART networks vs "
+               "separation distance (WUSTL x2, 4 channels)");
+  const auto setup = make_coexistence_setup(options, args);
+  out << "\nEach network: " << setup.flows
+      << " peer-to-peer flows at 1 s, RC schedules, " << setup.runs
+      << " joint executions\n\n";
+
+  exp::figure_report report;
+  report.figure = "coexistence";
+  report.title = "uncoordinated coexistence vs separation distance";
+  report.seed = seed;
+  report.jobs = exp::resolve_jobs(options.jobs);
+  report.trials = k_num_separations;
+  report.parameters = {{"testbed", "wustl x2"},
+                       {"flows", std::to_string(setup.flows)},
+                       {"runs", std::to_string(setup.runs)}};
+
+  std::vector<coexistence_point_result> points(
+      static_cast<std::size_t>(k_num_separations));
+  exp::parallel_trials(k_num_separations, options.jobs,
+                       [&](int, int i) {
+                         points[static_cast<std::size_t>(i)] =
+                             run_coexistence_point(
+                                 setup, seed,
+                                 k_separations[i]);
+                       });
+
+  table t({"separation (m)", "net A PDR", "net B PDR", "worst flow PDR",
+           "joint deliveries lost vs isolated"});
+  exp::report_panel panel;
+  panel.name = "coexistence";
+  panel.x_label = "separation (m)";
+  const long long isolated_delivered = points[0].delivered;
+  for (int i = 0; i < k_num_separations; ++i) {
+    const auto& point = points[static_cast<std::size_t>(i)];
+    const long long lost = isolated_delivered - point.delivered;
+    t.add_row({cell(k_separations[i], 0), cell(point.pdr_a, 4),
+               cell(point.pdr_b, 4), cell(point.worst_flow_pdr, 3),
+               cell(lost)});
+    exp::report_point rp;
+    rp.x = k_separations[i];
+    rp.values = {{"net_a_pdr", point.pdr_a},
+                 {"net_b_pdr", point.pdr_b},
+                 {"worst_flow_pdr", point.worst_flow_pdr},
+                 {"deliveries_lost", static_cast<double>(lost)}};
+    panel.points.push_back(std::move(rp));
+  }
+  t.print(out);
+  report.panels.push_back(std::move(panel));
+  out << "\nExpected: at 2 km the networks are independent; as the "
+         "buildings approach, uncoordinated same-band operation "
+         "loses packets that no per-network policy can prevent — "
+         "the coexistence problem WirelessHART accepts in exchange "
+         "for forbidding reuse within each network.\n";
+  return report;
+}
+
+bool replay_coexistence(const exp::run_options& options,
+                        const cli_args& args, std::ostream& out) {
+  const auto& target = options.replay;
+  if (target.point >= k_num_separations) return false;
+  const auto setup = make_coexistence_setup(options, args);
+  const auto point = run_coexistence_point(
+      setup, options.seed_or(k_coexistence_seed),
+      k_separations[target.point]);
+  out << "replay point " << target.point << " (separation "
+      << cell(k_separations[target.point], 0)
+      << " m): net_a_pdr=" << cell(point.pdr_a, 4)
+      << " net_b_pdr=" << cell(point.pdr_b, 4)
+      << " worst_flow_pdr=" << cell(point.worst_flow_pdr, 3)
+      << " delivered=" << cell(point.delivered) << "\n";
+  return true;
+}
+
+}  // namespace
+
+const std::vector<figure_def>& figures() {
+  static const std::vector<figure_def> defs = {
+      {"fig1", "schedulable ratio, centralized traffic (Indriya)",
+       k_fig1_seed, run_fig1, replay_fig1},
+      {"fig2", "schedulable ratio, peer-to-peer traffic (Indriya)",
+       k_fig2_seed, run_fig2, replay_fig2},
+      {"fig3", "schedulable ratio, peer-to-peer traffic (WUSTL)",
+       k_fig3_seed, run_fig3, replay_fig3},
+      {"fig6", "scheduler execution time (Indriya, p2p, 5 channels)",
+       k_fig6_seed, run_fig6, replay_fig6},
+      {"fig8", "PDR box plots of NR/RA/RC (WUSTL, 4 channels)",
+       k_fig8_seed, run_fig8, replay_fig8},
+      {"detector", "detection policy precision/recall vs ground truth",
+       k_detector_seed, run_detector, replay_detector},
+      {"coexistence", "two uncoordinated networks vs separation",
+       k_coexistence_seed, run_coexistence, replay_coexistence},
+  };
+  return defs;
+}
+
+const figure_def* find_figure(const std::string& id) {
+  for (const auto& def : figures())
+    if (def.id == id) return &def;
+  return nullptr;
+}
+
+int run_figure_main(const std::string& id, int argc, char** argv) {
+  try {
+    const cli_args args(argc, argv);
+    const auto options = exp::parse_run_options(args);
+    const auto* def = find_figure(id);
+    WSAN_CHECK(def != nullptr, "unknown figure id: " + id);
+    if (options.replay.requested()) {
+      if (!def->replay(options, args, std::cout)) {
+        std::cerr << "error: --replay point out of range for " << id
+                  << "\n";
+        return 1;
+      }
+      return 0;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    auto report = def->run(options, args, std::cout);
+    report.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (!options.json_path.empty()) {
+      exp::write_reports_file({report}, options.json_path);
+      std::cout << "\nwrote JSON report to " << options.json_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace wsan::bench

@@ -1,0 +1,49 @@
+// Registry of migrated bench experiments.
+//
+// Each migrated figure is a named experiment that any frontend can run:
+// the thin bench_* binaries (one per figure, preserving the historical
+// entry points), and `wsanctl bench` (one command for the whole
+// evaluation). An experiment prints its usual text tables to the given
+// stream AND fills an exp::figure_report for --json output; both views
+// are produced from the same aggregates.
+//
+// All experiments honor the harness flags (--jobs/--trials/--seed/
+// --json/--replay, see exp/options.h) plus their figure-specific ones
+// (e.g. --flows, --runs), read from the same cli_args.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "exp/options.h"
+#include "exp/report.h"
+
+namespace wsan::bench {
+
+struct figure_def {
+  std::string id;       ///< stable id: "fig1", "detector", ...
+  std::string summary;  ///< one-liner for `wsanctl bench --list`
+  std::uint64_t default_seed = 0;
+
+  /// Runs the full figure; prints the text tables to `out`.
+  exp::figure_report (*run)(const exp::run_options&, const cli_args&,
+                            std::ostream& out);
+  /// Replays options.replay (point:trial) in isolation and prints the
+  /// trial's outcome. Returns false when the target is out of range.
+  bool (*replay)(const exp::run_options&, const cli_args&,
+                 std::ostream& out);
+};
+
+const std::vector<figure_def>& figures();
+
+/// nullptr when no figure has that id.
+const figure_def* find_figure(const std::string& id);
+
+/// Shared main() body of the migrated bench binaries: parses the
+/// harness flags, dispatches --replay, runs the figure, and writes the
+/// JSON report when --json was given. Returns the process exit code.
+int run_figure_main(const std::string& id, int argc, char** argv);
+
+}  // namespace wsan::bench

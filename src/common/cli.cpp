@@ -43,6 +43,19 @@ std::int64_t cli_args::get_int(const std::string& key,
   }
 }
 
+std::uint64_t cli_args::get_uint64(const std::string& key,
+                                   std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoull(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key +
+                                " expects an unsigned integer, got: " +
+                                it->second);
+  }
+}
+
 double cli_args::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;

@@ -18,6 +18,8 @@ class cli_args {
 
   std::string get(const std::string& key, const std::string& fallback) const;
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  std::uint64_t get_uint64(const std::string& key,
+                           std::uint64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
 

@@ -12,6 +12,22 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_seed(std::uint64_t experiment_seed,
+                          std::uint64_t point_index,
+                          std::uint64_t trial_index) {
+  // Chain each coordinate through the splitmix64 finalizer, feeding the
+  // previous output into the next state. Within one coordinate the map
+  // is injective; across coordinates the mixed 64-bit output makes a
+  // collision with another (point, trial) pair require two finalizer
+  // outputs to agree except in their low bits.
+  std::uint64_t state = experiment_seed;
+  std::uint64_t h = splitmix64(state);
+  state = h ^ point_index;
+  h = splitmix64(state);
+  state = h ^ trial_index;
+  return splitmix64(state);
+}
+
 namespace {
 
 constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -16,6 +16,35 @@ namespace wsan {
 /// splitmix64: used to expand a single 64-bit seed into generator state.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Counter-style seed derivation for experiment trials.
+///
+/// Maps (experiment_seed, point_index, trial_index) to a 64-bit stream
+/// seed by chaining the splitmix64 output of each coordinate into the
+/// state of the next, so the result depends on all three coordinates and
+/// on their order. Trial streams derived this way replace the older
+/// pattern of fork()-ing a shared sequential generator for two reasons:
+///
+///  1. Parallel determinism. fork() consumes an output of the parent
+///    generator, so the t-th trial's stream depends on how many forks
+///    happened before it — a shared parent is both a data race and an
+///    ordering hazard under a thread pool. derive_seed is a pure
+///    function of the trial's coordinates: any thread can (re)compute
+///    trial t's stream without touching shared state, which is what
+///    makes a parallel experiment run bit-identical to a serial one at
+///    any thread count.
+///  2. Replayability. A single trial can be re-run in isolation
+///    (--replay point:trial) without replaying the generator history
+///    that preceded it.
+///
+/// Distinct coordinate triples map to distinct xoshiro states: the rng
+/// seed constructor's splitmix64 expansion is injective in the seed (the
+/// first state word alone is a bijection of it), and within one
+/// experiment the chained finalizers make coordinate collisions
+/// vanishingly unlikely (see the stream-derivation property test).
+std::uint64_t derive_seed(std::uint64_t experiment_seed,
+                          std::uint64_t point_index,
+                          std::uint64_t trial_index);
+
 /// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG (public-domain
 /// algorithm by Blackman & Vigna). Satisfies UniformRandomBitGenerator.
 class rng {
@@ -66,8 +95,12 @@ class rng {
         uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
   }
 
-  /// Derives an independent child generator; useful for giving each
-  /// experiment trial its own stream.
+  /// Derives an independent child generator by consuming one output.
+  /// Note: fork() is inherently sequential — the child's stream depends
+  /// on how many outputs the parent produced before the call — so it is
+  /// unsuitable for seeding parallel experiment trials. Use
+  /// derive_seed(experiment_seed, point, trial) for trial streams (see
+  /// its documentation above).
   rng fork();
 
  private:

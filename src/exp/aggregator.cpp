@@ -1,0 +1,67 @@
+#include "exp/aggregator.h"
+
+#include "common/error.h"
+
+namespace wsan::exp {
+
+void aggregator::add_count(const std::string& name, std::int64_t delta) {
+  counts_[name] += delta;
+}
+
+void aggregator::add_value(const std::string& name, int trial,
+                           double value) {
+  const auto [it, inserted] = values_[name].emplace(trial, value);
+  (void)it;
+  WSAN_REQUIRE(inserted, "duplicate trial value for metric " + name +
+                             ", trial " + std::to_string(trial));
+}
+
+void aggregator::add_histogram(const std::string& name,
+                               const histogram& h) {
+  hists_[name].merge(h);
+}
+
+aggregator& aggregator::operator+=(const aggregator& other) {
+  for (const auto& [name, delta] : other.counts_) counts_[name] += delta;
+  for (const auto& [name, trials] : other.values_)
+    for (const auto& [trial, value] : trials)
+      add_value(name, trial, value);
+  for (const auto& [name, h] : other.hists_) hists_[name].merge(h);
+  return *this;
+}
+
+std::int64_t aggregator::count(const std::string& name) const {
+  const auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double aggregator::sum(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return 0.0;
+  double total = 0.0;
+  for (const auto& [trial, value] : it->second) total += value;
+  return total;
+}
+
+int aggregator::value_count(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+double aggregator::mean(const std::string& name) const {
+  const int n = value_count(name);
+  return n == 0 ? 0.0 : sum(name) / n;
+}
+
+const histogram* aggregator::hist(const std::string& name) const {
+  const auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+stats::proportion_interval aggregator::ratio(
+    const std::string& successes, const std::string& trials) const {
+  return stats::wilson_interval(static_cast<int>(count(successes)),
+                                static_cast<int>(count(trials)));
+}
+
+}  // namespace wsan::exp

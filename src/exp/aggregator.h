@@ -1,0 +1,63 @@
+// Order-independent result aggregation for parallel experiments.
+//
+// An aggregator accumulates three kinds of metrics, all with
+// commutative + associative merge semantics so that fan-in order (and
+// therefore the thread count) cannot change the aggregate:
+//
+//  * counts   — named int64 counters (exact, any merge order);
+//  * values   — named doubles keyed BY TRIAL INDEX; sums are taken in
+//               trial order at read time, so even floating-point
+//               accumulation is independent of which worker ran which
+//               trial;
+//  * hists    — named integer histograms (exact per-bin addition).
+//
+// Wilson confidence intervals are computed on demand from count pairs,
+// never stored, so they inherit the counters' exactness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/histogram.h"
+#include "stats/summary.h"
+
+namespace wsan::exp {
+
+class aggregator {
+ public:
+  void add_count(const std::string& name, std::int64_t delta = 1);
+
+  /// Records one trial's value of a named metric. A (name, trial)
+  /// pair must be recorded at most once across all merged aggregators.
+  void add_value(const std::string& name, int trial, double value);
+
+  void add_histogram(const std::string& name, const histogram& h);
+
+  /// Commutative merge; duplicate (name, trial) values are rejected.
+  aggregator& operator+=(const aggregator& other);
+
+  std::int64_t count(const std::string& name) const;  ///< 0 when absent
+
+  /// Sum of a value metric, taken in ascending trial order (bit-stable
+  /// for any merge order). 0 when absent.
+  double sum(const std::string& name) const;
+  /// Number of trials that recorded the metric.
+  int value_count(const std::string& name) const;
+  /// sum/value_count; 0 when no trials recorded the metric.
+  double mean(const std::string& name) const;
+
+  /// nullptr when no histogram of that name was recorded.
+  const histogram* hist(const std::string& name) const;
+
+  /// Wilson interval of count(successes) out of count(trials).
+  stats::proportion_interval ratio(const std::string& successes,
+                                   const std::string& trials) const;
+
+ private:
+  std::map<std::string, std::int64_t> counts_;
+  std::map<std::string, std::map<int, double>> values_;
+  std::map<std::string, histogram> hists_;
+};
+
+}  // namespace wsan::exp

@@ -1,0 +1,339 @@
+#include "exp/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wsan::exp::json {
+
+bool value::as_bool() const {
+  WSAN_REQUIRE(is_bool(), "JSON value is not a boolean");
+  return std::get<bool>(v_);
+}
+
+std::int64_t value::as_int() const {
+  WSAN_REQUIRE(is_int(), "JSON value is not an integer");
+  return std::get<std::int64_t>(v_);
+}
+
+double value::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+  WSAN_REQUIRE(std::holds_alternative<double>(v_),
+               "JSON value is not a number");
+  return std::get<double>(v_);
+}
+
+const std::string& value::as_string() const {
+  WSAN_REQUIRE(is_string(), "JSON value is not a string");
+  return std::get<std::string>(v_);
+}
+
+const array& value::as_array() const {
+  WSAN_REQUIRE(is_array(), "JSON value is not an array");
+  return std::get<array>(v_);
+}
+
+const object& value::as_object() const {
+  WSAN_REQUIRE(is_object(), "JSON value is not an object");
+  return std::get<object>(v_);
+}
+
+array& value::as_array() {
+  WSAN_REQUIRE(is_array(), "JSON value is not an array");
+  return std::get<array>(v_);
+}
+
+object& value::as_object() {
+  WSAN_REQUIRE(is_object(), "JSON value is not an object");
+  return std::get<object>(v_);
+}
+
+const value* value::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = std::get<object>(v_);
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void write_string(const std::string& s, std::ostream& os) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_double(double d, std::ostream& os) {
+  WSAN_REQUIRE(std::isfinite(d), "JSON cannot represent NaN/Inf");
+  // Shortest representation that parses back to the same double.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+  os.write(buf, res.ptr - buf);
+}
+
+void write_indented(const value& v, std::ostream& os, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string pad1(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  if (v.is_null()) {
+    os << "null";
+  } else if (v.is_bool()) {
+    os << (v.as_bool() ? "true" : "false");
+  } else if (v.is_int()) {
+    os << v.as_int();
+  } else if (v.is_number()) {
+    write_double(v.as_double(), os);
+  } else if (v.is_string()) {
+    write_string(v.as_string(), os);
+  } else if (v.is_array()) {
+    const auto& arr = v.as_array();
+    if (arr.empty()) {
+      os << "[]";
+      return;
+    }
+    os << "[\n";
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      os << pad1;
+      write_indented(arr[i], os, depth + 1);
+      os << (i + 1 < arr.size() ? ",\n" : "\n");
+    }
+    os << pad << ']';
+  } else {
+    const auto& obj = v.as_object();
+    if (obj.empty()) {
+      os << "{}";
+      return;
+    }
+    os << "{\n";
+    std::size_t i = 0;
+    for (const auto& [key, member] : obj) {
+      os << pad1;
+      write_string(key, os);
+      os << ": ";
+      write_indented(member, os, depth + 1);
+      os << (++i < obj.size() ? ",\n" : "\n");
+    }
+    os << pad << '}';
+  }
+}
+
+/// Recursive-descent parser over a string view with a cursor.
+class parser {
+ public:
+  explicit parser(const std::string& text) : text_(text) {}
+
+  value parse_document() {
+    value v = parse_value();
+    skip_ws();
+    WSAN_REQUIRE(pos_ == text_.size(),
+                 "trailing characters after JSON document at offset " +
+                     std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::invalid_argument("JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const std::string& lit) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  value parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return value(parse_string());
+      case 't':
+        if (consume_literal("true")) return value(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return value(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return value(nullptr);
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  value parse_object() {
+    expect('{');
+    object obj;
+    if (peek() == '}') {
+      ++pos_;
+      return value(std::move(obj));
+    }
+    for (;;) {
+      const std::string key = (peek(), parse_quoted_string());
+      expect(':');
+      obj[key] = parse_value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return value(std::move(obj));
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  value parse_array() {
+    expect('[');
+    array arr;
+    if (peek() == ']') {
+      ++pos_;
+      return value(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return value(std::move(arr));
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() { return (peek(), parse_quoted_string()); }
+
+  std::string parse_quoted_string() {
+    if (text_[pos_] != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            const auto res = std::from_chars(
+                text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+            if (res.ptr != text_.data() + pos_ + 4) fail("bad \\u escape");
+            pos_ += 4;
+            // The reports are ASCII; non-ASCII escapes are preserved
+            // UTF-8-encoded for the BMP only.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+  }
+
+  value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_double = c == '.' || c == 'e' || c == 'E' ? true : is_double;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (start == pos_) fail("expected a number");
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (!is_double) {
+      std::int64_t i = 0;
+      const auto res = std::from_chars(first, last, i);
+      if (res.ec == std::errc() && res.ptr == last) return value(i);
+    }
+    double d = 0.0;
+    const auto res = std::from_chars(first, last, d);
+    if (res.ec != std::errc() || res.ptr != last) fail("bad number");
+    return value(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void write(const value& v, std::ostream& os) {
+  write_indented(v, os, 0);
+  os << '\n';
+}
+
+std::string to_string(const value& v) {
+  std::ostringstream os;
+  write(v, os);
+  return os.str();
+}
+
+value parse(const std::string& text) {
+  parser p(text);
+  return p.parse_document();
+}
+
+}  // namespace wsan::exp::json

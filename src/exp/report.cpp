@@ -1,0 +1,230 @@
+#include "exp/report.h"
+
+#include <fstream>
+
+#include "common/error.h"
+
+namespace wsan::exp {
+
+std::string build_commit() {
+#ifdef WSAN_GIT_COMMIT
+  return WSAN_GIT_COMMIT;
+#else
+  return "unknown";
+#endif
+}
+
+json::value to_json(const figure_report& report) {
+  json::object obj;
+  obj["figure"] = report.figure;
+  obj["title"] = report.title;
+  obj["seed"] = report.seed;
+  obj["jobs"] = report.jobs;
+  obj["trials"] = report.trials;
+  obj["wall_seconds"] = report.wall_seconds;
+  json::object params;
+  for (const auto& [key, val] : report.parameters) params[key] = val;
+  obj["parameters"] = std::move(params);
+  json::array panels;
+  for (const auto& panel : report.panels) {
+    json::object p;
+    p["name"] = panel.name;
+    p["x_label"] = panel.x_label;
+    json::array points;
+    for (const auto& point : panel.points) {
+      json::object pt;
+      pt["x"] = point.x;
+      json::object values;
+      for (const auto& [series, value] : point.values)
+        values[series] = value;
+      pt["values"] = std::move(values);
+      points.emplace_back(std::move(pt));
+    }
+    p["points"] = std::move(points);
+    panels.emplace_back(std::move(p));
+  }
+  obj["panels"] = std::move(panels);
+  return json::value(std::move(obj));
+}
+
+json::value to_json(const std::vector<figure_report>& reports) {
+  json::object obj;
+  obj["schema"] = "wsan-bench-report/1";
+  obj["commit"] = build_commit();
+  json::array arr;
+  for (const auto& report : reports) arr.push_back(to_json(report));
+  obj["reports"] = std::move(arr);
+  return json::value(std::move(obj));
+}
+
+figure_report report_from_json(const json::value& v) {
+  WSAN_REQUIRE(v.is_object(), "report must be a JSON object");
+  figure_report report;
+  const auto get = [&](const char* key) -> const json::value& {
+    const auto* member = v.find(key);
+    WSAN_REQUIRE(member != nullptr,
+                 std::string("report is missing key: ") + key);
+    return *member;
+  };
+  report.figure = get("figure").as_string();
+  report.title = get("title").as_string();
+  report.seed = static_cast<std::uint64_t>(get("seed").as_int());
+  report.jobs = static_cast<int>(get("jobs").as_int());
+  report.trials = static_cast<int>(get("trials").as_int());
+  report.wall_seconds = get("wall_seconds").as_double();
+  for (const auto& [key, val] : get("parameters").as_object())
+    report.parameters[key] = val.as_string();
+  for (const auto& panel_json : get("panels").as_array()) {
+    report_panel panel;
+    const auto* name = panel_json.find("name");
+    const auto* x_label = panel_json.find("x_label");
+    const auto* points = panel_json.find("points");
+    WSAN_REQUIRE(name && x_label && points, "panel is missing keys");
+    panel.name = name->as_string();
+    panel.x_label = x_label->as_string();
+    for (const auto& point_json : points->as_array()) {
+      report_point point;
+      const auto* x = point_json.find("x");
+      const auto* values = point_json.find("values");
+      WSAN_REQUIRE(x && values, "point is missing keys");
+      point.x = x->as_double();
+      for (const auto& [series, value] : values->as_object())
+        point.values[series] = value.as_double();
+      panel.points.push_back(std::move(point));
+    }
+    report.panels.push_back(std::move(panel));
+  }
+  return report;
+}
+
+std::vector<figure_report> reports_from_json(const json::value& v) {
+  WSAN_REQUIRE(v.is_object(), "report container must be a JSON object");
+  const auto* reports = v.find("reports");
+  WSAN_REQUIRE(reports != nullptr && reports->is_array(),
+               "report container is missing the reports array");
+  std::vector<figure_report> out;
+  for (const auto& report : reports->as_array())
+    out.push_back(report_from_json(report));
+  return out;
+}
+
+namespace {
+
+void check(bool ok, const std::string& where, const std::string& what,
+           std::vector<std::string>& errors) {
+  if (!ok) errors.push_back(where + ": " + what);
+}
+
+void validate_report(const json::value& v, const std::string& where,
+                     std::vector<std::string>& errors) {
+  if (!v.is_object()) {
+    errors.push_back(where + ": expected object");
+    return;
+  }
+  const auto require = [&](const char* key, const char* type,
+                           bool (json::value::*pred)() const)
+      -> const json::value* {
+    const auto* member = v.find(key);
+    if (member == nullptr) {
+      errors.push_back(where + ": missing required key \"" + key + "\"");
+      return nullptr;
+    }
+    if (!(member->*pred)()) {
+      errors.push_back(where + "/" + key + ": expected " + type);
+      return nullptr;
+    }
+    return member;
+  };
+  require("figure", "string", &json::value::is_string);
+  require("title", "string", &json::value::is_string);
+  require("seed", "integer", &json::value::is_int);
+  require("jobs", "integer", &json::value::is_int);
+  require("trials", "integer", &json::value::is_int);
+  require("wall_seconds", "number", &json::value::is_number);
+  if (const auto* params =
+          require("parameters", "object", &json::value::is_object)) {
+    for (const auto& [key, val] : params->as_object())
+      check(val.is_string(), where + "/parameters/" + key,
+            "expected string", errors);
+  }
+  const auto* panels =
+      require("panels", "array", &json::value::is_array);
+  if (panels == nullptr) return;
+  for (std::size_t pi = 0; pi < panels->as_array().size(); ++pi) {
+    const auto& panel = panels->as_array()[pi];
+    const std::string pwhere =
+        where + "/panels/" + std::to_string(pi);
+    if (!panel.is_object()) {
+      errors.push_back(pwhere + ": expected object");
+      continue;
+    }
+    const auto* name = panel.find("name");
+    const auto* x_label = panel.find("x_label");
+    const auto* points = panel.find("points");
+    check(name != nullptr && name->is_string(), pwhere,
+          "missing string \"name\"", errors);
+    check(x_label != nullptr && x_label->is_string(), pwhere,
+          "missing string \"x_label\"", errors);
+    if (points == nullptr || !points->is_array()) {
+      errors.push_back(pwhere + ": missing array \"points\"");
+      continue;
+    }
+    for (std::size_t i = 0; i < points->as_array().size(); ++i) {
+      const auto& point = points->as_array()[i];
+      const std::string ptwhere = pwhere + "/points/" + std::to_string(i);
+      if (!point.is_object()) {
+        errors.push_back(ptwhere + ": expected object");
+        continue;
+      }
+      const auto* x = point.find("x");
+      const auto* values = point.find("values");
+      check(x != nullptr && x->is_number(), ptwhere,
+            "missing number \"x\"", errors);
+      if (values == nullptr || !values->is_object()) {
+        errors.push_back(ptwhere + ": missing object \"values\"");
+        continue;
+      }
+      for (const auto& [series, value] : values->as_object())
+        check(value.is_number(), ptwhere + "/values/" + series,
+              "expected number", errors);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_reports_json(const json::value& v) {
+  std::vector<std::string> errors;
+  if (!v.is_object()) {
+    errors.push_back("document: expected a JSON object");
+    return errors;
+  }
+  const auto* schema = v.find("schema");
+  if (schema == nullptr || !schema->is_string())
+    errors.push_back("document: missing string \"schema\"");
+  else
+    check(schema->as_string() == "wsan-bench-report/1", "schema",
+          "unknown schema \"" + schema->as_string() + "\"", errors);
+  const auto* commit = v.find("commit");
+  check(commit != nullptr && commit->is_string(), "document",
+        "missing string \"commit\"", errors);
+  const auto* reports = v.find("reports");
+  if (reports == nullptr || !reports->is_array()) {
+    errors.push_back("document: missing array \"reports\"");
+    return errors;
+  }
+  for (std::size_t i = 0; i < reports->as_array().size(); ++i)
+    validate_report(reports->as_array()[i],
+                    "reports/" + std::to_string(i), errors);
+  return errors;
+}
+
+void write_reports_file(const std::vector<figure_report>& reports,
+                        const std::string& path) {
+  std::ofstream out(path);
+  WSAN_REQUIRE(out.good(), "cannot open for writing: " + path);
+  json::write(to_json(reports), out);
+  WSAN_REQUIRE(out.good(), "write failed: " + path);
+}
+
+}  // namespace wsan::exp

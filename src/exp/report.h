@@ -1,0 +1,76 @@
+// Machine-readable experiment reports.
+//
+// Every migrated bench emits its series twice: the human-readable text
+// tables it always printed, and a structured JSON report
+// (--json FILE) that downstream tooling can diff, plot, and
+// regression-track. The JSON container schema
+// (docs/bench_report.schema.json) is:
+//
+//   { "schema": "wsan-bench-report/1",
+//     "commit": "<git hash or unknown>",
+//     "reports": [ {
+//       "figure": "fig1", "title": "...",
+//       "seed": 101, "jobs": 8, "trials": 50,
+//       "wall_seconds": 12.7,
+//       "parameters": { "testbed": "indriya", ... },
+//       "panels": [ {
+//         "name": "(a) P=[2^0,2^2]s", "x_label": "#channels",
+//         "points": [ { "x": 3, "values": { "nr": 0.30, ... } } ] } ] } ] }
+//
+// Doubles round-trip bit-exactly (see exp/json.h), so a report can be
+// re-parsed and compared against in-memory aggregates to full
+// precision.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/json.h"
+
+namespace wsan::exp {
+
+struct report_point {
+  double x = 0.0;
+  std::map<std::string, double> values;  ///< series name -> value at x
+};
+
+struct report_panel {
+  std::string name;
+  std::string x_label;
+  std::vector<report_point> points;
+};
+
+struct figure_report {
+  std::string figure;  ///< stable id, e.g. "fig1"
+  std::string title;
+  std::uint64_t seed = 0;
+  int jobs = 1;
+  int trials = 0;
+  double wall_seconds = 0.0;
+  std::map<std::string, std::string> parameters;
+  std::vector<report_panel> panels;
+};
+
+/// The commit baked in at build time (WSAN_GIT_COMMIT), or "unknown".
+std::string build_commit();
+
+json::value to_json(const figure_report& report);
+/// Wraps reports in the versioned container object.
+json::value to_json(const std::vector<figure_report>& reports);
+
+figure_report report_from_json(const json::value& v);
+/// Parses a container document (as produced by to_json above).
+std::vector<figure_report> reports_from_json(const json::value& v);
+
+/// Structural schema validation of a container document. Returns all
+/// violations ("/reports/0/panels: expected array", ...); empty means
+/// the document is schema-valid.
+std::vector<std::string> validate_reports_json(const json::value& v);
+
+/// Writes the container document to `path` (throws on I/O failure).
+void write_reports_file(const std::vector<figure_report>& reports,
+                        const std::string& path);
+
+}  // namespace wsan::exp

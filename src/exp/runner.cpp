@@ -1,0 +1,63 @@
+#include "exp/runner.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+
+namespace wsan::exp {
+
+int resolve_jobs(int jobs) {
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return jobs < 1 ? 1 : jobs;
+}
+
+void parallel_trials(int trials, int jobs,
+                     const std::function<void(int, int)>& body) {
+  WSAN_REQUIRE(trials >= 0, "trials must be non-negative");
+  jobs = resolve_jobs(jobs);
+  if (trials == 0) return;
+  if (jobs == 1 || trials == 1) {
+    for (int trial = 0; trial < trials; ++trial) body(0, trial);
+    return;
+  }
+  if (jobs > trials) jobs = trials;
+
+  // Dynamic single-trial dispatch: trial bodies are milliseconds-scale
+  // (flow generation + three scheduler runs), so per-trial atomic
+  // increments are negligible and give the best load balance for
+  // heavy-tailed trial costs.
+  std::atomic<int> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker_loop = [&](int worker) {
+    for (;;) {
+      const int trial = next.fetch_add(1, std::memory_order_relaxed);
+      if (trial >= trials) return;
+      try {
+        body(worker, trial);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Drain remaining trials so all workers stop promptly.
+        next.store(trials, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(jobs) - 1);
+  for (int w = 1; w < jobs; ++w) workers.emplace_back(worker_loop, w);
+  worker_loop(0);
+  for (auto& thread : workers) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace wsan::exp

@@ -1,0 +1,89 @@
+// Parallel deterministic trial execution.
+//
+// The paper's evaluation is embarrassingly parallel across Monte-Carlo
+// trials, and determinism is the whole point of the reproduction — so
+// the runner is built so that the thread count can NEVER change a
+// result:
+//
+//  * each trial's RNG stream is a pure function of
+//    (experiment_seed, point_index, trial_index) via derive_seed(),
+//    not of a shared sequential generator;
+//  * trial results fold into per-worker partials that are merged with a
+//    commutative, associative operator+=, so the dynamic assignment of
+//    trials to workers cannot reorder anything observable.
+//
+// Together these make `--jobs 8` bit-identical to `--jobs 1`
+// (tests/exp_test.cpp asserts this), and let `--replay point:trial`
+// re-run any single trial in isolation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace wsan::exp {
+
+/// Maps the user-facing --jobs value to a worker count: 0 means "all
+/// hardware threads", anything else is clamped to >= 1.
+int resolve_jobs(int jobs);
+
+/// Runs body(worker, trial) for every trial in [0, trials) across
+/// `jobs` worker threads pulling trials from a shared atomic counter.
+/// With jobs <= 1 everything runs inline on the calling thread. The
+/// first exception thrown by any worker is rethrown after all workers
+/// joined.
+void parallel_trials(int trials, int jobs,
+                     const std::function<void(int, int)>& body);
+
+/// Fans trials out over a fixed number of worker threads.
+class trial_runner {
+ public:
+  explicit trial_runner(int jobs = 1) : jobs_(resolve_jobs(jobs)) {}
+
+  int jobs() const { return jobs_; }
+
+  /// Runs `trials` trials of one experiment data point.
+  ///
+  /// Result must be default-constructible and define operator+= as a
+  /// commutative and associative merge (integer counters, histograms,
+  /// per-trial keyed values — not order-sensitive floating point sums).
+  /// Body is invoked as body(trial_index, gen, local) with `gen` freshly
+  /// derived from (experiment_seed, point_index, trial_index).
+  template <typename Result, typename Body>
+  Result run_point(std::uint64_t experiment_seed,
+                   std::uint64_t point_index, int trials,
+                   Body&& body) const {
+    std::vector<Result> partials(
+        static_cast<std::size_t>(jobs_ > 0 ? jobs_ : 1));
+    parallel_trials(trials, jobs_, [&](int worker, int trial) {
+      rng gen = rng(derive_seed(experiment_seed, point_index,
+                                static_cast<std::uint64_t>(trial)));
+      body(trial, gen, partials[static_cast<std::size_t>(worker)]);
+    });
+    Result total{};
+    for (auto& partial : partials) total += partial;
+    return total;
+  }
+
+  /// Replays a single trial of a point in isolation: same derived
+  /// stream, same body, no siblings. The result is identical to that
+  /// trial's contribution within a full run.
+  template <typename Result, typename Body>
+  static Result replay_trial(std::uint64_t experiment_seed,
+                             std::uint64_t point_index, int trial,
+                             Body&& body) {
+    Result local{};
+    rng gen = rng(derive_seed(experiment_seed, point_index,
+                              static_cast<std::uint64_t>(trial)));
+    body(trial, gen, local);
+    return local;
+  }
+
+ private:
+  int jobs_;
+};
+
+}  // namespace wsan::exp

@@ -54,11 +54,16 @@ box_stats make_box_stats(const std::vector<double>& samples) {
 }
 
 proportion_interval wilson_interval(int successes, int trials, double z) {
-  WSAN_REQUIRE(trials > 0, "interval requires at least one trial");
   WSAN_REQUIRE(successes >= 0 && successes <= trials,
                "successes must be in [0, trials]");
   WSAN_REQUIRE(z > 0.0, "z must be positive");
   proportion_interval out;
+  if (trials == 0) {
+    // Zero trials carry no information: estimate 0 by convention (it is
+    // what the ratio accessors report) and the vacuous interval [0, 1].
+    out.high = 1.0;
+    return out;
+  }
   const double n = static_cast<double>(trials);
   const double p = static_cast<double>(successes) / n;
   out.estimate = p;

@@ -35,7 +35,8 @@ box_stats make_box_stats(const std::vector<double>& samples);
 /// Wilson score interval for a binomial proportion (e.g. a schedulable
 /// ratio over N flow sets). Returns [low, high] at the given confidence
 /// (default 95%, z = 1.96). Well-behaved at 0/N and N/N, unlike the
-/// normal approximation.
+/// normal approximation. Zero trials yield the vacuous {0, [0, 1]} —
+/// never NaN — so empty data points render harmlessly.
 struct proportion_interval {
   double estimate = 0.0;
   double low = 0.0;

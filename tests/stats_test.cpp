@@ -320,6 +320,34 @@ TEST(Summary, WilsonIntervalRejectsBadInput) {
   EXPECT_THROW(wilson_interval(-1, 4), std::invalid_argument);
 }
 
+TEST(Summary, WilsonIntervalZeroTrialsIsVacuous) {
+  // A data point with no observations carries no information: the
+  // estimate is 0 and the interval is the whole of [0, 1], never NaN.
+  // (Benches hit this when --trials is tiny and every workload of a
+  // point fails to generate.)
+  const auto none = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(none.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(none.low, 0.0);
+  EXPECT_DOUBLE_EQ(none.high, 1.0);
+  EXPECT_FALSE(std::isnan(none.estimate));
+  EXPECT_FALSE(std::isnan(none.low));
+  EXPECT_FALSE(std::isnan(none.high));
+}
+
+TEST(Summary, WilsonIntervalExtremesStayInUnitRange) {
+  for (const int trials : {1, 2, 50, 1000}) {
+    for (const int successes : {0, trials}) {
+      const auto ci = wilson_interval(successes, trials);
+      EXPECT_FALSE(std::isnan(ci.low));
+      EXPECT_FALSE(std::isnan(ci.high));
+      EXPECT_GE(ci.low, 0.0) << successes << "/" << trials;
+      EXPECT_LE(ci.high, 1.0) << successes << "/" << trials;
+      EXPECT_LE(ci.low, ci.estimate);
+      EXPECT_GE(ci.high, ci.estimate);
+    }
+  }
+}
+
 TEST(Summary, BoxStatsAreOrdered) {
   rng gen(29);
   std::vector<double> v;

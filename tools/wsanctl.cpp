@@ -13,6 +13,9 @@
 //           --schedule sched.txt --channels 4 --runs 100 --wifi
 //   wsanctl detect   --topology topo.txt --workload flows.txt \
 //           --schedule sched.txt --channels 4 --runs 108 --wifi
+//   wsanctl bench    --all --jobs 8 --json bench_results.json
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -23,6 +26,10 @@
 #include "core/analysis.h"
 #include "core/scheduler.h"
 #include "detect/detector.h"
+#include "exp/json.h"
+#include "exp/options.h"
+#include "exp/report.h"
+#include "experiments.h"
 #include "flow/flow_generator.h"
 #include "flow/flow_io.h"
 #include "graph/algorithms.h"
@@ -74,6 +81,11 @@ commands:
              --topology FILE  --workload FILE  --channels N
              [--plan FILE | --crash IDS [--crash-run N]]
              --epochs N  --runs-per-epoch N  --watchdog N  --seed N
+  bench      run the paper-reproduction experiments
+             --list | --validate FILE | --figure ID | --all
+             --jobs N  --trials N  --seed N  --json FILE
+             --replay POINT:TRIAL (with --figure)
+             plus each figure's own flags (--flows, --runs, ...)
 )";
   return 2;
 }
@@ -364,6 +376,85 @@ int cmd_faults(const cli_args& args) {
   return 0;
 }
 
+int cmd_bench(const cli_args& args) {
+  if (args.get_bool("list", false)) {
+    table t({"figure", "summary"});
+    for (const auto& def : bench::figures())
+      t.add_row({def.id, def.summary});
+    t.print(std::cout);
+    return 0;
+  }
+  if (args.has("validate")) {
+    const auto path = args.get("validate", "");
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "error: cannot read " << path << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto doc = exp::json::parse(text.str());
+    const auto violations = exp::validate_reports_json(doc);
+    if (violations.empty()) {
+      std::cout << path << ": schema-valid ("
+                << exp::reports_from_json(doc).size() << " report(s), "
+                << "schema wsan-bench-report/1)\n";
+      return 0;
+    }
+    for (const auto& violation : violations)
+      std::cerr << path << ": " << violation << "\n";
+    return 1;
+  }
+
+  const auto options = exp::parse_run_options(args);
+  std::vector<const bench::figure_def*> selected;
+  if (args.get_bool("all", false)) {
+    for (const auto& def : bench::figures()) selected.push_back(&def);
+  } else if (args.has("figure")) {
+    const auto id = args.get("figure", "");
+    const auto* def = bench::find_figure(id);
+    if (def == nullptr) {
+      std::cerr << "unknown figure: " << id << " (see bench --list)\n";
+      return 1;
+    }
+    selected.push_back(def);
+  } else {
+    std::cerr << "bench needs --list, --validate FILE, --figure ID, or "
+                 "--all\n";
+    return 2;
+  }
+
+  if (options.replay.requested()) {
+    if (selected.size() != 1) {
+      std::cerr << "--replay needs a single --figure\n";
+      return 2;
+    }
+    if (!selected.front()->replay(options, args, std::cout)) {
+      std::cerr << "error: --replay point out of range for "
+                << selected.front()->id << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  std::vector<exp::figure_report> reports;
+  for (const auto* def : selected) {
+    if (reports.size() > 0) std::cout << "\n";
+    const auto start = std::chrono::steady_clock::now();
+    auto report = def->run(options, args, std::cout);
+    report.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    reports.push_back(std::move(report));
+  }
+  if (!options.json_path.empty()) {
+    exp::write_reports_file(reports, options.json_path);
+    std::cout << "\nwrote " << reports.size() << " JSON report(s) to "
+              << options.json_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_diff(const cli_args& args) {
   const auto before = tsch::load_schedule_file(args.get("before", ""));
   const auto after = tsch::load_schedule_file(args.get("after", ""));
@@ -386,6 +477,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "detect") return cmd_detect(args);
     if (command == "faults") return cmd_faults(args);
+    if (command == "bench") return cmd_bench(args);
     if (command == "diff") return cmd_diff(args);
     if (command == "latency") return cmd_latency(args);
     std::cerr << "unknown command: " << command << "\n";
