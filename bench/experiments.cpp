@@ -14,7 +14,9 @@
 #include "common/table.h"
 #include "detect/evaluation.h"
 #include "exp/aggregator.h"
+#include "exp/obs_io.h"
 #include "exp/runner.h"
+#include "obs/metrics.h"
 #include "sim/coexistence.h"
 #include "sim/simulator.h"
 #include "stats/summary.h"
@@ -409,6 +411,11 @@ exp::figure_report run_fig6(const exp::run_options& options,
   report.jobs = exp::resolve_jobs(options.jobs);
   report.trials = trials;
   report.parameters = {{"testbed", "indriya"}, {"traffic", "p2p"}};
+  // The figure's point is the timing itself; declare the timed series
+  // as measurements so science_payload() knows they are not expected
+  // to be bit-stable across runs (the probe/schedulability series are).
+  report.measurement_keys = {"nr_ms", "ra_ms", "rc_ms", "rc_naive_ms",
+                             "speedup"};
 
   const auto env = make_env("indriya", 5);
   const exp::trial_runner runner(options.jobs);
@@ -477,6 +484,10 @@ exp::figure_report run_fig6(const exp::run_options& options,
   report.panels.push_back(std::move(panel));
   out << "\nRC hot-path probes (indexed, all points): "
       << tsch::to_string(total_probes) << "\n";
+  if (wsan::obs::enabled()) {
+    out << "\nPer-phase scheduler breakdown (observability spans):\n";
+    exp::print_span_table(wsan::obs::take_snapshot(), out);
+  }
   out << "\nPaper shape: NR is fastest (well under a millisecond at "
          "low load); RC sits between NR and RA at high load because "
          "it computes laxity but reuses sparingly, while RA's time "
@@ -1033,13 +1044,28 @@ int run_figure_main(const std::string& id, int argc, char** argv) {
       return 0;
     }
     const auto start = std::chrono::steady_clock::now();
+    exp::obs_session session(options);
     auto report = def->run(options, args, std::cout);
     report.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    const auto& snap = session.finish();
+    if (session.active()) {
+      std::cout << "\nobservability: per-phase timings\n";
+      exp::print_span_table(snap, std::cout);
+      if (!options.metrics_path.empty())
+        std::cout << "wrote metrics snapshot to " << options.metrics_path
+                  << "\n";
+      if (!options.trace_path.empty())
+        std::cout << "wrote event trace to " << options.trace_path << "\n";
+    }
     if (!options.json_path.empty()) {
-      exp::write_reports_file({report}, options.json_path);
+      exp::write_reports_file(
+          {report},
+          session.active() ? exp::observability_section(snap)
+                           : exp::json::value(nullptr),
+          options.json_path);
       std::cout << "\nwrote JSON report to " << options.json_path << "\n";
     }
     return 0;

@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "core/constraints.h"
 #include "core/slot_finder.h"
+#include "obs/trace.h"
 #include "tsch/schedule_stats.h"
 
 namespace wsan::core {
@@ -104,6 +105,7 @@ long long calculate_laxity(const tsch::schedule& sched,
                            slot_t s, slot_t deadline_slot,
                            int management_slot_period, bool use_index,
                            tsch::probe_stats* probes) {
+  OBS_SPAN("core.laxity");
   WSAN_REQUIRE(s >= 0, "slot must be non-negative");
   WSAN_REQUIRE(management_slot_period >= 0,
                "management slot period must be non-negative");

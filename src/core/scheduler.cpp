@@ -5,11 +5,47 @@
 #include "common/error.h"
 #include "core/laxity.h"
 #include "core/slot_finder.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "phy/channel.h"
 
 namespace wsan::core {
 
 namespace {
+
+/// End-of-run metrics flush. The hot path keeps accumulating into the
+/// plain scheduler_stats struct (deterministic per trial and cheap);
+/// the registry only sees the totals, once per schedule_flows call.
+/// This is also where the deprecated tsch::probe_stats counters
+/// surface under their registry names (core.probes.*).
+void flush_scheduler_metrics(const scheduler_stats& stats,
+                             bool schedulable) {
+  if (!obs::enabled()) return;
+  obs::add_counter("core.sched.runs");
+  obs::add_counter(schedulable ? "core.sched.runs_schedulable"
+                               : "core.sched.runs_unschedulable");
+  obs::add_counter("core.sched.total_transmissions",
+                   stats.total_transmissions);
+  obs::add_counter("core.sched.reuse_placements", stats.reuse_placements);
+  obs::add_counter("core.sched.find_slot_calls", stats.find_slot_calls);
+  obs::add_counter("core.sched.laxity_evaluations",
+                   stats.laxity_evaluations);
+  obs::add_counter("core.sched.reuse_activations",
+                   stats.reuse_activations);
+  obs::add_counter("core.probes.slots_scanned",
+                   stats.probes.slots_scanned);
+  obs::add_counter("core.probes.cells_probed", stats.probes.cells_probed);
+  obs::add_counter("core.probes.index_hits", stats.probes.index_hits);
+}
+
+/// Distribution of the reuse distance each flow ended up with; an
+/// infinite rho (reuse never activated) lands in the overflow bucket.
+void observe_final_rho(int rho) {
+  static const obs::histogram h = obs::register_histogram(
+      "core.sched.final_rho", {0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16});
+  h.observe(static_cast<double>(rho));
+}
 
 /// Expands one flow instance into its transmission sequence: every route
 /// link in order, each with (1 + retries) attempts.
@@ -72,6 +108,7 @@ std::string to_string(channel_policy policy) {
 schedule_result schedule_flows(const std::vector<flow::flow>& flows,
                                const graph::hop_matrix& reuse_hops,
                                const scheduler_config& config) {
+  OBS_SPAN("core.schedule_flows");
   WSAN_REQUIRE(!flows.empty(), "flow set must be non-empty");
   WSAN_REQUIRE(config.num_channels >= 1 &&
                    config.num_channels <= phy::k_max_channels,
@@ -137,7 +174,11 @@ schedule_result schedule_flows(const std::vector<flow::flow>& flows,
             // Algorithm 1 inner loop: try the current rho; on negative
             // laxity enable reuse at the network diameter and tighten
             // one hop at a time until laxity >= 0 or rho < rho_t.
+            OBS_SPAN("core.rc_relaxation");
+            static const obs::counter relaxation_rounds =
+                obs::register_counter("core.sched.relaxation_rounds");
             while (true) {
+              relaxation_rounds.add();
               ++result.stats.find_slot_calls;
               found = find_slot(result.sched, tx, earliest, d_i, rho,
                                 reuse_hops, config.policy,
@@ -158,6 +199,9 @@ schedule_result schedule_flows(const std::vector<flow::flow>& flows,
               if (rho == k_infinite_hops) {
                 rho = lambda_r;
                 ++result.stats.reuse_activations;
+                if (obs::events_enabled())
+                  obs::emit(obs::severity::info, "core", "reuse_activated",
+                            {{"flow", f.id}, {"rho", rho}});
               } else {
                 --rho;
               }
@@ -177,6 +221,12 @@ schedule_result schedule_flows(const std::vector<flow::flow>& flows,
         if (!found) {
           result.schedulable = false;
           result.first_failed_flow = f.id;
+          if (obs::events_enabled())
+            obs::emit(obs::severity::warning, "core", "flow_rejected",
+                      {{"flow", f.id},
+                       {"instance", r},
+                       {"link_index", tx.link_index}});
+          flush_scheduler_metrics(result.stats, false);
           return result;
         }
         if (!result.sched.cell(found->slot, found->offset).empty())
@@ -186,9 +236,16 @@ schedule_result schedule_flows(const std::vector<flow::flow>& flows,
         earliest = found->slot + 1;
       }
     }
+    observe_final_rho(rho);
+    if (obs::events_enabled())
+      obs::emit(obs::severity::info, "core", "flow_admitted",
+                {{"flow", f.id},
+                 {"rho", rho == k_infinite_hops ? -1 : rho},
+                 {"instances", instances}});
   }
 
   result.schedulable = true;
+  flush_scheduler_metrics(result.stats, true);
   return result;
 }
 

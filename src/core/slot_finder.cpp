@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "core/constraints.h"
+#include "obs/trace.h"
 #include "tsch/schedule_stats.h"
 
 namespace wsan::core {
@@ -32,6 +33,7 @@ std::optional<slot_assignment> find_slot(
     const std::set<std::pair<node_id, node_id>>* isolated,
     int management_slot_period, bool use_index,
     tsch::probe_stats* probes) {
+  OBS_SPAN("core.find_slot");
   WSAN_REQUIRE(earliest >= 0, "earliest slot must be non-negative");
   WSAN_REQUIRE(management_slot_period >= 0,
                "management slot period must be non-negative");

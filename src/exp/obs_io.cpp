@@ -1,0 +1,208 @@
+#include "exp/obs_io.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace wsan::exp {
+
+namespace {
+
+json::value metrics_to_json(const obs::snapshot& snap) {
+  json::object counters;
+  for (const auto& [name, count] : snap.counters)
+    counters[name] = count;
+  json::object gauges;
+  for (const auto& [name, val] : snap.gauges) gauges[name] = val;
+  json::object histograms;
+  for (const auto& [name, hist] : snap.histograms) {
+    json::object h;
+    json::array bounds;
+    for (const double b : hist.upper_bounds) bounds.emplace_back(b);
+    json::array counts;
+    for (const auto c : hist.counts) counts.emplace_back(c);
+    h["upper_bounds"] = std::move(bounds);
+    h["counts"] = std::move(counts);
+    h["total"] = hist.total();
+    histograms[name] = std::move(h);
+  }
+  json::object metrics;
+  metrics["counters"] = std::move(counters);
+  metrics["gauges"] = std::move(gauges);
+  metrics["histograms"] = std::move(histograms);
+  return json::value(std::move(metrics));
+}
+
+json::value timings_to_json(const obs::snapshot& snap) {
+  json::object spans;
+  for (const auto& [name, span] : snap.spans) {
+    json::object s;
+    s["count"] = span.count;
+    s["total_ns"] = span.total_ns;
+    spans[name] = std::move(s);
+  }
+  json::object timings;
+  timings["spans"] = std::move(spans);
+  return json::value(std::move(timings));
+}
+
+}  // namespace
+
+json::value observability_section(const obs::snapshot& snap) {
+  json::object obj;
+  obj["metrics"] = metrics_to_json(snap);
+  obj["timings"] = timings_to_json(snap);
+  return json::value(std::move(obj));
+}
+
+json::value snapshot_to_json(const obs::snapshot& snap) {
+  json::value v = observability_section(snap);
+  v.as_object()["schema"] = "wsan-obs-snapshot/1";
+  return v;
+}
+
+namespace {
+
+const json::value* section_of(const json::value& doc) {
+  if (!doc.is_object()) return nullptr;
+  // A report container: descend into its observability section (which
+  // may legitimately be null).
+  if (doc.find("reports") != nullptr) return doc.find("observability");
+  if (doc.find("metrics") != nullptr) return &doc;
+  return nullptr;
+}
+
+void print_spans_json(const json::value& spans, std::ostream& os) {
+  table t({"span", "count", "total_ms", "mean_us"});
+  for (const auto& [name, span] : spans.as_object()) {
+    const auto* count = span.find("count");
+    const auto* total_ns = span.find("total_ns");
+    WSAN_REQUIRE(count != nullptr && total_ns != nullptr,
+                 "span entry is missing count/total_ns: " + name);
+    const double n = count->as_double();
+    const double ns = total_ns->as_double();
+    t.add_row({name, cell(static_cast<long long>(count->as_int())), cell(ns / 1e6, 3),
+               cell(n > 0 ? ns / n / 1e3 : 0.0, 3)});
+  }
+  if (t.num_rows() > 0) {
+    os << "spans:\n";
+    t.print(os);
+  }
+}
+
+}  // namespace
+
+bool print_obs_document(const json::value& doc, std::ostream& os) {
+  const json::value* section = section_of(doc);
+  WSAN_REQUIRE(section != nullptr,
+               "not an observability document: expected a "
+               "wsan-obs-snapshot or a bench report container");
+  if (section->is_null()) {
+    os << "observability: disabled for this run\n";
+    return false;
+  }
+  WSAN_REQUIRE(section->is_object(),
+               "observability section must be null or an object");
+  const auto* metrics = section->find("metrics");
+  WSAN_REQUIRE(metrics != nullptr && metrics->is_object(),
+               "observability section is missing \"metrics\"");
+
+  if (const auto* counters = metrics->find("counters");
+      counters != nullptr && !counters->as_object().empty()) {
+    table t({"counter", "value"});
+    for (const auto& [name, val] : counters->as_object())
+      t.add_row({name, cell(static_cast<long long>(val.as_int()))});
+    os << "counters:\n";
+    t.print(os);
+  }
+  if (const auto* gauges = metrics->find("gauges");
+      gauges != nullptr && !gauges->as_object().empty()) {
+    table t({"gauge", "value"});
+    for (const auto& [name, val] : gauges->as_object())
+      t.add_row({name, cell(val.as_double(), 6)});
+    os << "gauges:\n";
+    t.print(os);
+  }
+  if (const auto* hists = metrics->find("histograms");
+      hists != nullptr && !hists->as_object().empty()) {
+    table t({"histogram", "bucket", "count"});
+    for (const auto& [name, hist] : hists->as_object()) {
+      const auto* bounds = hist.find("upper_bounds");
+      const auto* counts = hist.find("counts");
+      WSAN_REQUIRE(bounds != nullptr && counts != nullptr,
+                   "histogram entry is malformed: " + name);
+      const auto& bounds_arr = bounds->as_array();
+      const auto& counts_arr = counts->as_array();
+      for (std::size_t i = 0; i < counts_arr.size(); ++i) {
+        const std::string bucket =
+            i < bounds_arr.size()
+                ? "<= " + cell(bounds_arr[i].as_double(), 3)
+                : "overflow";
+        t.add_row({i == 0 ? name : "", bucket,
+                   cell(static_cast<long long>(counts_arr[i].as_int()))});
+      }
+    }
+    os << "histograms:\n";
+    t.print(os);
+  }
+  if (const auto* timings = section->find("timings");
+      timings != nullptr && timings->is_object()) {
+    if (const auto* spans = timings->find("spans");
+        spans != nullptr && spans->is_object())
+      print_spans_json(*spans, os);
+  }
+  return true;
+}
+
+void print_span_table(const obs::snapshot& snap, std::ostream& os) {
+  if (snap.spans.empty()) return;
+  table t({"span", "count", "total_ms", "mean_us"});
+  for (const auto& [name, span] : snap.spans) {
+    const double ns = static_cast<double>(span.total_ns);
+    const double n = static_cast<double>(span.count);
+    t.add_row({name, cell(static_cast<long long>(span.count)),
+               cell(ns / 1e6, 3), cell(n > 0 ? ns / n / 1e3 : 0.0, 3)});
+  }
+  t.print(os);
+}
+
+obs_session::obs_session(const run_options& options)
+    : metrics_path_(options.metrics_path) {
+  if (!options.obs_requested()) return;
+  active_ = true;
+  obs::reset_metrics();
+  if (!options.trace_path.empty())
+    obs::set_event_sink(
+        std::make_shared<obs::jsonl_sink>(options.trace_path));
+  obs::set_enabled(true);
+}
+
+const obs::snapshot& obs_session::finish() {
+  if (finished_ || !active_) {
+    finished_ = true;
+    return snap_;
+  }
+  finished_ = true;
+  snap_ = obs::take_snapshot();
+  obs::set_enabled(false);
+  obs::set_event_sink(nullptr);
+  if (!metrics_path_.empty()) {
+    std::ofstream out(metrics_path_);
+    WSAN_REQUIRE(out.good(), "cannot open for writing: " + metrics_path_);
+    json::write(snapshot_to_json(snap_), out);
+    WSAN_REQUIRE(out.good(), "write failed: " + metrics_path_);
+  }
+  return snap_;
+}
+
+obs_session::~obs_session() {
+  if (!active_ || finished_) return;
+  // Unwinding past a live session: stop recording and drop the sink,
+  // but skip the metrics file — a partial snapshot would look valid.
+  obs::set_enabled(false);
+  obs::set_event_sink(nullptr);
+}
+
+}  // namespace wsan::exp

@@ -1,0 +1,75 @@
+// Bridges the observability subsystem (src/obs) into the experiment
+// harness: JSON conversion of metrics snapshots, the report
+// container's "observability" section, per-run obs sessions driven by
+// run_options, and the text rendering behind `wsanctl obs`.
+//
+// A standalone metrics file (--metrics FILE) is the versioned document
+//
+//   { "schema": "wsan-obs-snapshot/1",
+//     "metrics": { "counters": {..}, "gauges": {..}, "histograms": {..} },
+//     "timings": { "spans": { "<name>": { "count": N, "total_ns": N } } } }
+//
+// Everything under "metrics" (and span counts) is deterministic for a
+// deterministic workload; "timings" holds wall-clock measurements and
+// is the clearly non-deterministic side section. The report
+// container's "observability" value is the same document minus its
+// "schema" key.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "exp/json.h"
+#include "exp/options.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace wsan::exp {
+
+/// The standalone snapshot document (with "schema").
+json::value snapshot_to_json(const obs::snapshot& snap);
+
+/// The report container's "observability" section (without "schema").
+json::value observability_section(const obs::snapshot& snap);
+
+/// Renders a snapshot document, a report observability section, or a
+/// whole report container (its observability section is extracted) as
+/// aligned text tables. Returns false — printing a note instead — when
+/// the document's observability section is null.
+bool print_obs_document(const json::value& doc, std::ostream& os);
+
+/// Prints the span table of a snapshot (name, count, total ms, mean
+/// us) — the per-phase breakdown benches show when obs is enabled.
+void print_span_table(const obs::snapshot& snap, std::ostream& os);
+
+/// Per-run observability session. When the options request any
+/// observability output, the constructor resets the metrics registry,
+/// enables recording, and — for --trace — installs a JSONL event sink.
+/// finish() takes the snapshot, writes the --metrics file if
+/// requested, uninstalls the sink, and disables recording; the
+/// destructor does the same bookkeeping (without file writes beyond
+/// the trace already streamed) if finish() was never reached.
+class obs_session {
+ public:
+  explicit obs_session(const run_options& options);
+  ~obs_session();
+
+  obs_session(const obs_session&) = delete;
+  obs_session& operator=(const obs_session&) = delete;
+
+  /// True when this session turned observability on.
+  bool active() const { return active_; }
+
+  /// Ends collection and returns the merged snapshot (empty when the
+  /// session was inactive). Idempotent.
+  const obs::snapshot& finish();
+
+ private:
+  bool active_ = false;
+  bool finished_ = false;
+  std::string metrics_path_;
+  obs::snapshot snap_;
+};
+
+}  // namespace wsan::exp

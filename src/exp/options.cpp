@@ -31,6 +31,8 @@ run_options parse_run_options(const cli_args& args) {
   options.seed_overridden = args.has("seed");
   options.seed = args.get_uint64("seed", 0);
   options.json_path = args.get("json", "");
+  options.metrics_path = args.get("metrics", "");
+  options.trace_path = args.get("trace", "");
   if (args.has("replay"))
     options.replay = parse_replay_target(args.get("replay", ""));
   return options;

@@ -8,6 +8,8 @@
 //   --seed N            experiment seed (figure default when omitted)
 //   --json FILE         also write the machine-readable report
 //   --replay POINT:TRIAL  re-run one trial in isolation and print it
+//   --metrics FILE      write an observability metrics snapshot
+//   --trace FILE        stream structured events as JSON lines
 #pragma once
 
 #include <cstdint>
@@ -30,6 +32,14 @@ struct run_options {
   bool seed_overridden = false;  ///< --seed was given explicitly
   std::string json_path;         ///< empty: no JSON output
   replay_target replay;
+  std::string metrics_path;  ///< empty: no metrics snapshot file
+  std::string trace_path;    ///< empty: no event trace file
+
+  /// True when any observability output was asked for; the harness
+  /// enables the obs runtime for the run exactly in this case.
+  bool obs_requested() const {
+    return !metrics_path.empty() || !trace_path.empty();
+  }
 
   /// The figure-specific trial count: the --trials value when given,
   /// otherwise the figure's default.

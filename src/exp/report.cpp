@@ -1,6 +1,7 @@
 #include "exp/report.h"
 
 #include <fstream>
+#include <set>
 
 #include "common/error.h"
 
@@ -25,6 +26,10 @@ json::value to_json(const figure_report& report) {
   json::object params;
   for (const auto& [key, val] : report.parameters) params[key] = val;
   obj["parameters"] = std::move(params);
+  json::array measured;
+  for (const auto& key : report.measurement_keys)
+    measured.emplace_back(key);
+  obj["measurement_keys"] = std::move(measured);
   json::array panels;
   for (const auto& panel : report.panels) {
     json::object p;
@@ -48,9 +53,17 @@ json::value to_json(const figure_report& report) {
 }
 
 json::value to_json(const std::vector<figure_report>& reports) {
+  return to_json(reports, json::value(nullptr));
+}
+
+json::value to_json(const std::vector<figure_report>& reports,
+                    json::value observability) {
+  WSAN_REQUIRE(observability.is_null() || observability.is_object(),
+               "observability section must be null or an object");
   json::object obj;
   obj["schema"] = "wsan-bench-report/1";
   obj["commit"] = build_commit();
+  obj["observability"] = std::move(observability);
   json::array arr;
   for (const auto& report : reports) arr.push_back(to_json(report));
   obj["reports"] = std::move(arr);
@@ -74,6 +87,10 @@ figure_report report_from_json(const json::value& v) {
   report.wall_seconds = get("wall_seconds").as_double();
   for (const auto& [key, val] : get("parameters").as_object())
     report.parameters[key] = val.as_string();
+  // Optional: documents predating the observability schema lack it.
+  if (const auto* measured = v.find("measurement_keys"))
+    for (const auto& key : measured->as_array())
+      report.measurement_keys.push_back(key.as_string());
   for (const auto& panel_json : get("panels").as_array()) {
     report_panel panel;
     const auto* name = panel_json.find("name");
@@ -147,6 +164,16 @@ void validate_report(const json::value& v, const std::string& where,
       check(val.is_string(), where + "/parameters/" + key,
             "expected string", errors);
   }
+  if (const auto* measured = v.find("measurement_keys")) {
+    if (!measured->is_array()) {
+      errors.push_back(where + "/measurement_keys: expected array");
+    } else {
+      for (std::size_t i = 0; i < measured->as_array().size(); ++i)
+        check(measured->as_array()[i].is_string(),
+              where + "/measurement_keys/" + std::to_string(i),
+              "expected string", errors);
+    }
+  }
   const auto* panels =
       require("panels", "array", &json::value::is_array);
   if (panels == nullptr) return;
@@ -208,6 +235,15 @@ std::vector<std::string> validate_reports_json(const json::value& v) {
   const auto* commit = v.find("commit");
   check(commit != nullptr && commit->is_string(), "document",
         "missing string \"commit\"", errors);
+  // The key must exist even for obs-off runs — an absent key means the
+  // producer predates the observability schema or the file is damaged.
+  const auto* obs = v.find("observability");
+  if (obs == nullptr)
+    errors.push_back(
+        "document: missing \"observability\" (must be null or object)");
+  else
+    check(obs->is_null() || obs->is_object(), "observability",
+          "expected null or object", errors);
   const auto* reports = v.find("reports");
   if (reports == nullptr || !reports->is_array()) {
     errors.push_back("document: missing array \"reports\"");
@@ -219,11 +255,63 @@ std::vector<std::string> validate_reports_json(const json::value& v) {
   return errors;
 }
 
+json::value science_payload(const json::value& container) {
+  WSAN_REQUIRE(container.is_object(),
+               "report container must be a JSON object");
+  json::value payload = container;
+  auto& obj = payload.as_object();
+  obj["observability"] = json::value(nullptr);
+  if (const auto it = obj.find("reports");
+      it != obj.end() && it->second.is_array()) {
+    for (auto& report : it->second.as_array()) {
+      if (!report.is_object()) continue;
+      auto& robj = report.as_object();
+      if (const auto wit = robj.find("wall_seconds"); wit != robj.end())
+        wit->second = 0.0;
+      // Worker count is run provenance, not science: the whole point
+      // of the payload is that it agrees across --jobs values.
+      if (const auto jit = robj.find("jobs"); jit != robj.end())
+        jit->second = std::int64_t{0};
+      std::set<std::string> measured;
+      if (const auto mit = robj.find("measurement_keys");
+          mit != robj.end() && mit->second.is_array())
+        for (const auto& key : mit->second.as_array())
+          if (key.is_string()) measured.insert(key.as_string());
+      if (measured.empty()) continue;
+      const auto pit = robj.find("panels");
+      if (pit == robj.end() || !pit->second.is_array()) continue;
+      for (auto& panel : pit->second.as_array()) {
+        if (!panel.is_object()) continue;
+        const auto pts = panel.as_object().find("points");
+        if (pts == panel.as_object().end() ||
+            !pts->second.is_array())
+          continue;
+        for (auto& point : pts->second.as_array()) {
+          if (!point.is_object()) continue;
+          const auto vit = point.as_object().find("values");
+          if (vit == point.as_object().end() ||
+              !vit->second.is_object())
+            continue;
+          for (auto& [series, value] : vit->second.as_object())
+            if (measured.count(series) > 0) value = 0.0;
+        }
+      }
+    }
+  }
+  return payload;
+}
+
 void write_reports_file(const std::vector<figure_report>& reports,
+                        const std::string& path) {
+  write_reports_file(reports, json::value(nullptr), path);
+}
+
+void write_reports_file(const std::vector<figure_report>& reports,
+                        json::value observability,
                         const std::string& path) {
   std::ofstream out(path);
   WSAN_REQUIRE(out.good(), "cannot open for writing: " + path);
-  json::write(to_json(reports), out);
+  json::write(to_json(reports, std::move(observability)), out);
   WSAN_REQUIRE(out.good(), "write failed: " + path);
 }
 

@@ -8,6 +8,7 @@
 //
 //   { "schema": "wsan-bench-report/1",
 //     "commit": "<git hash or unknown>",
+//     "observability": null | { "metrics": {...}, "timings": {...} },
 //     "reports": [ {
 //       "figure": "fig1", "title": "...",
 //       "seed": 101, "jobs": 8, "trials": 50,
@@ -20,6 +21,16 @@
 // Doubles round-trip bit-exactly (see exp/json.h), so a report can be
 // re-parsed and compared against in-memory aggregates to full
 // precision.
+//
+// The "observability" key is always present: null when the run did not
+// collect observability data (explicit, so a missing key flags a
+// malformed document), otherwise the object built by
+// exp::observability_section. Everything under "observability", the
+// per-report "wall_seconds", and any panel series a report lists in
+// "measurement_keys" (e.g. fig6's per-algorithm milliseconds) are
+// *measurements*; science_payload() strips exactly those, and the
+// remainder is bit-identical across --jobs values and across
+// obs-on/obs-off runs.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +61,10 @@ struct figure_report {
   int trials = 0;
   double wall_seconds = 0.0;
   std::map<std::string, std::string> parameters;
+  /// Panel series names whose values are wall-clock measurements
+  /// (e.g. fig6's "rc_ms"). science_payload() zeroes these so the
+  /// payload stays bit-comparable; deterministic series stay put.
+  std::vector<std::string> measurement_keys;
   std::vector<report_panel> panels;
 };
 
@@ -57,8 +72,13 @@ struct figure_report {
 std::string build_commit();
 
 json::value to_json(const figure_report& report);
-/// Wraps reports in the versioned container object.
+/// Wraps reports in the versioned container object with
+/// "observability": null.
 json::value to_json(const std::vector<figure_report>& reports);
+/// Same, with an explicit observability section (must be null or an
+/// object, e.g. from exp::observability_section).
+json::value to_json(const std::vector<figure_report>& reports,
+                    json::value observability);
 
 figure_report report_from_json(const json::value& v);
 /// Parses a container document (as produced by to_json above).
@@ -69,8 +89,20 @@ std::vector<figure_report> reports_from_json(const json::value& v);
 /// the document is schema-valid.
 std::vector<std::string> validate_reports_json(const json::value& v);
 
+/// The deterministic part of a container document: a copy with the
+/// "observability" section nulled, every report's "wall_seconds" and
+/// "jobs" (run provenance) zeroed, and every panel value listed in a
+/// report's "measurement_keys" zeroed. Two runs of the same experiment
+/// agree on this to the bit, whatever --jobs or --metrics/--trace they
+/// used.
+json::value science_payload(const json::value& container);
+
 /// Writes the container document to `path` (throws on I/O failure).
 void write_reports_file(const std::vector<figure_report>& reports,
+                        const std::string& path);
+/// Same, with an explicit observability section.
+void write_reports_file(const std::vector<figure_report>& reports,
+                        json::value observability,
                         const std::string& path);
 
 }  // namespace wsan::exp

@@ -5,6 +5,9 @@
 #include "common/error.h"
 #include "flow/router.h"
 #include "graph/algorithms.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "phy/channel.h"
 
 namespace wsan::manager {
@@ -31,9 +34,17 @@ flow::flow_set network_manager::generate_workload(
 
 core::schedule_result network_manager::admit(
     const std::vector<flow::flow>& flows) const {
+  OBS_SPAN("manager.admit");
   auto config = config_.scheduler;
   config.isolated_links.insert(isolated_.begin(), isolated_.end());
-  return core::schedule_flows(flows, reuse_hops_, config);
+  auto result = core::schedule_flows(flows, reuse_hops_, config);
+  if (obs::events_enabled())
+    obs::emit(result.schedulable ? obs::severity::info
+                                 : obs::severity::warning,
+              "manager", "admission",
+              {{"flows", flows.size()},
+               {"schedulable", result.schedulable}});
+  return result;
 }
 
 void network_manager::blacklist_channels(
@@ -49,13 +60,19 @@ void network_manager::blacklist_channels(
 network_manager::maintenance_outcome network_manager::maintain(
     const std::vector<flow::flow>& flows,
     const std::map<sim::link_key, sim::link_observations>& observations) {
+  OBS_SPAN("manager.maintain");
   maintenance_outcome outcome;
   outcome.reports =
       detect::classify_links(observations, config_.detection);
   const auto flagged = detect::isolation_set(outcome.reports);
   for (const auto& link : flagged) {
-    if (isolated_.insert(link).second)
+    if (isolated_.insert(link).second) {
       outcome.newly_isolated.insert(link);
+      obs::add_counter("manager.links_isolated");
+      if (obs::events_enabled())
+        obs::emit(obs::severity::warning, "manager", "link_isolated",
+                  {{"sender", link.first}, {"receiver", link.second}});
+    }
   }
   if (!outcome.newly_isolated.empty()) {
     auto config = config_.scheduler;
@@ -77,8 +94,10 @@ void network_manager::mark_dead(node_id node) {
 network_manager::recovery_outcome network_manager::recover(
     const std::vector<flow::flow>& flows,
     const std::map<sim::link_key, sim::link_observations>& observations) {
+  OBS_SPAN("manager.recover");
   recovery_outcome outcome;
   outcome.epoch = epoch_++;
+  obs::add_counter("manager.recover_epochs");
 
   // Watchdog: every sender in the routed workload owes health reports
   // (it reports its outgoing links' statistics). Nodes already declared
@@ -99,12 +118,23 @@ network_manager::recovery_outcome network_manager::recover(
     }
     outcome.silent_nodes.push_back(node);
     const int silent = ++silent_epochs_[node];
+    if (obs::events_enabled())
+      obs::emit(obs::severity::info, "manager", "watchdog_silent",
+                {{"node", node},
+                 {"epoch", outcome.epoch},
+                 {"silent_epochs", silent}});
     if (silent >= config_.watchdog_epochs) {
       dead_.insert(node);
       silent_epochs_.erase(node);
       outcome.newly_dead.push_back(node);
       outcome.detection_latency_epochs =
           std::max(outcome.detection_latency_epochs, silent);
+      obs::add_counter("manager.nodes_declared_dead");
+      if (obs::events_enabled())
+        obs::emit(obs::severity::warning, "manager", "node_declared_dead",
+                  {{"node", node},
+                   {"epoch", outcome.epoch},
+                   {"silent_epochs", silent}});
     }
   }
   if (outcome.newly_dead.empty()) return outcome;
@@ -128,6 +158,10 @@ network_manager::recovery_outcome network_manager::recover(
     const auto rerouted = flow::reroute_flow(pruned, f, dead_);
     if (!rerouted) {
       outcome.unroutable_flows.push_back(f.id);
+      obs::add_counter("manager.flows_unroutable");
+      if (obs::events_enabled())
+        obs::emit(obs::severity::warning, "manager", "flow_unroutable",
+                  {{"flow", f.id}, {"epoch", outcome.epoch}});
       continue;
     }
     flow::flow repaired = f;
@@ -135,6 +169,12 @@ network_manager::recovery_outcome network_manager::recover(
     repaired.uplink_links = rerouted->uplink_links;
     flow::validate_flow(repaired);
     outcome.rerouted_flows.push_back(f.id);
+    obs::add_counter("manager.flows_rerouted");
+    if (obs::events_enabled())
+      obs::emit(obs::severity::info, "manager", "flow_rerouted",
+                {{"flow", f.id},
+                 {"epoch", outcome.epoch},
+                 {"hops", repaired.route.size()}});
     survivors.push_back(std::move(repaired));
     original_ids.push_back(f.id);
   }
@@ -147,9 +187,14 @@ network_manager::recovery_outcome network_manager::recover(
   config.isolated_links.insert(isolated_.begin(), isolated_.end());
   auto shed = core::schedule_shedding(std::move(survivors), reuse_hops_,
                                       config);
-  for (flow_id dense : shed.shed)
-    outcome.shed_flows.push_back(
-        original_ids[static_cast<std::size_t>(dense)]);
+  for (flow_id dense : shed.shed) {
+    const flow_id original = original_ids[static_cast<std::size_t>(dense)];
+    outcome.shed_flows.push_back(original);
+    obs::add_counter("manager.flows_shed");
+    if (obs::events_enabled())
+      obs::emit(obs::severity::warning, "manager", "flow_shed",
+                {{"flow", original}, {"epoch", outcome.epoch}});
+  }
   outcome.surviving_flows = std::move(shed.kept);
   outcome.surviving_original_ids.assign(
       original_ids.begin(),

@@ -1,0 +1,179 @@
+#include "obs/events.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/error.h"
+
+namespace wsan::obs {
+
+std::string_view to_string(severity sev) {
+  switch (sev) {
+    case severity::debug:
+      return "debug";
+    case severity::info:
+      return "info";
+    case severity::warning:
+      return "warning";
+    case severity::error:
+      return "error";
+  }
+  return "info";
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(c >> 4) & 0xf]);
+          out.push_back(hex[c & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_value(std::string& out, const field_value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    out += std::to_string(*i);
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    // Trace lines are for humans and scripts, not round-tripping;
+    // to_string's fixed six decimals keep them readable.
+    out += std::to_string(*d);
+  } else {
+    append_escaped(out, std::get<std::string>(v));
+  }
+}
+
+std::shared_ptr<event_sink>& sink_slot() {
+  static std::shared_ptr<event_sink>* slot =
+      new std::shared_ptr<event_sink>();  // never destroyed
+  return *slot;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex* mu = new std::mutex();  // never destroyed
+  return *mu;
+}
+
+std::atomic<bool> g_has_sink{false};
+std::atomic<std::uint64_t> g_next_seq{1};
+
+}  // namespace
+
+std::string to_jsonl(const event& ev) {
+  std::string line;
+  line.reserve(96);
+  line += "{\"seq\":";
+  line += std::to_string(ev.seq);
+  line += ",\"severity\":";
+  append_escaped(line, to_string(ev.sev));
+  line += ",\"component\":";
+  append_escaped(line, ev.component);
+  line += ",\"event\":";
+  append_escaped(line, ev.name);
+  line += ",\"fields\":{";
+  bool first = true;
+  for (const auto& f : ev.fields) {
+    if (!first) line.push_back(',');
+    first = false;
+    append_escaped(line, f.key);
+    line.push_back(':');
+    append_value(line, f.value);
+  }
+  line += "}}";
+  return line;
+}
+
+jsonl_sink::jsonl_sink(const std::string& path) : file_(path) {
+  WSAN_REQUIRE(file_.is_open(), "cannot open trace file: " + path);
+  os_ = &file_;
+}
+
+void jsonl_sink::consume(const event& ev) {
+  const std::string line = to_jsonl(ev);
+  const std::lock_guard<std::mutex> lock(mu_);
+  *os_ << line << '\n';
+}
+
+ring_sink::ring_sink(std::size_t capacity) : capacity_(capacity) {
+  WSAN_REQUIRE(capacity > 0, "ring_sink capacity must be positive");
+}
+
+void ring_sink::consume(const event& ev) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (buffer_.size() == capacity_) {
+    buffer_.pop_front();
+    ++dropped_;
+  }
+  buffer_.push_back(ev);
+}
+
+std::vector<event> ring_sink::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {buffer_.begin(), buffer_.end()};
+}
+
+std::uint64_t ring_sink::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void set_event_sink(std::shared_ptr<event_sink> sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  g_has_sink.store(sink != nullptr, std::memory_order_relaxed);
+  sink_slot() = std::move(sink);
+}
+
+#if WSAN_OBS_ENABLED
+
+bool events_enabled() {
+  return enabled() && g_has_sink.load(std::memory_order_relaxed);
+}
+
+void emit(severity sev, std::string_view component, std::string_view name,
+          std::vector<event_field> fields) {
+  if (!events_enabled()) return;
+  event ev;
+  ev.sev = sev;
+  ev.component = std::string(component);
+  ev.name = std::string(name);
+  ev.fields = std::move(fields);
+  ev.seq = g_next_seq.fetch_add(1, std::memory_order_relaxed);
+  // Copy the shared_ptr under the lock, deliver outside it, so a slow
+  // sink cannot block sink swaps and re-entrant set_event_sink from a
+  // consume() implementation cannot deadlock.
+  std::shared_ptr<event_sink> sink;
+  {
+    const std::lock_guard<std::mutex> lock(sink_mutex());
+    sink = sink_slot();
+  }
+  if (sink) sink->consume(ev);
+}
+
+#endif  // WSAN_OBS_ENABLED
+
+}  // namespace wsan::obs

@@ -1,0 +1,136 @@
+// Structured event log (DESIGN.md §9).
+//
+// Components emit typed events — schedule decisions, fault-plan
+// executions, watchdog verdicts, shedding choices — to one globally
+// installed sink. Every event carries a severity, the emitting
+// component, an event name, typed key/value fields, and a process-wide
+// monotonic sequence number. Two sinks ship with the library:
+//
+//   * jsonl_sink — one JSON object per line (the `--trace FILE`
+//     format), parseable by exp::json; and
+//   * ring_sink — a bounded in-memory buffer that keeps the most
+//     recent events and counts what it dropped, for tests and
+//     post-mortem capture.
+//
+// Emission is a no-op unless observability is enabled AND a sink is
+// installed; call sites that build field lists should guard with
+// events_enabled() so the disabled path never materialises strings.
+// With WSAN_OBS=OFF, events_enabled() is constexpr false and emit()
+// compiles away, while the sink classes remain available to cold
+// tooling code.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace wsan::obs {
+
+enum class severity { debug, info, warning, error };
+
+std::string_view to_string(severity sev);
+
+/// A typed event field value: integer, floating point, or string.
+using field_value = std::variant<std::int64_t, double, std::string>;
+
+struct event_field {
+  std::string key;
+  field_value value;
+
+  template <typename T>
+    requires std::integral<T>
+  event_field(std::string_view k, T v)
+      : key(k), value(static_cast<std::int64_t>(v)) {}
+  event_field(std::string_view k, double v) : key(k), value(v) {}
+  event_field(std::string_view k, std::string_view v)
+      : key(k), value(std::string(v)) {}
+  event_field(std::string_view k, const char* v)
+      : key(k), value(std::string(v)) {}
+  event_field(std::string_view k, bool v)
+      : key(k), value(static_cast<std::int64_t>(v ? 1 : 0)) {}
+};
+
+struct event {
+  severity sev = severity::info;
+  std::string component;
+  std::string name;
+  std::vector<event_field> fields;
+  /// Process-wide monotonic sequence number, assigned at emission.
+  std::uint64_t seq = 0;
+};
+
+/// Serialises one event as a single JSON line:
+///   {"seq":1,"severity":"info","component":"core",
+///    "event":"flow_admitted","fields":{"flow":3,"rho":2}}
+std::string to_jsonl(const event& ev);
+
+class event_sink {
+ public:
+  virtual ~event_sink() = default;
+  /// May be called from multiple threads; implementations serialise.
+  virtual void consume(const event& ev) = 0;
+};
+
+/// Appends one JSON line per event to a stream or file.
+class jsonl_sink final : public event_sink {
+ public:
+  /// Non-owning: the stream must outlive the sink.
+  explicit jsonl_sink(std::ostream& os) : os_(&os) {}
+  /// Owning: opens (truncates) `path`; throws on failure.
+  explicit jsonl_sink(const std::string& path);
+
+  void consume(const event& ev) override;
+
+ private:
+  std::ofstream file_;
+  std::ostream* os_ = nullptr;
+  std::mutex mu_;
+};
+
+/// Keeps the most recent `capacity` events; older ones are dropped and
+/// counted. seq numbers stay monotonic across drops, so a reader can
+/// tell exactly which window survived.
+class ring_sink final : public event_sink {
+ public:
+  explicit ring_sink(std::size_t capacity);
+
+  void consume(const event& ev) override;
+
+  /// The surviving window, oldest first.
+  std::vector<event> events() const;
+  std::uint64_t dropped() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<event> buffer_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Installs (or, with nullptr, removes) the global event sink.
+void set_event_sink(std::shared_ptr<event_sink> sink);
+
+#if WSAN_OBS_ENABLED
+/// True iff emit() would deliver: observability enabled and a sink
+/// installed. One relaxed load — cheap enough for hot-path guards.
+bool events_enabled();
+void emit(severity sev, std::string_view component, std::string_view name,
+          std::vector<event_field> fields = {});
+#else
+inline constexpr bool events_enabled() { return false; }
+inline void emit(severity, std::string_view, std::string_view,
+                 std::vector<event_field> = {}) {}
+#endif
+
+}  // namespace wsan::obs

@@ -1,0 +1,28 @@
+#include "obs/trace.h"
+
+#if WSAN_OBS_ENABLED
+
+namespace wsan::obs {
+
+namespace {
+thread_local int g_span_depth = 0;
+}  // namespace
+
+span_stat register_span(std::string_view name) {
+  span_stat stat;
+  stat.first_slot_ = obs::detail::register_span_slots(name);
+  return stat;
+}
+
+int span_depth() { return g_span_depth; }
+
+namespace detail {
+
+void enter_span() { ++g_span_depth; }
+void leave_span() { --g_span_depth; }
+
+}  // namespace detail
+
+}  // namespace wsan::obs
+
+#endif  // WSAN_OBS_ENABLED

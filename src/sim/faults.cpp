@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "obs/events.h"
 
 namespace wsan::sim {
 
@@ -170,19 +171,38 @@ void fault_state::begin_run(int run) {
   std::fill(node_down_.begin(), node_down_.end(), 0);
   std::fill(withheld_.begin(), withheld_.end(), 0);
   links_down_.clear();
+  // Fault-plan executions are logged once, at the run where each fault
+  // switches on — not on every run it stays active.
   for (const auto& c : plan_.crashes) {
     if (interval_contains(c.start_run, c.restart_run, run)) {
       node_down_[static_cast<std::size_t>(c.node)] = 1;
       withheld_[static_cast<std::size_t>(c.node)] = 1;
+      if (run == c.start_run && obs::events_enabled())
+        obs::emit(obs::severity::warning, "sim", "fault_node_crash",
+                  {{"node", c.node},
+                   {"run", run},
+                   {"restart_run", c.restart_run}});
     }
   }
   for (const auto& s : plan_.suppressions) {
-    if (interval_contains(s.start_run, s.end_run, run))
+    if (interval_contains(s.start_run, s.end_run, run)) {
       withheld_[static_cast<std::size_t>(s.node)] = 1;
+      if (run == s.start_run && obs::events_enabled())
+        obs::emit(obs::severity::warning, "sim",
+                  "fault_report_suppression",
+                  {{"node", s.node}, {"run", run}, {"end_run", s.end_run}});
+    }
   }
   for (const auto& l : plan_.link_failures) {
-    if (interval_contains(l.start_run, l.end_run, run))
+    if (interval_contains(l.start_run, l.end_run, run)) {
       links_down_.emplace_back(l.sender, l.receiver);
+      if (run == l.start_run && obs::events_enabled())
+        obs::emit(obs::severity::warning, "sim", "fault_link_failure",
+                  {{"sender", l.sender},
+                   {"receiver", l.receiver},
+                   {"run", run},
+                   {"end_run", l.end_run}});
+    }
   }
 }
 

@@ -6,6 +6,8 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tsch/hopping.h"
 
 namespace wsan::sim {
@@ -65,6 +67,7 @@ sim_result run_simulation(const topo::topology& topo,
                           const std::vector<flow::flow>& flows,
                           const std::vector<channel_t>& channels,
                           const sim_config& config) {
+  OBS_SPAN("sim.run_simulation");
   WSAN_REQUIRE(!flows.empty(), "flow set must be non-empty");
   WSAN_REQUIRE(!channels.empty(), "channel set must be non-empty");
   WSAN_REQUIRE(static_cast<int>(channels.size()) == sched.num_offsets(),
@@ -392,6 +395,23 @@ sim_result run_simulation(const topo::topology& topo,
                                 static_cast<double>(released[fi]);
     result.instances_released += released[fi];
     result.instances_delivered += delivered[fi];
+  }
+  if (wsan::obs::enabled()) {
+    wsan::obs::add_counter("sim.simulations");
+    wsan::obs::add_counter("sim.runs",
+                           static_cast<std::uint64_t>(config.runs));
+    wsan::obs::add_counter(
+        "sim.data_transmissions",
+        static_cast<std::uint64_t>(result.energy.data_transmissions));
+    wsan::obs::add_counter(
+        "sim.idle_listens",
+        static_cast<std::uint64_t>(result.energy.idle_listens));
+    wsan::obs::add_counter(
+        "sim.instances_released",
+        static_cast<std::uint64_t>(result.instances_released));
+    wsan::obs::add_counter(
+        "sim.instances_delivered",
+        static_cast<std::uint64_t>(result.instances_delivered));
   }
   return result;
 }

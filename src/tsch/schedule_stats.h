@@ -16,6 +16,14 @@ namespace wsan::tsch {
 /// computation. The counters distinguish work done by scanning cell
 /// contents from work answered by the schedule's occupancy index, so
 /// benches can report how much the index actually saves.
+///
+/// DEPRECATED as an observability surface (kept as a thin façade for
+/// one release; see DESIGN.md "Observability"): the same totals are
+/// published through the obs metrics registry as core.probes.* by
+/// core::schedule_flows, which is where new consumers should read them
+/// (`--metrics FILE`, `wsanctl obs`). The struct remains the hot-path
+/// accumulator — a plain per-trial value with no atomics — and the
+/// scheduler flushes it into the registry once per run.
 struct probe_stats {
   /// Candidate slots examined for the transmission conflict constraint
   /// (find_slot) or for laxity unusable-slot accounting.

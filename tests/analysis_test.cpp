@@ -88,7 +88,9 @@ TEST(Analysis, MoreChannelsNeverHurt) {
   for (int m = 1; m <= 8; ++m) {
     const auto result = analyze_response_times(flows, m);
     const slot_t last = result.bounds.back().bound;
-    if (m > 1) EXPECT_LE(last, prev);
+    if (m > 1) {
+      EXPECT_LE(last, prev);
+    }
     prev = last;
   }
 }

@@ -156,7 +156,9 @@ TEST(Scheduler, ReleaseOffsetsAreHonored) {
   ASSERT_TRUE(result.schedulable);
   // Second instance may not start before slot 50.
   for (const auto& p : result.sched.placements()) {
-    if (p.tx.instance == 1) EXPECT_GE(p.slot, 50);
+    if (p.tx.instance == 1) {
+      EXPECT_GE(p.slot, 50);
+    }
   }
 }
 

@@ -419,6 +419,64 @@ TEST(Report, ValidatorFlagsStructuralViolations) {
   ASSERT_GE(violations.size(), 2u);
 }
 
+TEST(Report, ContainerCarriesExplicitNullObservability) {
+  const auto doc = exp::to_json(std::vector{sample_report()});
+  const auto* obs = doc.find("observability");
+  ASSERT_NE(obs, nullptr) << "observability key must always be present";
+  EXPECT_TRUE(obs->is_null());
+}
+
+TEST(Report, ValidatorRequiresObservabilityKey) {
+  auto doc = exp::to_json(std::vector{sample_report()});
+  doc.as_object().erase("observability");
+  const auto violations = exp::validate_reports_json(doc);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("observability"), std::string::npos);
+}
+
+TEST(Report, ValidatorRejectsNonObjectObservability) {
+  auto doc = exp::to_json(std::vector{sample_report()});
+  doc.as_object()["observability"] = exp::json::value("not an object");
+  EXPECT_FALSE(exp::validate_reports_json(doc).empty());
+  doc.as_object()["observability"] = exp::json::value(exp::json::object{});
+  EXPECT_TRUE(exp::validate_reports_json(doc).empty());
+}
+
+TEST(Report, SciencePayloadStripsMeasurements) {
+  auto report = sample_report();
+  report.measurement_keys = {"rc"};  // declare one series as measured
+  auto doc = exp::to_json(std::vector{report});
+  doc.as_object()["observability"] = exp::json::value(exp::json::object{});
+  const auto payload = exp::science_payload(doc);
+  EXPECT_TRUE(payload.find("observability")->is_null());
+  const auto& back = payload.find("reports")->as_array()[0];
+  EXPECT_EQ(back.find("wall_seconds")->as_double(), 0.0);
+  const auto& values = *back.find("panels")
+                            ->as_array()[0]
+                            .find("points")
+                            ->as_array()[0]
+                            .find("values");
+  EXPECT_EQ(values.find("rc")->as_double(), 0.0);  // declared: zeroed
+  // Everything else survives untouched.
+  EXPECT_EQ(values.find("nr")->as_double(), 1.0 / 3.0);
+  EXPECT_EQ(back.find("figure")->as_string(), "fig1");
+}
+
+TEST(Report, MeasurementKeysRoundTripAndValidate) {
+  auto report = sample_report();
+  report.measurement_keys = {"nr_ms", "speedup"};
+  const auto doc = exp::to_json(std::vector{report});
+  EXPECT_TRUE(exp::validate_reports_json(doc).empty());
+  const auto back = exp::reports_from_json(doc);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].measurement_keys, report.measurement_keys);
+  // Wrong type is flagged.
+  auto bad = doc;
+  bad.as_object()["reports"].as_array()[0].as_object()
+      ["measurement_keys"] = exp::json::value("not an array");
+  EXPECT_FALSE(exp::validate_reports_json(bad).empty());
+}
+
 TEST(Report, CommittedFixtureIsSchemaValid) {
   std::ifstream in(std::string(WSAN_TEST_DATA_DIR) +
                    "/bench_report_fixture.json");

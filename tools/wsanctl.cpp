@@ -4,14 +4,14 @@
 // be scripted, inspected, and re-run:
 //
 //   wsanctl topology --testbed wustl --out topo.txt
-//   wsanctl workload --topology topo.txt --channels 4 --flows 30 \
+//   wsanctl workload --topology topo.txt --channels 4 --flows 30
 //           --out flows.txt
-//   wsanctl schedule --topology topo.txt --workload flows.txt \
+//   wsanctl schedule --topology topo.txt --workload flows.txt
 //           --channels 4 --algo rc --out sched.txt --render
 //   wsanctl analyze  --workload flows.txt --channels 4
-//   wsanctl simulate --topology topo.txt --workload flows.txt \
+//   wsanctl simulate --topology topo.txt --workload flows.txt
 //           --schedule sched.txt --channels 4 --runs 100 --wifi
-//   wsanctl detect   --topology topo.txt --workload flows.txt \
+//   wsanctl detect   --topology topo.txt --workload flows.txt
 //           --schedule sched.txt --channels 4 --runs 108 --wifi
 //   wsanctl bench    --all --jobs 8 --json bench_results.json
 #include <chrono>
@@ -21,12 +21,14 @@
 #include <string>
 
 #include "common/cli.h"
+#include "common/error.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/analysis.h"
 #include "core/scheduler.h"
 #include "detect/detector.h"
 #include "exp/json.h"
+#include "exp/obs_io.h"
 #include "exp/options.h"
 #include "exp/report.h"
 #include "experiments.h"
@@ -81,11 +83,19 @@ commands:
              --topology FILE  --workload FILE  --channels N
              [--plan FILE | --crash IDS [--crash-run N]]
              --epochs N  --runs-per-epoch N  --watchdog N  --seed N
+             [--metrics FILE]  [--trace FILE]
   bench      run the paper-reproduction experiments
              --list | --validate FILE | --figure ID | --all
              --jobs N  --trials N  --seed N  --json FILE
              --replay POINT:TRIAL (with --figure)
+             --metrics FILE (observability snapshot)
+             --trace FILE (JSONL event log)
              plus each figure's own flags (--flows, --runs, ...)
+  obs        pretty-print an observability document
+             FILE (metrics snapshot or bench report container)
+             [--payload OUT]  write the report's science payload
+             (observability nulled; wall_seconds, jobs, and declared
+             measurement series zeroed) for bit-exact diffing
 )";
   return 2;
 }
@@ -320,6 +330,11 @@ int cmd_faults(const cli_args& args) {
   config.watchdog_epochs = static_cast<int>(args.get_int("watchdog", 2));
   manager::network_manager manager(std::move(topology), config);
 
+  exp::run_options obs_options;
+  obs_options.metrics_path = args.get("metrics", "");
+  obs_options.trace_path = args.get("trace", "");
+  exp::obs_session session(obs_options);
+
   auto scheduled = manager.admit(set.flows);
   if (!scheduled.schedulable) {
     std::cout << "UNSCHEDULABLE at admission (first failing flow "
@@ -373,6 +388,17 @@ int cmd_faults(const cli_args& args) {
   std::cout << manager.dead_nodes().size()
             << " node(s) declared dead; " << flows.size() << " of "
             << set.flows.size() << " flows still scheduled.\n";
+  const auto& snap = session.finish();
+  if (session.active()) {
+    std::cout << "\nobservability: per-phase timings\n";
+    exp::print_span_table(snap, std::cout);
+    if (!obs_options.metrics_path.empty())
+      std::cout << "wrote metrics snapshot to "
+                << obs_options.metrics_path << "\n";
+    if (!obs_options.trace_path.empty())
+      std::cout << "wrote event trace to " << obs_options.trace_path
+                << "\n";
+  }
   return 0;
 }
 
@@ -437,6 +463,7 @@ int cmd_bench(const cli_args& args) {
     return 0;
   }
 
+  exp::obs_session session(options);
   std::vector<exp::figure_report> reports;
   for (const auto* def : selected) {
     if (reports.size() > 0) std::cout << "\n";
@@ -447,11 +474,69 @@ int cmd_bench(const cli_args& args) {
                               .count();
     reports.push_back(std::move(report));
   }
+  const auto& snap = session.finish();
+  if (session.active()) {
+    std::cout << "\nobservability: per-phase timings\n";
+    exp::print_span_table(snap, std::cout);
+    if (!options.metrics_path.empty())
+      std::cout << "wrote metrics snapshot to " << options.metrics_path
+                << "\n";
+    if (!options.trace_path.empty())
+      std::cout << "wrote event trace to " << options.trace_path << "\n";
+  }
   if (!options.json_path.empty()) {
-    exp::write_reports_file(reports, options.json_path);
+    exp::write_reports_file(reports,
+                            session.active()
+                                ? exp::observability_section(snap)
+                                : exp::json::value(nullptr),
+                            options.json_path);
     std::cout << "\nwrote " << reports.size() << " JSON report(s) to "
               << options.json_path << "\n";
   }
+  return 0;
+}
+
+/// `wsanctl obs FILE` — renders a metrics snapshot (--metrics output)
+/// or a bench report container's observability section as text.
+/// `wsanctl obs FILE --payload OUT` extracts a report container's
+/// science payload for bit-exact diffing across runs.
+int cmd_obs(int argc, char** argv) {
+  std::string path;
+  std::vector<const char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (i > 0 && path.empty() && arg.rfind("--", 0) != 0) {
+      path = arg;
+      continue;
+    }
+    rest.push_back(argv[i]);
+  }
+  const cli_args args(static_cast<int>(rest.size()), rest.data());
+  if (path.empty()) path = args.get("file", "");
+  if (path.empty()) {
+    std::cerr << "obs needs a file: wsanctl obs FILE [--payload OUT]\n";
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto doc = exp::json::parse(text.str());
+  if (args.has("payload")) {
+    const auto out_path = args.get("payload", "");
+    const auto payload = exp::science_payload(doc);
+    std::ofstream out(out_path);
+    WSAN_REQUIRE(out.good(), "cannot open for writing: " + out_path);
+    exp::json::write(payload, out);
+    WSAN_REQUIRE(out.good(), "write failed: " + out_path);
+    std::cout << "wrote science payload of " << path << " to " << out_path
+              << "\n";
+    return 0;
+  }
+  exp::print_obs_document(doc, std::cout);
   return 0;
 }
 
@@ -468,8 +553,11 @@ int cmd_diff(const cli_args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const cli_args args(argc - 1, argv + 1);
   try {
+    // `obs` takes a positional file path, which cli_args rejects;
+    // parse it separately before the generic flag parsing below.
+    if (command == "obs") return cmd_obs(argc - 1, argv + 1);
+    const cli_args args(argc - 1, argv + 1);
     if (command == "topology") return cmd_topology(args);
     if (command == "workload") return cmd_workload(args);
     if (command == "schedule") return cmd_schedule(args);
