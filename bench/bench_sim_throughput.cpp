@@ -1,0 +1,16 @@
+// Simulator throughput: the memoized allocation-free engine vs the naive
+// oracle engine on the Figure 8 reliability workload (RC schedule, 100
+// schedule executions), on Indriya-80 (5 channels) and WUSTL-60 (4
+// channels). Reports fast/naive wall time, the speedup, slots/s and
+// runs/s of the fast engine, and re-verifies fast/naive bit-identity on
+// every timed pair.
+//
+// Usage: --flows N (default 50), --runs N (default 100), --trials N
+// (timing repetitions, default 3), plus the harness flags
+// --jobs/--seed/--json/--replay (exp/options.h). A replay point is one
+// workload: 0 = indriya-80, 1 = wustl-60.
+#include "experiments.h"
+
+int main(int argc, char** argv) {
+  return wsan::bench::run_figure_main("simthroughput", argc, argv);
+}

@@ -28,29 +28,9 @@ std::uint64_t derive_seed(std::uint64_t experiment_seed,
   return splitmix64(state);
 }
 
-namespace {
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
 rng::rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);
-}
-
-rng::result_type rng::operator()() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
 }
 
 std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
@@ -63,11 +43,6 @@ std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
     const std::uint64_t r = (*this)();
     if (r >= threshold) return lo + static_cast<std::int64_t>(r % range);
   }
-}
-
-double rng::uniform01() {
-  // 53 high-quality bits -> double in [0, 1).
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
 double rng::uniform_real(double lo, double hi) {
@@ -94,11 +69,6 @@ double rng::normal() {
 double rng::normal(double mean, double stddev) {
   WSAN_REQUIRE(stddev >= 0.0, "normal requires stddev >= 0");
   return mean + stddev * normal();
-}
-
-bool rng::bernoulli(double p) {
-  WSAN_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli requires p in [0, 1]");
-  return uniform01() < p;
 }
 
 rng rng::fork() { return rng((*this)()); }

@@ -56,13 +56,29 @@ class rng {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~result_type{0}; }
 
-  result_type operator()();
+  // The raw generator step and the distributions layered directly on a
+  // single output are defined inline: simulation hot loops draw millions
+  // of times and the call itself would otherwise dominate the draw.
+  result_type operator()() {
+    const std::uint64_t result = rotl_(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl_(s_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   /// Uniform real in [0, 1).
-  double uniform01();
+  double uniform01() {
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform real in [lo, hi). Requires lo <= hi.
   double uniform_real(double lo, double hi);
@@ -74,7 +90,10 @@ class rng {
   double normal(double mean, double stddev);
 
   /// Bernoulli trial with success probability p in [0, 1].
-  bool bernoulli(double p);
+  bool bernoulli(double p) {
+    WSAN_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli requires p in [0, 1]");
+    return uniform01() < p;
+  }
 
   /// Fisher-Yates shuffle.
   template <typename T>
@@ -104,6 +123,10 @@ class rng {
   rng fork();
 
  private:
+  static constexpr std::uint64_t rotl_(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
   bool has_spare_normal_ = false;
   double spare_normal_ = 0.0;

@@ -53,6 +53,15 @@ double aggregator::mean(const std::string& name) const {
   return n == 0 ? 0.0 : sum(name) / n;
 }
 
+double aggregator::min(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return 0.0;
+  double best = it->second.begin()->second;
+  for (const auto& [trial, value] : it->second)
+    best = value < best ? value : best;
+  return best;
+}
+
 const histogram* aggregator::hist(const std::string& name) const {
   const auto it = hists_.find(name);
   return it == hists_.end() ? nullptr : &it->second;

@@ -46,6 +46,10 @@ class aggregator {
   int value_count(const std::string& name) const;
   /// sum/value_count; 0 when no trials recorded the metric.
   double mean(const std::string& name) const;
+  /// Smallest recorded trial value; 0 when absent. The robust
+  /// statistic for wall-time metrics: scheduler and cache noise only
+  /// ever add time, so the minimum is the least-perturbed execution.
+  double min(const std::string& name) const;
 
   /// nullptr when no histogram of that name was recorded.
   const histogram* hist(const std::string& name) const;

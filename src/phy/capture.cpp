@@ -7,11 +7,18 @@
 
 namespace wsan::phy {
 
+double sinr_db(double signal_dbm, const double* interference_dbm,
+               std::size_t count, double noise_floor_dbm) {
+  double denom_mw = dbm_to_mw(noise_floor_dbm);
+  for (std::size_t i = 0; i < count; ++i)
+    denom_mw += dbm_to_mw(interference_dbm[i]);
+  return signal_dbm - mw_to_dbm(denom_mw);
+}
+
 double sinr_db(double signal_dbm, const std::vector<double>& interference_dbm,
                double noise_floor_dbm) {
-  double denom_mw = dbm_to_mw(noise_floor_dbm);
-  for (double i_dbm : interference_dbm) denom_mw += dbm_to_mw(i_dbm);
-  return signal_dbm - mw_to_dbm(denom_mw);
+  return sinr_db(signal_dbm, interference_dbm.data(),
+                 interference_dbm.size(), noise_floor_dbm);
 }
 
 namespace {
@@ -25,18 +32,25 @@ double clamped_sigmoid(double x) {
 }  // namespace
 
 double reception_probability(const capture_params& params, double signal_dbm,
-                             const std::vector<double>& interference_dbm) {
+                             const double* interference_dbm,
+                             std::size_t count) {
   WSAN_REQUIRE(params.transition_width_db > 0.0,
                "transition width must be positive");
   const double standalone = prr_from_rssi(params.link, signal_dbm);
-  if (interference_dbm.empty()) return standalone;
+  if (count == 0) return standalone;
 
-  const double sinr =
-      sinr_db(signal_dbm, interference_dbm, params.link.noise_floor_dbm);
+  const double sinr = sinr_db(signal_dbm, interference_dbm, count,
+                              params.link.noise_floor_dbm);
   const double scale = params.transition_width_db / 4.0;
   const double capture_prob =
       clamped_sigmoid((sinr - params.capture_threshold_db) / scale);
   return standalone * capture_prob;
+}
+
+double reception_probability(const capture_params& params, double signal_dbm,
+                             const std::vector<double>& interference_dbm) {
+  return reception_probability(params, signal_dbm, interference_dbm.data(),
+                               interference_dbm.size());
 }
 
 }  // namespace wsan::phy

@@ -9,6 +9,7 @@
 // concurrent transmitters on a channel lower the SINR further.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "phy/link_model.h"
@@ -35,8 +36,21 @@ struct capture_params {
 double reception_probability(const capture_params& params, double signal_dbm,
                              const std::vector<double>& interference_dbm);
 
+/// Allocation-free variant over a raw interferer array: the simulator's
+/// hot path hands sub-ranges of one pre-reserved scratch buffer instead
+/// of materialising vectors per reception. `interference_dbm` may be
+/// nullptr when `count` is 0. Bit-identical to the vector overload on
+/// the same values in the same order.
+double reception_probability(const capture_params& params, double signal_dbm,
+                             const double* interference_dbm,
+                             std::size_t count);
+
 /// SINR in dB given signal and interferer powers plus the noise floor.
 double sinr_db(double signal_dbm, const std::vector<double>& interference_dbm,
                double noise_floor_dbm);
+
+/// Allocation-free variant of sinr_db over a raw interferer array.
+double sinr_db(double signal_dbm, const double* interference_dbm,
+               std::size_t count, double noise_floor_dbm);
 
 }  // namespace wsan::phy

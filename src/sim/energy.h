@@ -32,6 +32,11 @@ struct energy_report {
   long long idle_listens = 0;        ///< scheduled cells that stayed silent
   double total_mj = 0.0;
 
+  /// Exact (bitwise on doubles) equality — the simulator's fast/oracle
+  /// equivalence oracle compares whole reports.
+  friend bool operator==(const energy_report&,
+                         const energy_report&) = default;
+
   /// Network energy per delivered packet — the efficiency metric that
   /// separates schedulers whose interference burns retries.
   double mj_per_delivered(long long delivered) const {

@@ -47,11 +47,28 @@ std::optional<double> interference_field::power_at(
                        static_cast<std::size_t>(receiver)];
 }
 
+double interference_field::received_dbm(int i, node_id receiver) const {
+  WSAN_REQUIRE(i >= 0 && i < num_interferers(),
+               "interferer index out of range");
+  WSAN_REQUIRE(receiver >= 0 && receiver < num_nodes_,
+               "receiver id out of range");
+  return received_dbm_[static_cast<std::size_t>(i) *
+                           static_cast<std::size_t>(num_nodes_) +
+                       static_cast<std::size_t>(receiver)];
+}
+
 std::vector<bool> interference_field::sample_active(rng& gen) const {
   std::vector<bool> active(interferers_.size());
   for (std::size_t i = 0; i < interferers_.size(); ++i)
     active[i] = gen.bernoulli(interferers_[i].duty_cycle);
   return active;
+}
+
+void interference_field::sample_active(rng& gen,
+                                       std::vector<char>& active) const {
+  active.resize(interferers_.size());
+  for (std::size_t i = 0; i < interferers_.size(); ++i)
+    active[i] = gen.bernoulli(interferers_[i].duty_cycle) ? 1 : 0;
 }
 
 std::vector<external_interferer> one_interferer_per_floor(

@@ -50,8 +50,19 @@ class interference_field {
   std::optional<double> power_at(int i, node_id receiver,
                                  channel_t ieee_channel) const;
 
+  /// Received power (dBm) of interferer i at `receiver`, ignoring
+  /// channel overlap — the raw per-(interferer, node) field value. The
+  /// simulator's fast path pairs this with a precomputed overlap table
+  /// so the hot loop is two array reads instead of a power_at call.
+  double received_dbm(int i, node_id receiver) const;
+
   /// Samples which interferers are active this slot.
   std::vector<bool> sample_active(rng& gen) const;
+
+  /// Allocation-free variant: resizes `active` to num_interferers()
+  /// (a no-op in steady state) and fills it in place. Consumes exactly
+  /// the same RNG draws in the same order as the vector overload.
+  void sample_active(rng& gen, std::vector<char>& active) const;
 
  private:
   std::vector<external_interferer> interferers_;

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <numbers>
 #include <set>
 
 #include "common/error.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "phy/channel.h"
 #include "tsch/hopping.h"
 
 namespace wsan::sim {
@@ -19,6 +23,23 @@ struct slot_entry {
   tsch::transmission tx;
   offset_t offset = k_invalid_offset;
   bool reuse_cell = false;  ///< scheduled cell holds >= 2 transmissions
+  // Fast-path fields, filled by the engine setup:
+  int link = -1;   ///< dense link index over the schedule's distinct links
+  int so_mod = 0;  ///< (slot + offset) mod |channels|
+};
+
+/// Fast-engine memo state for one (sender, receiver, channel-position)
+/// coordinate. Packing the run-invariant base, the epoch-stamped live
+/// signal, and the epoch-stamped clean reception probability into one
+/// struct keeps a hot-path query (and its miss path) on one or two
+/// cache lines instead of six parallel arrays.
+struct coord_cache {
+  double base = 0.0;  ///< measured RSSI + drift (run-invariant)
+  double sig = 0.0;   ///< base + fade, valid when sig_epoch matches
+  double p0 = 0.0;    ///< clean PRR, valid when p0_epoch matches
+  std::uint32_t sig_epoch = 0;
+  std::uint32_t p0_epoch = 0;
+  std::uint8_t base_ready = 0;
 };
 
 /// Per-run accumulation of one link's attempts/successes by slot kind.
@@ -31,52 +52,15 @@ struct link_run_counts {
   double loss_external = 0.0;
 };
 
-}  // namespace
-
-void validate_sim_config(const sim_config& config) {
-  WSAN_REQUIRE(config.runs >= 1, "need at least one run");
-  WSAN_REQUIRE(config.probes_per_run >= 0,
-               "probe count must be non-negative");
-  WSAN_REQUIRE(config.interferer_start_run >= 0,
-               "interferer start run must be non-negative");
-  const auto valid_sigma = [](double sigma) {
-    return std::isfinite(sigma) && sigma >= 0.0;
-  };
-  WSAN_REQUIRE(valid_sigma(config.calibration_drift_sigma_db),
-               "calibration drift sigma must be finite and non-negative");
-  WSAN_REQUIRE(valid_sigma(config.maintained_drift_sigma_db),
-               "maintained drift sigma must be finite and non-negative");
-  WSAN_REQUIRE(valid_sigma(config.intermittent_sigma_db),
-               "intermittent sigma must be finite and non-negative");
-  WSAN_REQUIRE(valid_sigma(config.temporal_fading_sigma_db),
-               "temporal fading sigma must be finite and non-negative");
-  WSAN_REQUIRE(std::isfinite(config.intermittent_fraction) &&
-                   config.intermittent_fraction >= 0.0 &&
-                   config.intermittent_fraction <= 1.0,
-               "intermittent fraction must be in [0, 1]");
-  WSAN_REQUIRE(std::isfinite(config.capture_threshold_db),
-               "capture threshold must be finite");
-  WSAN_REQUIRE(std::isfinite(config.capture_transition_db) &&
-                   config.capture_transition_db >= 0.0,
-               "capture transition width must be finite and non-negative");
-  validate_fault_plan(config.faults);
-}
-
-sim_result run_simulation(const topo::topology& topo,
-                          const tsch::schedule& sched,
-                          const std::vector<flow::flow>& flows,
-                          const std::vector<channel_t>& channels,
-                          const sim_config& config) {
-  OBS_SPAN("sim.run_simulation");
-  WSAN_REQUIRE(!flows.empty(), "flow set must be non-empty");
-  WSAN_REQUIRE(!channels.empty(), "channel set must be non-empty");
-  WSAN_REQUIRE(static_cast<int>(channels.size()) == sched.num_offsets(),
-               "channel list size must equal the schedule's offset count");
-  validate_sim_config(config);
-
+/// Flattens the schedule for slot-major iteration, validating every
+/// transmission's indices up front: the inner loop indexes
+/// progress[flow][instance], flows[flow].route[link_index], and the
+/// per-node energy array with these values, so a malformed schedule must
+/// fail loudly here instead of corrupting memory later.
+std::vector<std::vector<slot_entry>> flatten_schedule(
+    const tsch::schedule& sched, const std::vector<flow::flow>& flows,
+    int num_nodes, int num_channels) {
   const slot_t hp = sched.num_slots();
-
-  // Flatten the schedule for slot-major iteration.
   std::vector<std::vector<slot_entry>> by_slot(
       static_cast<std::size_t>(hp));
   for (slot_t s = 0; s < hp; ++s) {
@@ -86,11 +70,179 @@ sim_result run_simulation(const topo::topology& topo,
         WSAN_REQUIRE(tx.flow >= 0 &&
                          tx.flow < static_cast<flow_id>(flows.size()),
                      "schedule references an unknown flow");
-        by_slot[static_cast<std::size_t>(s)].push_back(
-            slot_entry{tx, c, cell.size() >= 2});
+        const auto& f = flows[static_cast<std::size_t>(tx.flow)];
+        WSAN_REQUIRE(tx.instance >= 0 && tx.instance < f.instances_in(hp),
+                     "schedule transmission has an out-of-range instance");
+        WSAN_REQUIRE(tx.link_index >= 0 &&
+                         tx.link_index <
+                             static_cast<int>(f.route.size()),
+                     "schedule transmission has an out-of-range route "
+                     "link index");
+        WSAN_REQUIRE(tx.sender >= 0 && tx.sender < num_nodes &&
+                         tx.receiver >= 0 && tx.receiver < num_nodes,
+                     "schedule transmission references a node outside "
+                     "the topology");
+        slot_entry entry{tx, c, cell.size() >= 2, -1, 0};
+        entry.so_mod = static_cast<int>((s + c) % num_channels);
+        by_slot[static_cast<std::size_t>(s)].push_back(entry);
       }
     }
   }
+  return by_slot;
+}
+
+/// Temporal fading: deterministic per (unordered pair, channel, run).
+/// Fast multipath variation is frequency-selective, which is exactly
+/// why TSCH hops channels: a retry on a different channel sees an
+/// independent fade, so engineered links with retries ride through it,
+/// while a single shared cell pinned to a faded channel does not.
+double compute_fade_db(const sim_config& config, int run, node_id a,
+                       node_id b, channel_t ch) {
+  if (config.temporal_fading_sigma_db <= 0.0) return 0.0;
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  std::uint64_t state = config.seed ^ (0x9e3779b97f4a7c15ULL +
+                                       static_cast<std::uint64_t>(run));
+  state ^= splitmix64(state) + (lo << 32 | hi);
+  state ^= splitmix64(state) + static_cast<std::uint64_t>(ch);
+  rng pair_gen(splitmix64(state));
+  return pair_gen.normal(0.0, config.temporal_fading_sigma_db);
+}
+
+/// Local inline of the splitmix64 finalizer (common/rng.cpp), with
+/// bit-identical arithmetic. The fade kernel runs the finalizer six
+/// times per fill; keeping those calls inline lets the compiler
+/// schedule the integer mixing of one fill under the log/cos latency
+/// of the previous one in the batch loops, which the out-of-line
+/// library call defeats.
+inline std::uint64_t splitmix64_inline(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// The first normal() draw of rng(seed), scaled: bit-identical to
+/// `0.0 + sigma * rng(seed).normal()` — same splitmix64 state expansion,
+/// same xoshiro256** outputs, same Box-Muller expressions in the same
+/// order — except the spare (sin) half of the transform, which the
+/// oracle computes only to discard with its temporary rng, is elided.
+/// This is the fast engine's fade kernel; sim_equivalence_test pins it
+/// against the oracle's full rng path across every memoized table.
+double scaled_first_normal(std::uint64_t seed, double sigma) {
+  std::uint64_t sm = seed;
+  std::uint64_t s0 = splitmix64_inline(sm);
+  std::uint64_t s1 = splitmix64_inline(sm);
+  std::uint64_t s2 = splitmix64_inline(sm);
+  std::uint64_t s3 = splitmix64_inline(sm);
+  const auto rotl = [](std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  };
+  const auto next = [&]() {
+    const std::uint64_t result = rotl(s1 * 5, 7) * 9;
+    const std::uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = rotl(s3, 45);
+    return result;
+  };
+  double u1 = 0.0;
+  while (u1 == 0.0)
+    u1 = static_cast<double>(next() >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(next() >> 11) * 0x1.0p-53;
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  return 0.0 + sigma * (radius * std::cos(angle));
+}
+
+/// Calibration drift: static per (unordered pair, channel) offset
+/// between the measured topology (which produced the schedule's graphs)
+/// and the RF world the schedule actually runs in. `maintained` is
+/// whether the pair carries scheduled traffic (re-measured every
+/// health-report epoch).
+double compute_drift_db(const sim_config& config, bool maintained,
+                        node_id a, node_id b, channel_t ch) {
+  const node_id lo_id = std::min(a, b);
+  const node_id hi_id = std::max(a, b);
+  const auto lo = static_cast<std::uint64_t>(lo_id);
+  const auto hi = static_cast<std::uint64_t>(hi_id);
+  std::uint64_t pair_state = config.seed ^ 0xd51f7ULL;
+  pair_state ^= splitmix64(pair_state) + (lo << 32 | hi);
+  std::uint64_t state = pair_state;
+  state ^= splitmix64(state) + static_cast<std::uint64_t>(ch);
+  rng chan_gen(splitmix64(state));
+  double sigma = config.calibration_drift_sigma_db;
+  if (maintained) {
+    // Used links are re-measured every health-report epoch; a link
+    // that went intermittent would be rerouted, so in steady state
+    // the maintained population only sees small drift.
+    sigma = config.maintained_drift_sigma_db;
+  } else {
+    // Intermittence is a property of the pair, not of one channel.
+    rng pair_gen(splitmix64(pair_state));
+    if (pair_gen.uniform01() < config.intermittent_fraction)
+      sigma = config.intermittent_sigma_db;
+  }
+  if (sigma <= 0.0) return 0.0;
+  return chan_gen.normal(0.0, sigma);
+}
+
+/// Shared tail of both engines: totals, per-flow PDR, obs counters.
+void finalize_result(sim_result& result,
+                     const std::vector<flow::flow>& flows,
+                     const std::vector<long long>& released,
+                     const std::vector<long long>& delivered,
+                     const sim_config& config) {
+  for (double mj : result.energy.per_node_mj)
+    result.energy.total_mj += mj;
+
+  result.flow_pdr.resize(flows.size());
+  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+    result.flow_pdr[fi] =
+        released[fi] == 0 ? 1.0
+                          : static_cast<double>(delivered[fi]) /
+                                static_cast<double>(released[fi]);
+    result.instances_released += released[fi];
+    result.instances_delivered += delivered[fi];
+  }
+  if (wsan::obs::enabled()) {
+    wsan::obs::add_counter("sim.simulations");
+    wsan::obs::add_counter("sim.runs",
+                           static_cast<std::uint64_t>(config.runs));
+    wsan::obs::add_counter(
+        "sim.data_transmissions",
+        static_cast<std::uint64_t>(result.energy.data_transmissions));
+    wsan::obs::add_counter(
+        "sim.idle_listens",
+        static_cast<std::uint64_t>(result.energy.idle_listens));
+    wsan::obs::add_counter(
+        "sim.instances_released",
+        static_cast<std::uint64_t>(result.instances_released));
+    wsan::obs::add_counter(
+        "sim.instances_delivered",
+        static_cast<std::uint64_t>(result.instances_delivered));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Oracle engine: the original implementation, kept verbatim as the
+// reference the fast path is tested against (sim_equivalence_test).
+// Every live_rssi call re-seeds derived splitmix64 RNGs and samples
+// normals; accumulators are per-run std::map/std::set; every slot
+// allocates its scratch vectors.
+
+sim_result run_simulation_naive(const topo::topology& topo,
+                                const tsch::schedule& sched,
+                                const std::vector<flow::flow>& flows,
+                                const std::vector<channel_t>& channels,
+                                const sim_config& config) {
+  const slot_t hp = sched.num_slots();
+
+  const auto by_slot = flatten_schedule(sched, flows, topo.num_nodes(),
+                                        static_cast<int>(channels.size()));
 
   // Distinct links appearing in the schedule: probed by neighbor
   // discovery and maintained (fresh statistics) by health reports.
@@ -116,52 +268,10 @@ sim_result run_simulation(const topo::topology& topo,
   rng gen(config.seed);
   fault_state faults(config.faults, topo.num_nodes());
 
-  // Temporal fading: deterministic per (unordered pair, channel, run).
-  // Fast multipath variation is frequency-selective, which is exactly
-  // why TSCH hops channels: a retry on a different channel sees an
-  // independent fade, so engineered links with retries ride through it,
-  // while a single shared cell pinned to a faded channel does not.
-  const auto temporal_fade_db = [&](int run, node_id a, node_id b,
-                                    channel_t ch) {
-    if (config.temporal_fading_sigma_db <= 0.0) return 0.0;
-    const auto lo = static_cast<std::uint64_t>(std::min(a, b));
-    const auto hi = static_cast<std::uint64_t>(std::max(a, b));
-    std::uint64_t state = config.seed ^ (0x9e3779b97f4a7c15ULL +
-                                         static_cast<std::uint64_t>(run));
-    state ^= splitmix64(state) + (lo << 32 | hi);
-    state ^= splitmix64(state) + static_cast<std::uint64_t>(ch);
-    rng pair_gen(splitmix64(state));
-    return pair_gen.normal(0.0, config.temporal_fading_sigma_db);
-  };
-
-  // Calibration drift: static per (unordered pair, channel) offset
-  // between the measured topology (which produced the schedule's graphs)
-  // and the RF world the schedule actually runs in.
   const auto drift_db = [&](node_id a, node_id b, channel_t ch) {
-    const node_id lo_id = std::min(a, b);
-    const node_id hi_id = std::max(a, b);
-    const bool maintained = maintained_pairs.count({lo_id, hi_id}) > 0;
-    const auto lo = static_cast<std::uint64_t>(lo_id);
-    const auto hi = static_cast<std::uint64_t>(hi_id);
-    std::uint64_t pair_state = config.seed ^ 0xd51f7ULL;
-    pair_state ^= splitmix64(pair_state) + (lo << 32 | hi);
-    std::uint64_t state = pair_state;
-    state ^= splitmix64(state) + static_cast<std::uint64_t>(ch);
-    rng chan_gen(splitmix64(state));
-    double sigma = config.calibration_drift_sigma_db;
-    if (maintained) {
-      // Used links are re-measured every health-report epoch; a link
-      // that went intermittent would be rerouted, so in steady state
-      // the maintained population only sees small drift.
-      sigma = config.maintained_drift_sigma_db;
-    } else {
-      // Intermittence is a property of the pair, not of one channel.
-      rng pair_gen(splitmix64(pair_state));
-      if (pair_gen.uniform01() < config.intermittent_fraction)
-        sigma = config.intermittent_sigma_db;
-    }
-    if (sigma <= 0.0) return 0.0;
-    return chan_gen.normal(0.0, sigma);
+    const bool maintained =
+        maintained_pairs.count({std::min(a, b), std::max(a, b)}) > 0;
+    return compute_drift_db(config, maintained, a, b, ch);
   };
 
   // Effective RSSI at experiment time.
@@ -169,7 +279,7 @@ sim_result run_simulation(const topo::topology& topo,
                              channel_t ch) {
     return topo.rssi_dbm(sender, receiver, ch) +
            drift_db(sender, receiver, ch) +
-           temporal_fade_db(run, sender, receiver, ch);
+           compute_fade_db(config, run, sender, receiver, ch);
   };
 
   // Packet progress per (flow, instance): index of the next route link
@@ -384,36 +494,955 @@ sim_result run_simulation(const topo::topology& topo,
     }
   }
 
-  for (double mj : result.energy.per_node_mj)
-    result.energy.total_mj += mj;
-
-  result.flow_pdr.resize(flows.size());
-  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
-    result.flow_pdr[fi] =
-        released[fi] == 0 ? 1.0
-                          : static_cast<double>(delivered[fi]) /
-                                static_cast<double>(released[fi]);
-    result.instances_released += released[fi];
-    result.instances_delivered += delivered[fi];
-  }
-  if (wsan::obs::enabled()) {
-    wsan::obs::add_counter("sim.simulations");
-    wsan::obs::add_counter("sim.runs",
-                           static_cast<std::uint64_t>(config.runs));
-    wsan::obs::add_counter(
-        "sim.data_transmissions",
-        static_cast<std::uint64_t>(result.energy.data_transmissions));
-    wsan::obs::add_counter(
-        "sim.idle_listens",
-        static_cast<std::uint64_t>(result.energy.idle_listens));
-    wsan::obs::add_counter(
-        "sim.instances_released",
-        static_cast<std::uint64_t>(result.instances_released));
-    wsan::obs::add_counter(
-        "sim.instances_delivered",
-        static_cast<std::uint64_t>(result.instances_delivered));
-  }
+  finalize_result(result, flows, released, delivered, config);
   return result;
+}
+
+// ---------------------------------------------------------------------
+// Fast engine (DESIGN.md §10): allocation-free in steady state and
+// memoized. drift_db is pure per (unordered pair, channel) and
+// temporal_fade_db pure per (run, unordered pair, channel), so both are
+// cached in flat tables — replacing a splitmix64 re-seed plus a
+// Box-Muller normal per live_rssi call (including the O(active²)
+// internal-interference cross products) with an array read. Per-link
+// statistics accumulate in dense arrays over links interned once at
+// setup, and every per-slot scratch vector is hoisted into a reusable
+// pre-reserved buffer. The caches only memoize values drawn from
+// *derived* RNGs keyed by their coordinates; every draw from the main
+// `gen` stream (interferer activity, reception Bernoullis, probe
+// channels) happens in exactly the naive order, so the sample path —
+// and therefore every output — is bit-identical to the oracle engine.
+
+/// Compact per-transmission record for the fast engine's hyperperiod
+/// scan. Everything the slot loop reads per entry, packed into 24
+/// bytes: the progress index is precomputed (prog_offset_[flow] +
+/// instance), and the narrow fields carry construction-time range
+/// checks. slot_entry stays as the shared flattening type; the fast
+/// engine re-packs it once at setup.
+struct fast_entry {
+  int prog_index;            ///< flat (flow, instance) progress slot
+  flow_id flow;              ///< route_len_ / delivered index
+  node_id sender;
+  node_id receiver;
+  int link;                  ///< dense link index
+  std::int16_t link_index;   ///< hop position within the route
+  std::uint8_t so_mod;       ///< (slot + offset) mod |channels|
+  std::uint8_t reuse_cell;   ///< scheduled cell holds >= 2 transmissions
+};
+
+class fast_engine {
+ public:
+  fast_engine(const topo::topology& topo, const tsch::schedule& sched,
+              const std::vector<flow::flow>& flows,
+              const std::vector<channel_t>& channels,
+              const sim_config& config)
+      : topo_(topo),
+        flows_(flows),
+        config_(config),
+        n_(topo.num_nodes()),
+        ncl_(static_cast<int>(channels.size())),
+        hp_(sched.num_slots()),
+        field_(topo, config.interferers, config.seed ^ 0x5eedULL),
+        faults_(config.faults, topo.num_nodes()),
+        faults_on_(faults_.any()) {
+    capture_.capture_threshold_db = config.capture_threshold_db;
+    capture_.transition_width_db = config.capture_transition_db;
+    capture_.link = topo.link_model();
+
+    auto by_slot = flatten_schedule(sched, flows, n_, ncl_);
+
+    // Link interning: dense indices assigned in link_key order, so the
+    // per-run flush below walks links exactly as the oracle's
+    // std::map<link_key, ...> iteration does.
+    std::map<link_key, int> interned;
+    for (const auto& p : sched.placements())
+      interned.emplace(link_key{p.tx.sender, p.tx.receiver}, 0);
+    link_keys_.reserve(interned.size());
+    for (auto& [key, index] : interned) {
+      index = static_cast<int>(link_keys_.size());
+      link_keys_.push_back(key);
+    }
+    // Per-flow instance layout: progress for all (flow, instance)
+    // slots lives in one flat array reset with a single fill per run.
+    // Computed before the entry array so each entry can carry its
+    // precomputed progress index.
+    prog_offset_.resize(flows.size() + 1);
+    flow_instances_.resize(flows.size());
+    route_len_.resize(flows.size());
+    int prog_total = 0;
+    for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+      prog_offset_[fi] = prog_total;
+      flow_instances_[fi] = flows[fi].instances_in(hp_);
+      route_len_[fi] = static_cast<int>(flows[fi].route.size());
+      prog_total += flow_instances_[fi];
+    }
+    prog_offset_[flows.size()] = prog_total;
+    progress_.assign(static_cast<std::size_t>(prog_total), 0);
+
+    // One contiguous compact entry array with per-slot ranges: the
+    // per-run scan reads every entry once, so the flat sequence and
+    // the halved row size (24 bytes vs ~48 for slot_entry) halve the
+    // cache lines the scan streams per run.
+    std::size_t max_entries = 0;
+    slot_begin_.resize(static_cast<std::size_t>(hp_) + 1);
+    for (slot_t s = 0; s < hp_; ++s) {
+      const auto& entries = by_slot[static_cast<std::size_t>(s)];
+      max_entries = std::max(max_entries, entries.size());
+      slot_begin_[static_cast<std::size_t>(s)] =
+          static_cast<int>(entries_.size());
+      for (const auto& entry : entries) {
+        WSAN_REQUIRE(entry.tx.link_index <=
+                         std::numeric_limits<std::int16_t>::max(),
+                     "route longer than the compact entry field");
+        fast_entry fe;
+        fe.prog_index =
+            prog_offset_[static_cast<std::size_t>(entry.tx.flow)] +
+            entry.tx.instance;
+        fe.flow = entry.tx.flow;
+        fe.sender = entry.tx.sender;
+        fe.receiver = entry.tx.receiver;
+        fe.link =
+            interned.at(link_key{entry.tx.sender, entry.tx.receiver});
+        fe.link_index = static_cast<std::int16_t>(entry.tx.link_index);
+        fe.so_mod = static_cast<std::uint8_t>(entry.so_mod);
+        fe.reuse_cell = entry.reuse_cell ? 1 : 0;
+        entries_.push_back(fe);
+      }
+    }
+    slot_begin_[static_cast<std::size_t>(hp_)] =
+        static_cast<int>(entries_.size());
+
+    // Maintained unordered pairs as a dense bitmap (drift asymmetry).
+    maintained_.assign(
+        static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), 0);
+    for (const auto& key : link_keys_)
+      maintained_[pair_offset(key.sender, key.receiver)] = 1;
+
+    // Channel list positions -> physical channel value. All memo tables
+    // are keyed by list position (0..|channels|-1) rather than the
+    // 16-wide IEEE channel index: the list is what the hopping loop and
+    // the probe draw actually index, and the narrow dimension keeps the
+    // tables a few hundred KB instead of several MB. A channel value
+    // that appears at two list positions just gets the same pure value
+    // recomputed once per position.
+    list_chan_.resize(static_cast<std::size_t>(ncl_));
+    for (int i = 0; i < ncl_; ++i)
+      list_chan_[static_cast<std::size_t>(i)] =
+          channels[static_cast<std::size_t>(i)];
+
+    // Memoization tables, lazily filled: (unordered pair, channel) for
+    // drift, epoch-stamped (run, unordered pair, channel) for fading.
+    // The double arrays are left uninitialized on purpose — the ready /
+    // epoch bytes gate every read — so construction does not touch
+    // megabytes of memory it will never fully use.
+    drift_zero_ = config.calibration_drift_sigma_db <= 0.0 &&
+                  config.maintained_drift_sigma_db <= 0.0 &&
+                  (config.intermittent_fraction <= 0.0 ||
+                   config.intermittent_sigma_db <= 0.0);
+    const std::size_t pair_channels = static_cast<std::size_t>(n_) *
+                                      static_cast<std::size_t>(n_) *
+                                      static_cast<std::size_t>(ncl_);
+    if (!drift_zero_) {
+      drift_.reset(new double[pair_channels]);
+      drift_ready_.assign(pair_channels, 0);
+    }
+    fade_on_ = config.temporal_fading_sigma_db > 0.0;
+    // Directed memo state, keyed by (schedule link, channel position):
+    // every hot-path query — reception signal, clean reception
+    // probability, probe probability — is for a link the schedule
+    // carries, so the cache is sized |links| * |channels| (tens of KB,
+    // resident in L1/L2) instead of nodes^2 * |channels| (megabytes of
+    // address space whose touched lines keep falling out of cache).
+    // Each struct holds the run-invariant base (RSSI + drift), the
+    // epoch-stamped live signal, and the epoch-stamped clean reception
+    // probability, so a query and its miss path stay on one cache
+    // line. Fading is the only run-dependent input: with fading off
+    // entries stay valid for the whole simulation (epoch 1); with
+    // fading on they are stamped per run. The only query this cache
+    // cannot serve — the cross RSSI of a concurrent sender into
+    // another link's receiver — is computed uncached (see cross_rssi).
+    link_coords_.reset(
+        new coord_cache[link_keys_.size() *
+                        static_cast<std::size_t>(ncl_)]());
+    // The zero-interference reception probability is
+    // prr_from_rssi(link, signal): both parameter validations and the
+    // sigmoid constants are hoisted here so the per-miss work is just
+    // the clamped sigmoid itself. If either transition width is
+    // invalid the miss path falls back to phy::reception_probability,
+    // which throws exactly as the oracle does.
+    p0_inline_ok_ = capture_.transition_width_db > 0.0 &&
+                    capture_.link.transition_width_db > 0.0;
+    p0_scale_ = capture_.link.transition_width_db / 4.0;
+    p0_sens_ = capture_.link.sensitivity_dbm;
+
+    // Probe channel draw, inlined from rng::uniform_int(0, ncl-1): the
+    // Lemire rejection threshold only depends on the range, so it is
+    // computed once instead of per probe.
+    probe_range_ = static_cast<std::uint64_t>(ncl_);
+    probe_threshold_ = (0 - probe_range_) % probe_range_;
+
+    // External interferers: overlap per (interferer, list position) and
+    // received power per (interferer, node), so the hot loop reads two
+    // arrays instead of calling power_at.
+    const int num_intf = field_.num_interferers();
+    ext_overlap_.assign(
+        static_cast<std::size_t>(num_intf) * static_cast<std::size_t>(ncl_),
+        0);
+    ext_power_.assign(static_cast<std::size_t>(num_intf) *
+                          static_cast<std::size_t>(n_),
+                      0.0);
+    for (int k = 0; k < num_intf; ++k) {
+      for (int ci = 0; ci < ncl_; ++ci)
+        ext_overlap_[static_cast<std::size_t>(k) *
+                         static_cast<std::size_t>(ncl_) +
+                     static_cast<std::size_t>(ci)] =
+            phy::wifi_overlaps(field_.interferer(k).wifi_channel,
+                               list_chan_[static_cast<std::size_t>(ci)])
+                ? 1
+                : 0;
+      for (node_id v = 0; v < n_; ++v)
+        ext_power_[static_cast<std::size_t>(k) *
+                       static_cast<std::size_t>(n_) +
+                   static_cast<std::size_t>(v)] = field_.received_dbm(k, v);
+    }
+
+    // Hopping-class prefill logs and probe-batch scratch, sized so the
+    // steady-state loops never allocate.
+    coord_count_ = link_keys_.size() * static_cast<std::size_t>(ncl_);
+    prefill_on_ = fade_on_ && p0_inline_ok_;
+    class_log_.resize(static_cast<std::size_t>(ncl_));
+    for (auto& log : class_log_) log.reserve(coord_count_);
+    run_used_mark_.assign(coord_count_, 0);
+    run_used_ids_.reserve(coord_count_);
+    const std::size_t max_probes =
+        link_keys_.size() *
+        static_cast<std::size_t>(
+            config.probes_per_run > 0 ? config.probes_per_run : 0);
+    probe_ci_.resize(max_probes);
+    probe_u_.resize(max_probes);
+    miss_queue_.reserve(coord_count_);
+
+    // Scratch buffers, reserved once; the slot loop only clear()s them.
+    active_.reserve(max_entries);
+    active_chan_pos_.reserve(max_entries);
+    active_chan_val_.reserve(max_entries);
+    success_.reserve(max_entries);
+    powers_.reserve(max_entries + static_cast<std::size_t>(num_intf));
+    interferers_active_.reserve(static_cast<std::size_t>(num_intf));
+    counts_.assign(link_keys_.size(), link_run_counts{});
+    obs_cache_.assign(link_keys_.size(), nullptr);
+  }
+
+  sim_result run() {
+    rng gen(config_.seed);
+    const int num_intf = field_.num_interferers();
+
+    std::vector<long long> delivered(flows_.size(), 0);
+    std::vector<long long> released(flows_.size(), 0);
+
+    sim_result result;
+    result.energy.per_node_mj.assign(static_cast<std::size_t>(n_), 0.0);
+    const auto& em = config_.energy;
+    auto& energy = result.energy;
+
+    for (int run = 0; run < config_.runs; ++run) {
+      faults_.begin_run(run);
+      std::fill(progress_.begin(), progress_.end(), 0);
+      for (std::size_t fi = 0; fi < flows_.size(); ++fi)
+        released[fi] += flow_instances_[fi];
+      std::fill(counts_.begin(), counts_.end(), link_run_counts{});
+      // (run * hp + s + offset) mod |channels|, with the run component
+      // folded out of the per-entry work.
+      const int run_base = static_cast<int>(
+          (static_cast<std::int64_t>(run) * hp_) % ncl_);
+      run_class_ = run_base;
+      epoch_ = fade_on_ ? static_cast<std::uint32_t>(run) + 1 : 1;
+      if (fade_on_) {
+        // Hoist the run-only prefix of compute_fade_db's seed chain:
+        // the first splitmix64 step mutates the state by a constant and
+        // mixes a value that depends only on the run, so both halves
+        // can be computed once here and xor-combined with the pair key
+        // per miss.
+        std::uint64_t st = config_.seed ^ (0x9e3779b97f4a7c15ULL +
+                                          static_cast<std::uint64_t>(run));
+        fade_z_ = splitmix64(st);
+        fade_state_ = st;
+        // Prefill the coordinates the slot loop used in the previous
+        // run of this hopping class (the (slot, offset) -> channel
+        // mapping repeats with period |channels|, so the used set is a
+        // high-accuracy predictor). Batching the fills lets the fade
+        // kernels' splitmix/log/cos chains pipeline across independent
+        // coordinates, where the lazy miss path pays each chain's full
+        // serial latency. Prefilled values are pure derived data: a
+        // retry coordinate that does not fire this run wastes a kernel
+        // but cannot perturb the main gen stream.
+        if (prefill_on_) {
+          for (const int packed :
+               class_log_[static_cast<std::size_t>(run_class_)]) {
+            const std::size_t idx =
+                static_cast<std::size_t>(packed >> 8) *
+                    static_cast<std::size_t>(ncl_) +
+                static_cast<std::size_t>(packed & 255);
+            if (link_coords_[idx].sig_epoch != epoch_) fill_coord(packed);
+          }
+        }
+      }
+
+      {
+        OBS_SPAN("sim.slot_loop");
+        for (slot_t s = 0; s < hp_; ++s) {
+          const int eb = slot_begin_[static_cast<std::size_t>(s)];
+          const int ee = slot_begin_[static_cast<std::size_t>(s) + 1];
+          if (eb == ee) continue;
+
+          active_.clear();
+          active_chan_pos_.clear();
+          active_chan_val_.clear();
+          for (int e = eb; e < ee; ++e) {
+            const auto& entry = entries_[static_cast<std::size_t>(e)];
+            const int prog =
+                progress_[static_cast<std::size_t>(entry.prog_index)];
+            const bool sender_crashed =
+                faults_on_ && faults_.node_down(entry.sender);
+            if (prog != entry.link_index || sender_crashed) {
+              if (!faults_on_ || !faults_.node_down(entry.receiver)) {
+                energy.per_node_mj[static_cast<std::size_t>(
+                    entry.receiver)] += em.idle_listen_mj;
+                ++energy.idle_listens;
+              }
+              continue;  // done, dead, past, or crashed
+            }
+            active_.push_back(&entry);
+            int ci = run_base + entry.so_mod;
+            if (ci >= ncl_) ci -= ncl_;
+            active_chan_pos_.push_back(ci);
+            active_chan_val_.push_back(
+                list_chan_[static_cast<std::size_t>(ci)]);
+          }
+          if (active_.empty()) continue;
+          obs_active_transmissions_ += active_.size();
+
+          if (num_intf > 0) {
+            // With no interferers the oracle's sample_active draws
+            // nothing and fills nothing, so the call is elided.
+            field_.sample_active(gen, interferers_active_);
+            if (run < config_.interferer_start_run)
+              std::fill(interferers_active_.begin(),
+                        interferers_active_.end(), char{0});
+          }
+
+          success_.assign(active_.size(), 0);
+          for (std::size_t i = 0; i < active_.size(); ++i) {
+            const auto& tx = *active_[i];
+            const int li = tx.link;
+            const channel_t ch = active_chan_val_[i];
+            const int ci = active_chan_pos_[i];
+            // One scratch buffer, internal powers first then external:
+            // sub-ranges feed the counterfactual reception probabilities
+            // in exactly the oracle's vector order.
+            powers_.clear();
+            for (std::size_t j = 0; j < active_.size(); ++j) {
+              if (j == i || active_chan_val_[j] != ch) continue;
+              powers_.push_back(cross_rssi(active_[j]->sender,
+                                           tx.receiver, ci, ch));
+            }
+            const std::size_t internal_count = powers_.size();
+            obs_internal_pairs_ += internal_count;
+            for (int k = 0; k < num_intf; ++k) {
+              if (!interferers_active_[static_cast<std::size_t>(k)])
+                continue;
+              if (!ext_overlap_[static_cast<std::size_t>(k) *
+                                    static_cast<std::size_t>(ncl_) +
+                                static_cast<std::size_t>(ci)])
+                continue;
+              powers_.push_back(
+                  ext_power_[static_cast<std::size_t>(k) *
+                                 static_cast<std::size_t>(n_) +
+                             static_cast<std::size_t>(tx.receiver)]);
+            }
+            const std::size_t external_count =
+                powers_.size() - internal_count;
+            // Interference-free receptions — the bulk of a
+            // contention-free schedule — collapse to one cached
+            // probability; the signal is only assembled when a
+            // counterfactual needs it.
+            double p;
+            if (powers_.empty()) {
+              p = p0<true>(li, tx.sender, tx.receiver, ci, ch);
+            } else {
+              const double signal =
+                  link_signal<true>(li, tx.sender, tx.receiver, ci, ch);
+              p = phy::reception_probability(
+                  capture_, signal, powers_.data(), powers_.size());
+              auto& counts = counts_[static_cast<std::size_t>(li)];
+              const bool faulted =
+                  faults_on_ && (faults_.node_down(tx.receiver) ||
+                                 faults_.link_down(tx.sender, tx.receiver));
+              if (internal_count > 0 && !faulted) {
+                // Counterfactual without the in-network interferers:
+                // the external sub-span alone, or the cached p0 when
+                // nothing external is active.
+                const double without_internal =
+                    external_count > 0
+                        ? phy::reception_probability(
+                              capture_, signal,
+                              powers_.data() + internal_count,
+                              external_count)
+                        : p0<true>(li, tx.sender, tx.receiver, ci, ch);
+                counts.loss_internal += without_internal - p;
+              }
+              if (external_count > 0 && !faulted) {
+                const double without_external =
+                    internal_count > 0
+                        ? phy::reception_probability(capture_, signal,
+                                                     powers_.data(),
+                                                     internal_count)
+                        : p0<true>(li, tx.sender, tx.receiver, ci, ch);
+                counts.loss_external += without_external - p;
+              }
+            }
+            const bool faulted_rx =
+                faults_on_ && (faults_.node_down(tx.receiver) ||
+                               faults_.link_down(tx.sender, tx.receiver));
+            success_[i] = (gen.bernoulli(p) && !faulted_rx) ? 1 : 0;
+          }
+
+          for (std::size_t i = 0; i < active_.size(); ++i) {
+            const auto& tx = *active_[i];
+            const auto fi = static_cast<std::size_t>(tx.flow);
+            auto& prog =
+                progress_[static_cast<std::size_t>(tx.prog_index)];
+
+            auto& counts =
+                counts_[static_cast<std::size_t>(tx.link)];
+            if (tx.reuse_cell) {
+              ++counts.reuse_attempts;
+              counts.reuse_successes += success_[i] ? 1 : 0;
+            } else {
+              ++counts.cf_attempts;
+              counts.cf_successes += success_[i] ? 1 : 0;
+            }
+
+            energy.per_node_mj[static_cast<std::size_t>(tx.sender)] +=
+                em.tx_packet_mj + em.rx_ack_mj;
+            if (!faults_on_ || !faults_.node_down(tx.receiver)) {
+              energy.per_node_mj[static_cast<std::size_t>(tx.receiver)] +=
+                  em.rx_packet_mj + (success_[i] ? em.tx_ack_mj : 0.0);
+            }
+            ++energy.data_transmissions;
+
+            if (success_[i]) {
+              ++prog;
+              if (prog == route_len_[fi]) ++delivered[fi];
+            }
+          }
+        }
+      }
+
+      if (prefill_on_) {
+        // This run's used set becomes the next same-class run's
+        // prefill list; the scratch bitmap is wiped by walking the
+        // same list (never the full table).
+        auto& log = class_log_[static_cast<std::size_t>(run_class_)];
+        log.assign(run_used_ids_.begin(), run_used_ids_.end());
+        for (const int packed : run_used_ids_) {
+          run_used_mark_[static_cast<std::size_t>(packed >> 8) *
+                             static_cast<std::size_t>(ncl_) +
+                         static_cast<std::size_t>(packed & 255)] = 0;
+        }
+        run_used_ids_.clear();
+      }
+
+      if (config_.probes_per_run > 0 && num_intf == 0) {
+        OBS_SPAN("sim.probe_loop");
+        // With no external interferers a probe's outcome is just its
+        // clean reception probability, and the gen draw sequence —
+        // channel pick then Bernoulli uniform per probe — does not
+        // depend on any reception probability. So the draws are
+        // consumed up front in exactly the oracle's order, the missing
+        // (link, channel) table entries are filled in one batch whose
+        // independent fade kernels pipeline, and the outcomes are then
+        // evaluated from the warm table.
+        std::size_t np = 0;
+        miss_queue_.clear();
+        for (std::size_t li = 0; li < link_keys_.size(); ++li) {
+          if (faults_on_ && faults_.node_down(link_keys_[li].sender))
+            continue;  // mute
+          for (int probe = 0; probe < config_.probes_per_run; ++probe) {
+            // Inline of gen.uniform_int(0, ncl-1): identical rejection
+            // loop consuming identical draws, with the range-dependent
+            // threshold precomputed at setup.
+            int ci;
+            for (;;) {
+              const std::uint64_t r = gen();
+              if (r >= probe_threshold_) {
+                ci = static_cast<int>(r % probe_range_);
+                break;
+              }
+            }
+            probe_ci_[np] = ci;
+            // The draw gen.bernoulli(p) would consume, recorded before
+            // p is known (the comparison happens in the last phase).
+            probe_u_[np] = gen.uniform01();
+            ++np;
+            if (p0_inline_ok_) {
+              coord_cache& c =
+                  link_coords_[li * static_cast<std::size_t>(ncl_) +
+                               static_cast<std::size_t>(ci)];
+              if (c.p0_epoch != epoch_) {
+                // Stamp now so duplicates queue once; the value lands
+                // in the fill pass below, before anything reads it.
+                c.p0_epoch = epoch_;
+                miss_queue_.push_back((static_cast<int>(li) << 8) | ci);
+              }
+            }
+          }
+        }
+        for (const int id : miss_queue_) fill_coord(id);
+        std::size_t pi = 0;
+        for (std::size_t li = 0; li < link_keys_.size(); ++li) {
+          const auto& link = link_keys_[li];
+          if (faults_on_ && faults_.node_down(link.sender)) continue;
+          const bool probe_faulted =
+              faults_on_ && (faults_.node_down(link.receiver) ||
+                             faults_.link_down(link.sender, link.receiver));
+          const bool rx_alive =
+              !faults_on_ || !faults_.node_down(link.receiver);
+          auto& counts = counts_[li];
+          for (int probe = 0; probe < config_.probes_per_run;
+               ++probe, ++pi) {
+            const int ci = probe_ci_[pi];
+            // With the inline sigmoid available, every probe coordinate
+            // was stamped and filled above, so the table read needs no
+            // epoch check; otherwise the regular memoized query runs.
+            const double p =
+                p0_inline_ok_
+                    ? link_coords_[li * static_cast<std::size_t>(ncl_) +
+                                   static_cast<std::size_t>(ci)]
+                          .p0
+                    : p0(static_cast<int>(li), link.sender, link.receiver,
+                         ci, list_chan_[static_cast<std::size_t>(ci)]);
+            // Same validation gen.bernoulli(p) performs before its
+            // comparison against the (here pre-recorded) uniform draw.
+            WSAN_REQUIRE(p >= 0.0 && p <= 1.0,
+                         "bernoulli requires p in [0, 1]");
+            ++counts.cf_attempts;
+            counts.cf_successes +=
+                (probe_u_[pi] < p && !probe_faulted) ? 1 : 0;
+            energy.per_node_mj[static_cast<std::size_t>(link.sender)] +=
+                em.tx_packet_mj;  // broadcast: no ACK
+            if (rx_alive) {
+              energy.per_node_mj[static_cast<std::size_t>(
+                  link.receiver)] += em.rx_packet_mj;
+            }
+            ++energy.data_transmissions;
+          }
+        }
+        // Warm-table reads above are cache hits; account them in bulk
+        // rather than per probe on the hot path.
+        if (p0_inline_ok_) obs_cache_hits_ += pi;
+      } else if (config_.probes_per_run > 0) {
+        OBS_SPAN("sim.probe_loop");
+        for (std::size_t li = 0; li < link_keys_.size(); ++li) {
+          const auto& link = link_keys_[li];
+          if (faults_.node_down(link.sender)) continue;  // mute
+          const bool probe_faulted =
+              faults_on_ && (faults_.node_down(link.receiver) ||
+                             faults_.link_down(link.sender, link.receiver));
+          auto& counts = counts_[li];
+          for (int probe = 0; probe < config_.probes_per_run; ++probe) {
+            // Inline of gen.uniform_int(0, ncl-1): identical rejection
+            // loop consuming identical draws, with the range-dependent
+            // threshold precomputed at setup.
+            int ci;
+            for (;;) {
+              const std::uint64_t r = gen();
+              if (r >= probe_threshold_) {
+                ci = static_cast<int>(r % probe_range_);
+                break;
+              }
+            }
+            const channel_t ch = list_chan_[static_cast<std::size_t>(ci)];
+            if (num_intf > 0) {
+              field_.sample_active(gen, interferers_active_);
+              if (run < config_.interferer_start_run)
+                std::fill(interferers_active_.begin(),
+                          interferers_active_.end(), char{0});
+            }
+            powers_.clear();
+            for (int k = 0; k < num_intf; ++k) {
+              if (!interferers_active_[static_cast<std::size_t>(k)])
+                continue;
+              if (!ext_overlap_[static_cast<std::size_t>(k) *
+                                    static_cast<std::size_t>(ncl_) +
+                                static_cast<std::size_t>(ci)])
+                continue;
+              powers_.push_back(
+                  ext_power_[static_cast<std::size_t>(k) *
+                                 static_cast<std::size_t>(n_) +
+                             static_cast<std::size_t>(link.receiver)]);
+            }
+            double p;
+            if (powers_.empty()) {
+              p = p0(static_cast<int>(li), link.sender, link.receiver,
+                     ci, ch);
+            } else {
+              p = phy::reception_probability(
+                  capture_,
+                  link_signal<false>(static_cast<int>(li), link.sender,
+                                     link.receiver, ci, ch),
+                  powers_.data(), powers_.size());
+            }
+            ++counts.cf_attempts;
+            counts.cf_successes +=
+                (gen.bernoulli(p) && !probe_faulted) ? 1 : 0;
+            energy.per_node_mj[static_cast<std::size_t>(link.sender)] +=
+                em.tx_packet_mj;  // broadcast: no ACK
+            if (!faults_.node_down(link.receiver)) {
+              energy.per_node_mj[static_cast<std::size_t>(
+                  link.receiver)] += em.rx_packet_mj;
+            }
+            ++energy.data_transmissions;
+            if (!powers_.empty() && !probe_faulted) {
+              counts.loss_external +=
+                  p0(static_cast<int>(li), link.sender, link.receiver,
+                     ci, ch) -
+                  p;
+            }
+          }
+        }
+      }
+
+      // Flush this run's accumulators, in link_key order (== the
+      // oracle's std::map iteration order).
+      for (std::size_t li = 0; li < link_keys_.size(); ++li) {
+        const auto& counts = counts_[li];
+        if (counts.reuse_attempts == 0 && counts.cf_attempts == 0)
+          continue;
+        if (faults_.reports_withheld(link_keys_[li].sender)) continue;
+        link_observations* obs = obs_cache_[li];
+        if (obs == nullptr) {
+          obs = &result.links[link_keys_[li]];
+          obs_cache_[li] = obs;
+        }
+        if (counts.reuse_attempts > 0) {
+          obs->reuse_samples.emplace_back(
+              run, static_cast<double>(counts.reuse_successes) /
+                       static_cast<double>(counts.reuse_attempts));
+          obs->reuse_attempts += counts.reuse_attempts;
+          obs->reuse_successes += counts.reuse_successes;
+        }
+        if (counts.cf_attempts > 0) {
+          obs->cf_samples.emplace_back(
+              run, static_cast<double>(counts.cf_successes) /
+                       static_cast<double>(counts.cf_attempts));
+          obs->cf_attempts += counts.cf_attempts;
+          obs->cf_successes += counts.cf_successes;
+        }
+        obs->expected_loss_internal += counts.loss_internal;
+        obs->expected_loss_external += counts.loss_external;
+      }
+    }
+
+    finalize_result(result, flows_, released, delivered, config_);
+    if (wsan::obs::enabled()) {
+      wsan::obs::add_counter("sim.active_transmissions",
+                             obs_active_transmissions_);
+      wsan::obs::add_counter("sim.internal_interference_pairs",
+                             obs_internal_pairs_);
+      wsan::obs::add_counter("sim.rssi_cache_hits", obs_cache_hits_);
+      wsan::obs::add_counter("sim.fade_kernels", obs_fade_kernels_);
+    }
+    return result;
+  }
+
+ private:
+  std::size_t pair_offset(node_id a, node_id b) const {
+    const node_id lo = a < b ? a : b;
+    const node_id hi = a < b ? b : a;
+    return static_cast<std::size_t>(lo) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(hi);
+  }
+
+  double drift(node_id a, node_id b, int ci, channel_t ch) {
+    if (drift_zero_) return 0.0;
+    const std::size_t pair = pair_offset(a, b);
+    const std::size_t idx = pair * static_cast<std::size_t>(ncl_) +
+                            static_cast<std::size_t>(ci);
+    if (drift_ready_[idx]) {
+      ++obs_cache_hits_;
+      return drift_[idx];
+    }
+    drift_[idx] =
+        compute_drift_db(config_, maintained_[pair] != 0, a, b, ch);
+    drift_ready_[idx] = 1;
+    return drift_[idx];
+  }
+
+  /// Temporal fade for the current run: compute_fade_db's seed chain
+  /// with its run-only prefix hoisted into fade_state_/fade_z_ (see
+  /// run()), and the derived rng's Box-Muller collapsed into the
+  /// spare-free kernel (see scaled_first_normal). Pure per (pair,
+  /// channel) within a run, so live_rssi's coordinate cache absorbs
+  /// repeats; a dedicated fade table was measured slower (the extra
+  /// cache lines per miss cost more than the rare cross-direction
+  /// reuse saved).
+  double fade(node_id a, node_id b, channel_t ch) {
+    ++obs_fade_kernels_;
+    const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+    const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+    std::uint64_t state = fade_state_ ^ (fade_z_ + (lo << 32 | hi));
+    state ^= splitmix64_inline(state) + static_cast<std::uint64_t>(ch);
+    return scaled_first_normal(splitmix64_inline(state),
+                               config_.temporal_fading_sigma_db);
+  }
+
+  /// Marks a (link, channel) coordinate as used by this run's slot
+  /// loop. The per-run used set feeds the next same-class run's
+  /// prefill: the (slot, offset) -> channel mapping repeats with
+  /// period |channels|, and the set of coordinates that actually fire
+  /// (primaries plus the retries whose primary failed) is far smaller
+  /// than the union of all entry coordinates, so tracking last use
+  /// keeps the prefill from wasting kernels on retries that rarely
+  /// fire.
+  void mark_used(int id, int packed) {
+    char& mark = run_used_mark_[static_cast<std::size_t>(id)];
+    if (!mark) {
+      mark = 1;
+      run_used_ids_.push_back(packed);
+    }
+  }
+
+  /// Batch fill of one coordinate's signal and clean reception
+  /// probability (prefill and probe-batch path; requires
+  /// p0_inline_ok_). Iterations over distinct coordinates are
+  /// independent, so consecutive fills pipeline the fade kernels'
+  /// log/cos chains instead of paying their serial latency per miss.
+  /// `packed` is (li << 8) | ci — channel positions fit 8 bits — so
+  /// unpacking is shift/mask instead of division by a runtime ncl.
+  void fill_coord(int packed) {
+    const int li = packed >> 8;
+    const int ci = packed & 255;
+    coord_cache& c =
+        link_coords_[static_cast<std::size_t>(li) *
+                         static_cast<std::size_t>(ncl_) +
+                     static_cast<std::size_t>(ci)];
+    const link_key& key = link_keys_[static_cast<std::size_t>(li)];
+    const channel_t ch = list_chan_[static_cast<std::size_t>(ci)];
+    if (!c.base_ready) {
+      c.base = topo_.rssi_dbm(key.sender, key.receiver, ch) +
+               drift(key.sender, key.receiver, ci, ch);
+      c.base_ready = 1;
+    }
+    c.sig = c.base + (fade_on_ ? fade(key.sender, key.receiver, ch) : 0.0);
+    c.sig_epoch = epoch_;
+    const double x = (c.sig - p0_sens_) / p0_scale_;
+    c.p0 = x > 8.0   ? 1.0
+           : x < -8.0 ? 0.0
+                      : 1.0 / (1.0 + std::exp(-x));
+    c.p0_epoch = epoch_;
+  }
+
+  /// Effective RSSI at experiment time for a schedule link: same sum,
+  /// same order as the oracle's live_rssi (base + drift + fade),
+  /// cached per (link, channel position, fade epoch). kLog tracks the
+  /// coordinate in the per-run used set feeding the hopping-class
+  /// prefill (slot-loop callers only; probe channels are uniform
+  /// draws with no cross-run structure).
+  template <bool kLog>
+  double link_signal(int li, node_id sender, node_id receiver, int ci,
+                     channel_t ch) {
+    const int id = li * ncl_ + ci;
+    coord_cache& c = link_coords_[static_cast<std::size_t>(id)];
+    if constexpr (kLog) {
+      if (prefill_on_) mark_used(id, (li << 8) | ci);
+    }
+    if (c.sig_epoch == epoch_) {
+      ++obs_cache_hits_;
+      return c.sig;
+    }
+    // The oracle sums (rssi + drift) + fade; the run-invariant left
+    // half is cached so a fade epoch rollover is one add plus the
+    // fade kernel.
+    if (!c.base_ready) {
+      c.base = topo_.rssi_dbm(sender, receiver, ch) +
+               drift(sender, receiver, ci, ch);
+      c.base_ready = 1;
+    }
+    c.sig = c.base + (fade_on_ ? fade(sender, receiver, ch) : 0.0);
+    c.sig_epoch = epoch_;
+    return c.sig;
+  }
+
+  /// Effective RSSI of a concurrent sender into another link's
+  /// receiver (in-network interference cross product). These pairs are
+  /// not schedule links, so there is no cache slot for them; the value
+  /// is the same oracle sum computed directly. Only transmissions
+  /// sharing a reuse cell can collide (one offset maps to one channel
+  /// per slot), so this path runs a handful of times per slot at most.
+  double cross_rssi(node_id sender, node_id receiver, int ci,
+                    channel_t ch) {
+    return topo_.rssi_dbm(sender, receiver, ch) +
+           drift(sender, receiver, ci, ch) +
+           (fade_on_ ? fade(sender, receiver, ch) : 0.0);
+  }
+
+  /// Reception probability with zero concurrent interference — the
+  /// common case on contention-free cells and probes. Bit-identical to
+  /// phy::reception_probability(capture, live_rssi, {}) by construction
+  /// (the empty-interference path of the same function), cached like
+  /// the signal itself.
+  template <bool kLog = false>
+  double p0(int li, node_id sender, node_id receiver, int ci,
+            channel_t ch) {
+    const int id = li * ncl_ + ci;
+    coord_cache& c = link_coords_[static_cast<std::size_t>(id)];
+    if constexpr (kLog) {
+      if (prefill_on_) mark_used(id, (li << 8) | ci);
+    }
+    if (c.p0_epoch == epoch_) {
+      ++obs_cache_hits_;
+      return c.p0;
+    }
+    const double signal =
+        link_signal<false>(li, sender, receiver, ci, ch);
+    if (p0_inline_ok_) {
+      // Inline of phy::reception_probability's zero-interference path,
+      // i.e. prr_from_rssi: identical expressions with the parameter
+      // checks and the sigmoid scale hoisted to setup.
+      const double x = (signal - p0_sens_) / p0_scale_;
+      c.p0 = x > 8.0   ? 1.0
+             : x < -8.0 ? 0.0
+                        : 1.0 / (1.0 + std::exp(-x));
+    } else {
+      c.p0 = phy::reception_probability(capture_, signal, nullptr, 0);
+    }
+    c.p0_epoch = epoch_;
+    return c.p0;
+  }
+
+  const topo::topology& topo_;
+  const std::vector<flow::flow>& flows_;
+  const sim_config& config_;
+  const int n_;
+  const int ncl_;  ///< channel list length (== schedule offsets)
+  const slot_t hp_;
+  interference_field field_;
+  fault_state faults_;
+  const bool faults_on_;  ///< plan non-empty: gates the link_down calls
+  phy::capture_params capture_;
+
+  std::vector<fast_entry> entries_;  ///< all transmissions, slot-major
+  std::vector<int> slot_begin_;  ///< slot -> [begin, end) into entries_
+  std::vector<link_key> link_keys_;  ///< dense link index -> key, sorted
+  std::vector<char> maintained_;     ///< unordered pair bitmap (lo*n+hi)
+  std::vector<channel_t> list_chan_;  ///< list position -> channel value
+
+  bool drift_zero_ = false;
+  bool fade_on_ = false;
+  // Memo tables, all keyed by channel-list position. The drift double
+  // array is allocated uninitialized and gated by its ready bytes; the
+  // coordinate structs are value-initialized (epochs at 0 gate every
+  // read).
+  std::unique_ptr<double[]> drift_;  ///< (pair, position) -> drift dB
+  std::vector<char> drift_ready_;
+  std::unique_ptr<coord_cache[]> link_coords_;  ///< (link, position)
+  bool p0_inline_ok_ = false;  ///< transition widths validated at setup
+  double p0_scale_ = 1.0;      ///< link transition width / 4
+  double p0_sens_ = 0.0;       ///< link sensitivity dBm
+  std::uint64_t probe_range_ = 1;      ///< |channels| for probe draws
+  std::uint64_t probe_threshold_ = 0;  ///< Lemire rejection threshold
+  std::uint64_t fade_state_ = 0;  ///< per-run fade seed chain prefix
+  std::uint64_t fade_z_ = 0;      ///< its mixed first splitmix output
+  std::uint32_t epoch_ = 1;  ///< current cache epoch (run+1 with fading)
+  int run_class_ = 0;        ///< (run * hp) mod |channels|
+  std::size_t coord_count_ = 0;  ///< |links| * |channels|
+  // Per-hopping-class prefill logs: the coordinate working set of the
+  // last run in each class, batch-filled at the start of the next run
+  // of the same class (the (slot, offset) -> channel mapping repeats
+  // with period |channels|, so the working set is near-stationary).
+  bool prefill_on_ = false;  ///< fade_on_ && p0_inline_ok_
+  std::vector<std::vector<int>> class_log_;  ///< class -> packed ids
+  std::vector<char> run_used_mark_;  ///< per-run coord usage bitmap
+  std::vector<int> run_used_ids_;    ///< packed ids used this run
+  // Probe-batch scratch (pre-reserved): recorded channel picks and
+  // Bernoulli uniforms, and the deduplicated coordinate fill queue.
+  std::vector<int> probe_ci_;
+  std::vector<double> probe_u_;
+  std::vector<int> miss_queue_;
+  std::vector<int> prog_offset_;     ///< flow -> progress_ base index
+  std::vector<int> flow_instances_;  ///< flow -> instances per hyperperiod
+  std::vector<int> route_len_;       ///< flow -> route length
+  std::vector<int> progress_;  ///< flat (flow, instance) hop progress
+
+  std::vector<char> ext_overlap_;   ///< (interferer, list position)
+  std::vector<double> ext_power_;   ///< (interferer, node) -> dBm
+
+  // Reusable per-slot scratch (pre-reserved, cleared in place).
+  std::vector<const fast_entry*> active_;
+  std::vector<int> active_chan_pos_;  ///< active entry -> list position
+  std::vector<channel_t> active_chan_val_;
+  std::vector<char> success_;
+  std::vector<double> powers_;
+  std::vector<char> interferers_active_;
+
+  // Dense per-link accumulators and result-map pointer cache.
+  std::vector<link_run_counts> counts_;
+  std::vector<link_observations*> obs_cache_;
+
+  std::uint64_t obs_active_transmissions_ = 0;
+  std::uint64_t obs_internal_pairs_ = 0;
+  std::uint64_t obs_cache_hits_ = 0;
+  std::uint64_t obs_fade_kernels_ = 0;
+};
+
+}  // namespace
+
+void validate_sim_config(const sim_config& config) {
+  WSAN_REQUIRE(config.runs >= 1, "need at least one run");
+  WSAN_REQUIRE(config.probes_per_run >= 0,
+               "probe count must be non-negative");
+  WSAN_REQUIRE(config.interferer_start_run >= 0,
+               "interferer start run must be non-negative");
+  const auto valid_sigma = [](double sigma) {
+    return std::isfinite(sigma) && sigma >= 0.0;
+  };
+  WSAN_REQUIRE(valid_sigma(config.calibration_drift_sigma_db),
+               "calibration drift sigma must be finite and non-negative");
+  WSAN_REQUIRE(valid_sigma(config.maintained_drift_sigma_db),
+               "maintained drift sigma must be finite and non-negative");
+  WSAN_REQUIRE(valid_sigma(config.intermittent_sigma_db),
+               "intermittent sigma must be finite and non-negative");
+  WSAN_REQUIRE(valid_sigma(config.temporal_fading_sigma_db),
+               "temporal fading sigma must be finite and non-negative");
+  WSAN_REQUIRE(std::isfinite(config.intermittent_fraction) &&
+                   config.intermittent_fraction >= 0.0 &&
+                   config.intermittent_fraction <= 1.0,
+               "intermittent fraction must be in [0, 1]");
+  WSAN_REQUIRE(std::isfinite(config.capture_threshold_db),
+               "capture threshold must be finite");
+  WSAN_REQUIRE(std::isfinite(config.capture_transition_db) &&
+                   config.capture_transition_db >= 0.0,
+               "capture transition width must be finite and non-negative");
+  validate_fault_plan(config.faults);
+}
+
+sim_result run_simulation(const topo::topology& topo,
+                          const tsch::schedule& sched,
+                          const std::vector<flow::flow>& flows,
+                          const std::vector<channel_t>& channels,
+                          const sim_config& config) {
+  OBS_SPAN("sim.run_simulation");
+  WSAN_REQUIRE(!flows.empty(), "flow set must be non-empty");
+  WSAN_REQUIRE(!channels.empty(), "channel set must be non-empty");
+  WSAN_REQUIRE(static_cast<int>(channels.size()) == sched.num_offsets(),
+               "channel list size must equal the schedule's offset count");
+  validate_sim_config(config);
+
+  if (!config.use_fast_path)
+    return run_simulation_naive(topo, sched, flows, channels, config);
+  fast_engine engine(topo, sched, flows, channels, config);
+  return engine.run();
 }
 
 }  // namespace wsan::sim

@@ -86,6 +86,16 @@ struct sim_config {
   /// empty plan is a strict no-op: the output is bit-identical to a run
   /// without fault support, so every figure and bench is unaffected.
   fault_plan faults;
+  /// Selects the memoized, allocation-free simulation engine (dense
+  /// link accumulators, per-(pair, channel) drift/fade tables, reusable
+  /// scratch buffers). The naive engine — one derived-RNG re-seed per
+  /// live_rssi call, per-run std::map accumulators, per-slot vectors —
+  /// remains compiled in as the reference oracle, exactly like the
+  /// scheduler's use_occupancy_index: both engines are bit-identical in
+  /// every output (same main-RNG draw order, same sim_result), which
+  /// tests/sim_equivalence_test.cpp enforces across seeds, faults,
+  /// interferers, and probe settings.
+  bool use_fast_path = true;
   /// Neighbor-discovery probe transmissions per link per run. The
   /// WirelessHART manager reserves contention-free slots for periodic
   /// neighbor-discovery broadcasts (Section VI); these give every link —
@@ -154,6 +164,10 @@ struct link_observations {
                             : static_cast<double>(cf_successes) /
                                   static_cast<double>(cf_attempts);
   }
+
+  /// Exact equality (bitwise on doubles) for the fast/oracle oracle.
+  friend bool operator==(const link_observations&,
+                         const link_observations&) = default;
 };
 
 struct sim_result {
@@ -173,6 +187,10 @@ struct sim_result {
                : static_cast<double>(instances_delivered) /
                      static_cast<double>(instances_released);
   }
+
+  /// Exact equality of every output channel (flow PDRs, observation
+  /// streams, energy, counters) — what "bit-identical engines" means.
+  friend bool operator==(const sim_result&, const sim_result&) = default;
 };
 
 /// Validates the configuration's numeric invariants (positive run count,

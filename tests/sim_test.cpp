@@ -294,6 +294,42 @@ TEST(Simulator, RejectsMismatchedChannelList) {
       std::invalid_argument);
 }
 
+TEST(Simulator, RejectsOutOfRangeInstance) {
+  // schedule::add only checks cell coordinates; a transmission whose
+  // instance index exceeds the flow's instances_in(hyperperiod) would
+  // index past the per-instance progress array. The simulator must
+  // reject it during schedule flattening.
+  auto t = line_topology(2);
+  const auto channels = phy::channels(4);
+  set_link_all_channels(t, 0, 1, 1.0, channels);
+  const auto f = one_link_flow(0, 0, 1, 10, 10);  // 1 instance in 10 slots
+  tsch::schedule sched(10, 4);
+  sched.add(make_tx(0, 3, 0, 0, 0, 1), 0, 0);  // instance 3 of 1
+  EXPECT_THROW(run_simulation(t, sched, {f}, channels, quick_config()),
+               std::invalid_argument);
+}
+
+TEST(Simulator, RejectsOutOfRangeLinkIndex) {
+  auto t = line_topology(2);
+  const auto channels = phy::channels(4);
+  set_link_all_channels(t, 0, 1, 1.0, channels);
+  const auto f = one_link_flow(0, 0, 1, 10, 10);  // route has 1 link
+  tsch::schedule sched(10, 4);
+  sched.add(make_tx(0, 0, 2, 0, 0, 1), 0, 0);  // link_index 2 of 1
+  EXPECT_THROW(run_simulation(t, sched, {f}, channels, quick_config()),
+               std::invalid_argument);
+}
+
+TEST(Simulator, RejectsTransmissionNodesOutsideTopology) {
+  auto t = line_topology(2);
+  const auto channels = phy::channels(4);
+  const auto f = one_link_flow(0, 0, 5, 10, 10);
+  tsch::schedule sched(10, 4);
+  sched.add(make_tx(0, 0, 0, 0, 0, 5), 0, 0);  // node 5 of a 2-node topo
+  EXPECT_THROW(run_simulation(t, sched, {f}, channels, quick_config()),
+               std::invalid_argument);
+}
+
 TEST(Simulator, ProbesProvideContentionFreeSamples) {
   // A link whose every data slot is shared would have no contention-free
   // distribution for the detector; neighbor-discovery probes fill it.
