@@ -1,0 +1,19 @@
+// Fleet service churn: drives admission/eviction streams through the
+// incremental delta scheduler (core/delta.h) across many shared-nothing
+// tenant networks on Indriya-80 and WUSTL-60, and reports sustained
+// admissions/s plus p50/p99 admission latency. The op counts and the
+// fleet state digest are bit-identical at any --jobs value; the
+// throughput and latency columns are wall-clock measurements (declared
+// in measurement_keys, so `wsanctl obs --payload` strips them).
+//
+// Usage: --tenants N (default 1024), --ops N (ops per tenant, default
+// 32), --max-flows N (per-tenant cap, default 12), --admit-bias P
+// (default 0.7), --channels N (default 8), plus the harness flags
+// --jobs/--trials/--seed/--json (exp/options.h). --replay POINT:TENANT
+// re-runs one tenant of trial 0 in isolation: 0 = indriya-80,
+// 1 = wustl-60.
+#include "experiments.h"
+
+int main(int argc, char** argv) {
+  return wsan::bench::run_figure_main("fleet", argc, argv);
+}

@@ -13,6 +13,9 @@ cli_args::cli_args(int argc, const char* const* argv) {
                  "arguments must be of the form --key [value]: " + arg);
     const std::string key = arg.substr(2);
     WSAN_REQUIRE(!key.empty(), "empty flag name");
+    WSAN_REQUIRE(values_.count(key) == 0,
+                 "duplicate flag --" + key +
+                     " (a silently ignored first value hides typos)");
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       values_[key] = argv[++i];
     } else {

@@ -8,8 +8,9 @@
 namespace wsan {
 
 /// Parses flags of the form "--key value" and bare "--key" booleans.
-/// Unknown positional arguments raise std::invalid_argument so typos in
-/// experiment invocations fail loudly.
+/// Unknown positional arguments and repeated flags raise
+/// std::invalid_argument so typos in experiment invocations fail
+/// loudly instead of silently dropping a value.
 class cli_args {
  public:
   cli_args(int argc, const char* const* argv);

@@ -1,0 +1,129 @@
+#include "core/delta.h"
+
+#include <numeric>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wsan::core {
+
+std::size_t delta_scheduler::placements_of(flow_id id) const {
+  std::size_t n = 0;
+  for (const auto& p : sched_.placements())
+    if (p.tx.flow == id) ++n;
+  return n;
+}
+
+delta_scheduler::admit_outcome delta_scheduler::admit_flow(flow::flow f) {
+  OBS_SPAN("core.delta.admit");
+  f.id = static_cast<flow_id>(flows_.size());
+  flow::validate_flow(f);
+
+  admit_outcome out;
+  const slot_t candidate_hp =
+      flows_.empty() ? f.period : std::lcm(sched_.num_slots(), f.period);
+
+  if (flows_.empty() || !schedulable_ ||
+      candidate_hp != sched_.num_slots()) {
+    // The slot grid must be resized (or the base state is not a complete
+    // schedule): repair cannot be expressed as a greedy resumption, so
+    // run the oracle itself and adopt its result only on success.
+    auto candidate = flows_;
+    candidate.push_back(std::move(f));
+    auto full = schedule_flows(candidate, *reuse_hops_, config_);
+    out.full_reschedule = true;
+    obs::add_counter("core.delta.full_reschedules");
+    if (!full.schedulable) return out;
+    out.admitted = true;
+    out.id = candidate.back().id;
+    sched_ = std::move(full.sched);
+    flows_ = std::move(candidate);
+    schedulable_ = true;
+    out.placed = placements_of(out.id);
+    return out;
+  }
+
+  // Resume the greedy exactly where schedule_flows(flows_) stopped: the
+  // new flow has the lowest priority, so its placements against the
+  // existing occupancy equal those of a full rerun — and so does the
+  // rejection verdict. On failure the partial placements are rolled
+  // back, leaving the canonical state untouched.
+  scheduler_stats stats;
+  const flow_id id = f.id;
+  if (!schedule_flow_into(sched_, f, *reuse_hops_, config_, stats)) {
+    sched_.remove_flow(id);
+    return out;
+  }
+  out.admitted = true;
+  out.id = id;
+  out.placed = stats.total_transmissions;
+  flows_.push_back(std::move(f));
+  return out;
+}
+
+delta_scheduler::evict_outcome delta_scheduler::evict_flow(flow_id id) {
+  OBS_SPAN("core.delta.evict");
+  evict_outcome out;
+  if (id < 0 || static_cast<std::size_t>(id) >= flows_.size()) return out;
+  out.evicted = true;
+
+  // Survivors with dense ids again: everything above `id` shifts down.
+  std::vector<flow::flow> remaining;
+  remaining.reserve(flows_.size() - 1);
+  for (const auto& fl : flows_) {
+    if (fl.id == id) continue;
+    remaining.push_back(fl);
+    remaining.back().id = static_cast<flow_id>(remaining.size() - 1);
+  }
+
+  if (remaining.empty()) {
+    out.freed = sched_.num_transmissions();
+    sched_ = tsch::schedule();
+    flows_.clear();
+    schedulable_ = true;
+    return out;
+  }
+
+  const slot_t new_hp = flow::hyperperiod(remaining);
+  if (!schedulable_ || new_hp != sched_.num_slots()) {
+    // Hyperperiod shrink (the evicted flow alone carried the longest
+    // period) or a non-schedulable base: rebuild on the oracle's grid.
+    out.freed = placements_of(id);
+    out.full_reschedule = true;
+    obs::add_counter("core.delta.full_reschedules");
+    auto full = schedule_flows(remaining, *reuse_hops_, config_);
+    sched_ = std::move(full.sched);
+    flows_ = std::move(remaining);
+    schedulable_ = full.schedulable;
+    return out;
+  }
+
+  // In-place repair. Free exactly the evicted flow's cells, then replay
+  // the lower-priority suffix: those are the only flows whose greedy
+  // placements saw the freed occupancy, and replaying them in priority
+  // order against the retained prefix reproduces the oracle's schedule
+  // placement-for-placement.
+  out.freed = sched_.remove_flow(id);
+  for (std::size_t j = static_cast<std::size_t>(id) + 1;
+       j < flows_.size(); ++j)
+    sched_.remove_flow(static_cast<flow_id>(j));
+  flows_ = std::move(remaining);
+  schedulable_ = true;
+  for (std::size_t i = static_cast<std::size_t>(id); i < flows_.size();
+       ++i) {
+    scheduler_stats stats;
+    if (!schedule_flow_into(sched_, flows_[i], *reuse_hops_, config_,
+                            stats)) {
+      // Mirror schedule_flows: stop at the first failure; the failed
+      // flow's partial placements stay, later flows are not attempted.
+      schedulable_ = false;
+      break;
+    }
+    ++out.rescheduled_flows;
+  }
+  return out;
+}
+
+}  // namespace wsan::core

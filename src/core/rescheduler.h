@@ -43,17 +43,26 @@ reschedule_result reschedule_isolating(
 /// order is fully determined by the priority assignment, so two managers
 /// looking at the same workload shed the same flows.
 struct shed_result {
-  /// Schedule for the surviving flows; schedulable is true even when
-  /// everything was shed (an empty workload trivially fits).
+  /// Schedule for the surviving flows (as renumbered in `kept`);
+  /// schedulable is true even when everything was shed (an empty
+  /// workload trivially fits).
   schedule_result result;
-  /// Surviving flows — a prefix of the input, ids untouched (dense).
+  /// Surviving flows in priority order, renumbered to dense ids
+  /// (0..kept.size()-1). When the input already had dense ids in
+  /// priority order this leaves them untouched.
   std::vector<flow::flow> kept;
-  /// Ids of dropped flows, in drop order (lowest priority first).
+  /// Input id of each kept flow, aligned with `kept` — the caller's
+  /// handle for mapping the renumbered survivors back to its own ids.
+  std::vector<flow_id> kept_input_ids;
+  /// Input ids of dropped flows, in drop order (lowest priority first,
+  /// i.e. descending id).
   std::vector<flow_id> shed;
 };
 
-/// Schedules `flows` (already in dense priority order) under `config`,
-/// shedding from the back until the result is schedulable.
+/// Schedules `flows` under `config`, shedding the lowest-priority flow
+/// (the highest id — ids are priority ranks but need not arrive sorted
+/// or dense) until the result is schedulable. Throws
+/// std::invalid_argument on duplicate ids.
 shed_result schedule_shedding(std::vector<flow::flow> flows,
                               const graph::hop_matrix& reuse_hops,
                               const scheduler_config& config);

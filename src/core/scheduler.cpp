@@ -125,128 +125,139 @@ schedule_result schedule_flows(const std::vector<flow::flow>& flows,
   }
 
   const slot_t hp = flow::hyperperiod(flows);
-  const int lambda_r = reuse_hops.diameter();
 
   schedule_result result;
   result.sched = tsch::schedule(hp, config.num_channels);
 
   for (const auto& f : flows) {
-    // Algorithm 1: rho starts at infinity for each flow.
-    int rho = k_infinite_hops;
-    const int instances = f.instances_in(hp);
-    for (int r = 0; r < instances; ++r) {
-      const auto txs =
-          instance_transmissions(f, r, config.retries_per_link);
-      slot_t earliest = f.release_slot(r);
-      const slot_t d_i = f.deadline_slot(r);
-
-      for (std::size_t ti = 0; ti < txs.size(); ++ti) {
-        const auto& tx = txs[ti];
-        // T_post: the remaining transmissions of this instance.
-        const std::vector<tsch::transmission> post(txs.begin() +
-                                                       static_cast<long>(ti) +
-                                                       1,
-                                                   txs.end());
-
-        std::optional<slot_assignment> found;
-        switch (config.algo) {
-          case algorithm::nr: {
-            ++result.stats.find_slot_calls;
-            found = find_slot(result.sched, tx, earliest, d_i,
-                              k_infinite_hops, reuse_hops, config.policy,
-                              &config.isolated_links,
-                              config.management_slot_period,
-                              config.use_occupancy_index,
-                              &result.stats.probes);
-            break;
-          }
-          case algorithm::ra: {
-            ++result.stats.find_slot_calls;
-            found = find_slot(result.sched, tx, earliest, d_i,
-                              config.rho_t, reuse_hops, config.policy,
-                              &config.isolated_links,
-                              config.management_slot_period,
-                              config.use_occupancy_index,
-                              &result.stats.probes);
-            break;
-          }
-          case algorithm::rc: {
-            // Algorithm 1 inner loop: try the current rho; on negative
-            // laxity enable reuse at the network diameter and tighten
-            // one hop at a time until laxity >= 0 or rho < rho_t.
-            OBS_SPAN("core.rc_relaxation");
-            static const obs::counter relaxation_rounds =
-                obs::register_counter("core.sched.relaxation_rounds");
-            while (true) {
-              relaxation_rounds.add();
-              ++result.stats.find_slot_calls;
-              found = find_slot(result.sched, tx, earliest, d_i, rho,
-                                reuse_hops, config.policy,
-                                &config.isolated_links,
-                                config.management_slot_period,
-                                config.use_occupancy_index,
-                                &result.stats.probes);
-              bool laxity_ok = false;
-              if (found) {
-                ++result.stats.laxity_evaluations;
-                laxity_ok =
-                    calculate_laxity(result.sched, post, found->slot, d_i,
-                                     config.management_slot_period,
-                                     config.use_occupancy_index,
-                                     &result.stats.probes) >= 0;
-              }
-              if (laxity_ok) break;
-              if (rho == k_infinite_hops) {
-                rho = lambda_r;
-                ++result.stats.reuse_activations;
-                if (obs::events_enabled())
-                  obs::emit(obs::severity::info, "core", "reuse_activated",
-                            {{"flow", f.id}, {"rho", rho}});
-              } else {
-                --rho;
-              }
-              if (rho < config.rho_t) {
-                // The most permissive find_slot already ran (at rho_t, or
-                // not at all when the diameter is below rho_t); keep its
-                // result and clamp rho so later transmissions of this
-                // flow start from a legal hop count.
-                rho = config.rho_t;
-                break;
-              }
-            }
-            break;
-          }
-        }
-
-        if (!found) {
-          result.schedulable = false;
-          result.first_failed_flow = f.id;
-          if (obs::events_enabled())
-            obs::emit(obs::severity::warning, "core", "flow_rejected",
-                      {{"flow", f.id},
-                       {"instance", r},
-                       {"link_index", tx.link_index}});
-          flush_scheduler_metrics(result.stats, false);
-          return result;
-        }
-        if (!result.sched.cell(found->slot, found->offset).empty())
-          ++result.stats.reuse_placements;
-        result.sched.add(tx, found->slot, found->offset);
-        ++result.stats.total_transmissions;
-        earliest = found->slot + 1;
-      }
+    if (!schedule_flow_into(result.sched, f, reuse_hops, config,
+                            result.stats)) {
+      result.schedulable = false;
+      result.first_failed_flow = f.id;
+      flush_scheduler_metrics(result.stats, false);
+      return result;
     }
-    observe_final_rho(rho);
-    if (obs::events_enabled())
-      obs::emit(obs::severity::info, "core", "flow_admitted",
-                {{"flow", f.id},
-                 {"rho", rho == k_infinite_hops ? -1 : rho},
-                 {"instances", instances}});
   }
 
   result.schedulable = true;
   flush_scheduler_metrics(result.stats, true);
   return result;
+}
+
+bool schedule_flow_into(tsch::schedule& sched, const flow::flow& f,
+                        const graph::hop_matrix& reuse_hops,
+                        const scheduler_config& config,
+                        scheduler_stats& stats) {
+  const int lambda_r = reuse_hops.diameter();
+  // Algorithm 1: rho starts at infinity for each flow.
+  int rho = k_infinite_hops;
+  const int instances = f.instances_in(sched.num_slots());
+  for (int r = 0; r < instances; ++r) {
+    const auto txs =
+        instance_transmissions(f, r, config.retries_per_link);
+    slot_t earliest = f.release_slot(r);
+    const slot_t d_i = f.deadline_slot(r);
+
+    for (std::size_t ti = 0; ti < txs.size(); ++ti) {
+      const auto& tx = txs[ti];
+      // T_post: the remaining transmissions of this instance.
+      const std::vector<tsch::transmission> post(txs.begin() +
+                                                     static_cast<long>(ti) +
+                                                     1,
+                                                 txs.end());
+
+      std::optional<slot_assignment> found;
+      switch (config.algo) {
+        case algorithm::nr: {
+          ++stats.find_slot_calls;
+          found = find_slot(sched, tx, earliest, d_i,
+                            k_infinite_hops, reuse_hops, config.policy,
+                            &config.isolated_links,
+                            config.management_slot_period,
+                            config.use_occupancy_index,
+                            &stats.probes);
+          break;
+        }
+        case algorithm::ra: {
+          ++stats.find_slot_calls;
+          found = find_slot(sched, tx, earliest, d_i,
+                            config.rho_t, reuse_hops, config.policy,
+                            &config.isolated_links,
+                            config.management_slot_period,
+                            config.use_occupancy_index,
+                            &stats.probes);
+          break;
+        }
+        case algorithm::rc: {
+          // Algorithm 1 inner loop: try the current rho; on negative
+          // laxity enable reuse at the network diameter and tighten
+          // one hop at a time until laxity >= 0 or rho < rho_t.
+          OBS_SPAN("core.rc_relaxation");
+          static const obs::counter relaxation_rounds =
+              obs::register_counter("core.sched.relaxation_rounds");
+          while (true) {
+            relaxation_rounds.add();
+            ++stats.find_slot_calls;
+            found = find_slot(sched, tx, earliest, d_i, rho,
+                              reuse_hops, config.policy,
+                              &config.isolated_links,
+                              config.management_slot_period,
+                              config.use_occupancy_index,
+                              &stats.probes);
+            bool laxity_ok = false;
+            if (found) {
+              ++stats.laxity_evaluations;
+              laxity_ok =
+                  calculate_laxity(sched, post, found->slot, d_i,
+                                   config.management_slot_period,
+                                   config.use_occupancy_index,
+                                   &stats.probes) >= 0;
+            }
+            if (laxity_ok) break;
+            if (rho == k_infinite_hops) {
+              rho = lambda_r;
+              ++stats.reuse_activations;
+              if (obs::events_enabled())
+                obs::emit(obs::severity::info, "core", "reuse_activated",
+                          {{"flow", f.id}, {"rho", rho}});
+            } else {
+              --rho;
+            }
+            if (rho < config.rho_t) {
+              // The most permissive find_slot already ran (at rho_t, or
+              // not at all when the diameter is below rho_t); keep its
+              // result and clamp rho so later transmissions of this
+              // flow start from a legal hop count.
+              rho = config.rho_t;
+              break;
+            }
+          }
+          break;
+        }
+      }
+
+      if (!found) {
+        if (obs::events_enabled())
+          obs::emit(obs::severity::warning, "core", "flow_rejected",
+                    {{"flow", f.id},
+                     {"instance", r},
+                     {"link_index", tx.link_index}});
+        return false;
+      }
+      if (!sched.cell(found->slot, found->offset).empty())
+        ++stats.reuse_placements;
+      sched.add(tx, found->slot, found->offset);
+      ++stats.total_transmissions;
+      earliest = found->slot + 1;
+    }
+  }
+  observe_final_rho(rho);
+  if (obs::events_enabled())
+    obs::emit(obs::severity::info, "core", "flow_admitted",
+              {{"flow", f.id},
+               {"rho", rho == k_infinite_hops ? -1 : rho},
+               {"instances", instances}});
+  return true;
 }
 
 }  // namespace wsan::core

@@ -42,4 +42,24 @@ schedule_result schedule_flows(const std::vector<flow::flow>& flows,
                                const graph::hop_matrix& reuse_hops,
                                const scheduler_config& config);
 
+/// Places every instance of one flow into an existing schedule with the
+/// exact greedy placement loop of schedule_flows — the resume primitive
+/// of incremental admission (core::delta_scheduler).
+///
+/// schedule_flows processes flows strictly in priority order and each
+/// flow's placements depend only on the occupancy left by its
+/// predecessors, so appending flow n to the schedule produced for flows
+/// 0..n-1 yields a schedule placement-identical to
+/// schedule_flows(flows 0..n). `sched` must span the flow set's
+/// hyperperiod (including f).
+///
+/// Returns false when some transmission cannot be placed by its
+/// deadline; placements made before the failure remain in `sched` (roll
+/// back with tsch::schedule::remove_flow(f.id) if the caller wants the
+/// pre-call state back). `stats` accumulates across calls.
+bool schedule_flow_into(tsch::schedule& sched, const flow::flow& f,
+                        const graph::hop_matrix& reuse_hops,
+                        const scheduler_config& config,
+                        scheduler_stats& stats);
+
 }  // namespace wsan::core

@@ -23,8 +23,21 @@ network_manager::network_manager(topo::topology topology,
                                               config_.reuse)),
       reuse_hops_(reuse_) {
   config_.scheduler.num_channels = config_.num_channels;
+  // Isolation state has exactly one owner: isolated_. Links the caller
+  // pre-seeded into the scheduler config are adopted here, and the
+  // stored config's set stays empty from now on (see
+  // effective_scheduler_config).
+  isolated_ = std::move(config_.scheduler.isolated_links);
+  config_.scheduler.isolated_links.clear();
   WSAN_REQUIRE(config_.watchdog_epochs >= 1,
                "watchdog must allow at least one missed epoch");
+}
+
+core::scheduler_config network_manager::effective_scheduler_config()
+    const {
+  auto config = config_.scheduler;
+  config.isolated_links = isolated_;
+  return config;
 }
 
 flow::flow_set network_manager::generate_workload(
@@ -35,9 +48,8 @@ flow::flow_set network_manager::generate_workload(
 core::schedule_result network_manager::admit(
     const std::vector<flow::flow>& flows) const {
   OBS_SPAN("manager.admit");
-  auto config = config_.scheduler;
-  config.isolated_links.insert(isolated_.begin(), isolated_.end());
-  auto result = core::schedule_flows(flows, reuse_hops_, config);
+  auto result =
+      core::schedule_flows(flows, reuse_hops_, effective_scheduler_config());
   if (obs::events_enabled())
     obs::emit(result.schedulable ? obs::severity::info
                                  : obs::severity::warning,
@@ -75,11 +87,11 @@ network_manager::maintenance_outcome network_manager::maintain(
     }
   }
   if (!outcome.newly_isolated.empty()) {
-    auto config = config_.scheduler;
-    auto repaired = core::reschedule_isolating(flows, reuse_hops_, config,
-                                               isolated_);
+    // The flagged links are already merged into isolated_ above, so the
+    // one effective config covers them; no second merge to drift from.
     outcome.rescheduled = true;
-    outcome.repaired = std::move(repaired.result);
+    outcome.repaired = core::schedule_flows(flows, reuse_hops_,
+                                            effective_scheduler_config());
   }
   return outcome;
 }
@@ -141,10 +153,28 @@ network_manager::recovery_outcome network_manager::recover(
 
   // Recovery: route the workload around the dead set, drop what cannot
   // be carried, then shed by priority until the remainder fits.
+  //
+  // Reported ids must name flows of the ORIGINAL workload. After a
+  // first recovery the caller redistributes surviving_flows, which are
+  // renumbered densely — so on a second crash the input ids are the
+  // previous epoch's dense ranks, not original ids. lineage_ carries
+  // the dense-to-original mapping across epochs; when it does not match
+  // the input (fresh workload, or first recovery), the input's own ids
+  // are the originals.
+  std::vector<flow_id> roots;
+  if (lineage_.size() == flows.size()) {
+    roots = lineage_;
+  } else {
+    roots.reserve(flows.size());
+    for (const auto& f : flows) roots.push_back(f.id);
+  }
+
   const auto pruned = graph::remove_nodes(comm_, dead_);
   std::vector<flow::flow> survivors;
   std::vector<flow_id> original_ids;
-  for (const auto& f : flows) {
+  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+    const auto& f = flows[fi];
+    const flow_id original = roots[fi];
     const bool touches_dead =
         dead_.count(f.source) > 0 || dead_.count(f.destination) > 0 ||
         std::any_of(f.route.begin(), f.route.end(), [&](const auto& l) {
@@ -152,41 +182,39 @@ network_manager::recovery_outcome network_manager::recover(
         });
     if (!touches_dead) {
       survivors.push_back(f);
-      original_ids.push_back(f.id);
+      original_ids.push_back(original);
       continue;
     }
     const auto rerouted = flow::reroute_flow(pruned, f, dead_);
     if (!rerouted) {
-      outcome.unroutable_flows.push_back(f.id);
+      outcome.unroutable_flows.push_back(original);
       obs::add_counter("manager.flows_unroutable");
       if (obs::events_enabled())
         obs::emit(obs::severity::warning, "manager", "flow_unroutable",
-                  {{"flow", f.id}, {"epoch", outcome.epoch}});
+                  {{"flow", original}, {"epoch", outcome.epoch}});
       continue;
     }
     flow::flow repaired = f;
     repaired.route = rerouted->links;
     repaired.uplink_links = rerouted->uplink_links;
     flow::validate_flow(repaired);
-    outcome.rerouted_flows.push_back(f.id);
+    outcome.rerouted_flows.push_back(original);
     obs::add_counter("manager.flows_rerouted");
     if (obs::events_enabled())
       obs::emit(obs::severity::info, "manager", "flow_rerouted",
-                {{"flow", f.id},
+                {{"flow", original},
                  {"epoch", outcome.epoch},
                  {"hops", repaired.route.size()}});
     survivors.push_back(std::move(repaired));
-    original_ids.push_back(f.id);
+    original_ids.push_back(original);
   }
   // Renumber densely: relative order (and therefore the fixed-priority
   // assignment) is preserved, ids become priority ranks again.
   for (std::size_t i = 0; i < survivors.size(); ++i)
     survivors[i].id = static_cast<flow_id>(i);
 
-  auto config = config_.scheduler;
-  config.isolated_links.insert(isolated_.begin(), isolated_.end());
   auto shed = core::schedule_shedding(std::move(survivors), reuse_hops_,
-                                      config);
+                                      effective_scheduler_config());
   for (flow_id dense : shed.shed) {
     const flow_id original = original_ids[static_cast<std::size_t>(dense)];
     outcome.shed_flows.push_back(original);
@@ -196,10 +224,12 @@ network_manager::recovery_outcome network_manager::recover(
                 {{"flow", original}, {"epoch", outcome.epoch}});
   }
   outcome.surviving_flows = std::move(shed.kept);
-  outcome.surviving_original_ids.assign(
-      original_ids.begin(),
-      original_ids.begin() +
-          static_cast<std::ptrdiff_t>(outcome.surviving_flows.size()));
+  outcome.surviving_original_ids.reserve(shed.kept_input_ids.size());
+  for (const flow_id dense : shed.kept_input_ids)
+    outcome.surviving_original_ids.push_back(
+        original_ids[static_cast<std::size_t>(dense)]);
+  // Next epoch's input is surviving_flows; remember its original ids.
+  lineage_ = outcome.surviving_original_ids;
   outcome.rescheduled = true;
   outcome.repaired = std::move(shed.result);
   return outcome;

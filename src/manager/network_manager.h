@@ -125,6 +125,15 @@ class network_manager {
   /// network when nodes are declared dead. `observations` are this
   /// epoch's reports only (one simulator execution per epoch, as in
   /// maintain()).
+  ///
+  /// Original-id reporting composes across epochs: after a recovery the
+  /// caller redistributes `surviving_flows` (renumbered densely) and
+  /// feeds them back into the next recover() call; the manager keeps
+  /// the dense-to-original lineage so that ids reported by a *second*
+  /// crash still name the flows of the originally admitted workload,
+  /// not the renumbered intermediates. Passing a workload of a
+  /// different size resets the lineage to that workload's own ids (as
+  /// does reset_watchdog()).
   recovery_outcome recover(
       const std::vector<flow::flow>& flows,
       const std::map<sim::link_key, sim::link_observations>& observations);
@@ -136,11 +145,13 @@ class network_manager {
   /// planned decommissioning). The next recover() routes around it.
   void mark_dead(node_id node);
 
-  /// Forgets all deaths and watchdog counters (e.g. after the field
-  /// crew replaced the hardware).
+  /// Forgets all deaths, watchdog counters, and the flow-id lineage
+  /// (e.g. after the field crew replaced the hardware and a fresh
+  /// workload was admitted).
   void reset_watchdog() {
     dead_.clear();
     silent_epochs_.clear();
+    lineage_.clear();
   }
 
   /// Drops all accumulated isolations (e.g. after the interference
@@ -157,6 +168,14 @@ class network_manager {
   void blacklist_channels(const std::vector<channel_t>& blacklist);
 
  private:
+  /// The scheduler configuration every scheduling path must use:
+  /// config_.scheduler with the manager-owned isolation set applied.
+  /// isolated_ is the single owner of isolation state — the stored
+  /// config's own isolated_links is drained into it at construction
+  /// and stays empty from then on, so admit/maintain/recover cannot
+  /// diverge on which links are isolated.
+  core::scheduler_config effective_scheduler_config() const;
+
   topo::topology topology_;
   manager_config config_;
   std::vector<channel_t> channels_;
@@ -168,6 +187,10 @@ class network_manager {
   std::set<node_id> dead_;
   std::map<node_id, int> silent_epochs_;  // consecutive missed epochs
   int epoch_ = 0;                         // recover() calls so far
+  /// lineage_[dense_id] = original id of the flow currently numbered
+  /// dense_id, composed across recovery renumberings (see recover()).
+  /// Empty until the first recovery renumbers a workload.
+  std::vector<flow_id> lineage_;
 };
 
 }  // namespace wsan::manager

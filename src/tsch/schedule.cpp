@@ -1,5 +1,8 @@
 #include "tsch/schedule.h"
 
+#include <algorithm>
+#include <set>
+
 #include "common/error.h"
 
 namespace wsan::tsch {
@@ -33,6 +36,56 @@ void schedule::add(const transmission& tx, slot_t slot, offset_t offset) {
   ++cell_load_[ci];
   mark_busy(tx.sender, slot);
   mark_busy(tx.receiver, slot);
+}
+
+std::size_t schedule::remove_flow(flow_id flow) {
+  const auto is_flows = [flow](const transmission& tx) {
+    return tx.flow == flow;
+  };
+  // Touched slots/cells, deduplicated so each container is compacted
+  // once; the affected node set per slot drives the busy-bit repair.
+  std::set<std::size_t> touched_cells;
+  std::set<slot_t> touched_slots;
+  std::size_t removed = 0;
+  std::vector<placement> kept;
+  kept.reserve(placements_.size());
+  for (const auto& p : placements_) {
+    if (p.tx.flow != flow) {
+      kept.push_back(p);
+      continue;
+    }
+    ++removed;
+    touched_cells.insert(cell_index(p.slot, p.offset));
+    touched_slots.insert(p.slot);
+  }
+  if (removed == 0) return 0;
+  placements_ = std::move(kept);
+  for (const std::size_t ci : touched_cells) {
+    auto& cell = cells_[ci];
+    cell.erase(std::remove_if(cell.begin(), cell.end(), is_flows),
+               cell.end());
+    cell_load_[ci] = static_cast<int>(cell.size());
+  }
+  for (const slot_t slot : touched_slots) {
+    auto& txs = slot_all_[static_cast<std::size_t>(slot)];
+    txs.erase(std::remove_if(txs.begin(), txs.end(), is_flows), txs.end());
+    // Re-derive the slot's busy bits from the survivors: clear every
+    // allocated node's bit for this slot, then re-mark the remaining
+    // transmissions. A conflict-free schedule has at most one
+    // transmission per node per slot, but deriving from ground truth
+    // keeps the index right for any add() history.
+    const std::size_t word = static_cast<std::size_t>(slot) / k_word_bits;
+    const std::uint64_t mask =
+        ~(std::uint64_t{1} << (static_cast<std::size_t>(slot) % k_word_bits));
+    for (std::size_t row = word; row < node_busy_.size();
+         row += words_per_node_)
+      node_busy_[row] &= mask;
+    for (const auto& tx : txs) {
+      mark_busy(tx.sender, slot);
+      mark_busy(tx.receiver, slot);
+    }
+  }
+  return removed;
 }
 
 const std::vector<transmission>& schedule::cell(slot_t slot,

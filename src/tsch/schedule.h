@@ -39,6 +39,16 @@ class schedule {
   /// that is the scheduler's job.
   void add(const transmission& tx, slot_t slot, offset_t offset);
 
+  /// Removes every placement of the given flow — the eviction primitive
+  /// of incremental delta-scheduling (core::delta_scheduler). Cost is
+  /// O(total placements + touched cells): the freed cells' vectors and
+  /// load counters shrink, and busy bits are cleared per touched slot by
+  /// re-deriving them from the slot's surviving transmissions (correct
+  /// even if the caller ever placed conflicting transmissions). The
+  /// relative order of the surviving placements() is preserved. Returns
+  /// the number of placements removed (0 when the flow is absent).
+  std::size_t remove_flow(flow_id flow);
+
   /// Transmissions already assigned to one cell (T_sc in the paper).
   const std::vector<transmission>& cell(slot_t slot, offset_t offset) const;
 

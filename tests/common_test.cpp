@@ -260,6 +260,27 @@ TEST(Cli, RejectsMalformedNumbers) {
   EXPECT_THROW(args.get_bool("n", false), std::invalid_argument);
 }
 
+TEST(Cli, RejectsDuplicateFlags) {
+  // A repeated flag used to keep the last value and silently discard
+  // the first — "--trials 2 --trials 200" ran 200 trials with no hint
+  // the 2 was ignored.
+  const char* dup_value[] = {"prog", "--n", "3", "--n", "4"};
+  EXPECT_THROW(cli_args(5, dup_value), std::invalid_argument);
+  const char* dup_bare[] = {"prog", "--verbose", "--verbose"};
+  EXPECT_THROW(cli_args(3, dup_bare), std::invalid_argument);
+  const char* bare_then_value[] = {"prog", "--json", "--json", "out.json"};
+  EXPECT_THROW(cli_args(4, bare_then_value), std::invalid_argument);
+}
+
+TEST(Cli, RejectsSingleDashAndEmptyFlags) {
+  // Unknown shapes fail loudly: single-dash flags and a bare "--" are
+  // not silently swallowed as values or keys.
+  const char* single_dash[] = {"prog", "-n", "3"};
+  EXPECT_THROW(cli_args(3, single_dash), std::invalid_argument);
+  const char* stray_value[] = {"prog", "--n", "3", "4"};
+  EXPECT_THROW(cli_args(4, stray_value), std::invalid_argument);
+}
+
 TEST(Cli, ParsesDoubles) {
   const char* argv[] = {"prog", "--alpha", "0.05"};
   cli_args args(3, argv);

@@ -315,6 +315,11 @@ TEST(RunOptions, ParsesReplayTarget) {
   EXPECT_THROW(exp::parse_replay_target("12"), std::invalid_argument);
   EXPECT_THROW(exp::parse_replay_target("a:b"), std::invalid_argument);
   EXPECT_THROW(exp::parse_replay_target("-1:2"), std::invalid_argument);
+  EXPECT_THROW(exp::parse_replay_target("2:-1"), std::invalid_argument);
+  EXPECT_THROW(exp::parse_replay_target("12:"), std::invalid_argument);
+  EXPECT_THROW(exp::parse_replay_target(":3"), std::invalid_argument);
+  EXPECT_THROW(exp::parse_replay_target(""), std::invalid_argument);
+  EXPECT_THROW(exp::parse_replay_target("1:two"), std::invalid_argument);
 }
 
 // ----------------------------------------------------------------- json --

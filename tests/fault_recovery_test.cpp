@@ -172,6 +172,72 @@ TEST_F(FaultRecoveryTest, MarkDeadAndResetWatchdog) {
   EXPECT_TRUE(manager_.dead_nodes().empty());
 }
 
+TEST(FaultRecoveryLineage, SecondCrashReportsOriginalWorkloadIds) {
+  // Regression: recover() used to report a crashing flow by its dense
+  // id in the *current* (renumbered) workload. After a first recovery
+  // dropped flow 0, every survivor's dense id shifted down by one, so a
+  // second crash reported ids that named the wrong flows of the
+  // original admission. The manager now composes the dense-to-original
+  // lineage across epochs.
+  auto config = rc_config();
+  config.watchdog_epochs = 1;  // one silent epoch declares death
+  network_manager manager(topo::make_wustl(), config);
+
+  flow::flow_set_params params;
+  params.num_flows = 16;
+  params.period_min_exp = 0;
+  params.period_max_exp = 0;
+  rng gen(11);
+  const auto set = manager.generate_workload(params, gen);
+  ASSERT_TRUE(manager.admit(set.flows).schedulable);
+
+  // Epoch 1: flow 0's source dies, so flow 0 (at least) is unroutable
+  // and the survivors are renumbered with shifted dense ids.
+  auto reports1 = healthy_reports(set.flows);
+  mute(reports1, set.flows[0].source);
+  const auto out1 = manager.recover(set.flows, reports1);
+  ASSERT_FALSE(out1.newly_dead.empty());
+  ASSERT_TRUE(out1.rescheduled);
+  ASSERT_FALSE(out1.surviving_flows.empty());
+  ASSERT_LT(out1.surviving_flows.size(), set.flows.size());
+  const auto& mapping1 = out1.surviving_original_ids;
+  ASSERT_EQ(mapping1.size(), out1.surviving_flows.size());
+  const std::set<flow_id> originals(mapping1.begin(), mapping1.end());
+  ASSERT_EQ(originals.count(0), 0u) << "flow 0 should have been dropped";
+
+  // Pick a survivor whose dense id differs from its original id — index
+  // 0 always qualifies (original id 0 is gone, so mapping1[0] >= 1).
+  const std::size_t j = 0;
+  ASSERT_NE(mapping1[j], static_cast<flow_id>(j));
+  const node_id victim2 = out1.surviving_flows[j].source;
+
+  // Epoch 2: that survivor's source dies. The outcome must name it by
+  // its ORIGINAL id, not its shifted dense id.
+  auto reports2 = healthy_reports(out1.surviving_flows);
+  mute(reports2, victim2);
+  const auto out2 = manager.recover(out1.surviving_flows, reports2);
+  ASSERT_FALSE(out2.newly_dead.empty());
+  ASSERT_TRUE(out2.rescheduled);
+  EXPECT_NE(std::find(out2.unroutable_flows.begin(),
+                      out2.unroutable_flows.end(), mapping1[j]),
+            out2.unroutable_flows.end())
+      << "survivor " << j << " (original flow " << mapping1[j]
+      << ") was not reported under its original id";
+
+  // Every id the second epoch reports — rerouted, unroutable, shed, or
+  // surviving — must name a flow of the ORIGINAL admission that was
+  // still alive after epoch 1. The pre-fix behavior reported dense
+  // index 0, which epoch 1 already dropped from the original id space.
+  const auto all_original = [&](const std::vector<flow_id>& ids) {
+    return std::all_of(ids.begin(), ids.end(),
+                       [&](flow_id id) { return originals.count(id) > 0; });
+  };
+  EXPECT_TRUE(all_original(out2.rerouted_flows));
+  EXPECT_TRUE(all_original(out2.unroutable_flows));
+  EXPECT_TRUE(all_original(out2.shed_flows));
+  EXPECT_TRUE(all_original(out2.surviving_original_ids));
+}
+
 TEST(ManagerConfig, RejectsNonPositiveWatchdog) {
   auto config = rc_config();
   config.watchdog_epochs = 0;

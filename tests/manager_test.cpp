@@ -173,6 +173,100 @@ TEST_F(ManagerTest, BlacklistingRebuildsTheChannelPlan) {
                std::invalid_argument);
 }
 
+TEST(ManagerIsolation, IsolationHasOneOwnerAcrossAdmitAndRecover) {
+  // Regression: admit() and recover() used to merge isolated_ into
+  // separate config copies while the stored scheduler config could
+  // carry its own isolated_links — three places to diverge. The
+  // manager now drains config-seeded links into its own set at
+  // construction (single owner) and every scheduling path uses the one
+  // effective config. Run both paths in one epoch and check each
+  // schedule honors the seeded isolation.
+  // RA reuses aggressively, so a reusing cell to probe for is
+  // guaranteed; the ownership semantics under test are the same for
+  // every algorithm.
+  const auto ra_config = [] {
+    manager_config config;
+    config.num_channels = 4;
+    config.scheduler = core::make_config(core::algorithm::ra, 4);
+    return config;
+  };
+  const auto probe = [&] {
+    // Find a link that reuses a cell so isolation is observable.
+    network_manager plain(topo::make_wustl(), ra_config());
+    flow::flow_set_params params;
+    params.num_flows = 20;
+    params.period_min_exp = 0;
+    params.period_max_exp = 1;
+    rng gen(11);
+    const auto set = plain.generate_workload(params, gen);
+    const auto result = plain.admit(set.flows);
+    EXPECT_TRUE(result.schedulable);
+    for (slot_t s = 0; s < result.sched.num_slots(); ++s)
+      for (offset_t c = 0; c < result.sched.num_offsets(); ++c) {
+        const auto& cell = result.sched.cell(s, c);
+        if (cell.size() >= 2)
+          return std::make_pair(
+              std::make_pair(cell.front().sender, cell.front().receiver),
+              set);
+      }
+    ADD_FAILURE() << "no reusing cell in the probe schedule";
+    return std::make_pair(std::make_pair(node_id{0}, node_id{1}), set);
+  }();
+  const auto link = probe.first;
+  const auto& set = probe.second;
+
+  auto config = ra_config();
+  config.watchdog_epochs = 1;
+  config.scheduler.isolated_links = {link};
+  network_manager manager(topo::make_wustl(), config);
+
+  // Ownership moved out of the config copy into the manager.
+  ASSERT_EQ(manager.isolated_links().count(link), 1u);
+
+  const auto no_reuse_of = [&](const tsch::schedule& sched) {
+    for (slot_t s = 0; s < sched.num_slots(); ++s)
+      for (offset_t c = 0; c < sched.num_offsets(); ++c) {
+        const auto& cell = sched.cell(s, c);
+        if (cell.size() < 2) continue;
+        for (const auto& tx : cell)
+          if (tx.sender == link.first && tx.receiver == link.second)
+            return false;
+      }
+    return true;
+  };
+
+  // Path 1: admission applies the seeded isolation.
+  const auto admitted = manager.admit(set.flows);
+  ASSERT_TRUE(admitted.schedulable);
+  EXPECT_TRUE(no_reuse_of(admitted.sched));
+
+  // Path 2, same epoch: a crash-triggered recovery reschedule applies
+  // the very same set.
+  std::map<sim::link_key, sim::link_observations> reports;
+  for (const auto& f : set.flows)
+    for (const auto& l : f.route) {
+      auto& obs = reports[sim::link_key{l.sender, l.receiver}];
+      if (obs.cf_samples.empty()) obs.cf_samples.emplace_back(0, 1.0);
+      obs.cf_attempts += 10;
+      obs.cf_successes += 10;
+    }
+  node_id victim = k_invalid_node;
+  for (const auto& f : set.flows)
+    if (f.route.size() >= 2) {
+      victim = f.route[1].sender;
+      break;
+    }
+  ASSERT_NE(victim, k_invalid_node);
+  std::erase_if(reports,
+                [&](const auto& kv) { return kv.first.sender == victim; });
+  const auto outcome = manager.recover(set.flows, reports);
+  ASSERT_TRUE(outcome.rescheduled);
+  ASSERT_TRUE(outcome.repaired->schedulable);
+  EXPECT_TRUE(no_reuse_of(outcome.repaired->sched));
+  // Still exactly one owner; nothing drifted back into a config copy.
+  EXPECT_EQ(manager.isolated_links().count(link), 1u);
+}
+
 TEST(ManagerConfig, MannWhitneyPolicyWorksEndToEnd) {
   auto config = rc_config();
   config.detection.test = detect::detection_test::mann_whitney;

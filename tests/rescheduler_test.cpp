@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "common/rng.h"
 #include "core/rescheduler.h"
 #include "core/slot_finder.h"
@@ -183,6 +185,51 @@ TEST(Shedding, DropsStrictlyFromTheBack) {
   EXPECT_EQ(shed.shed, (std::vector<flow_id>{2, 1}));
   ASSERT_EQ(shed.kept.size(), 1u);
   EXPECT_EQ(shed.kept[0].id, 0);
+}
+
+TEST(Shedding, UnsortedInputStillShedsTheLowestPriorityFlow) {
+  // Regression: schedule_shedding used to drop flows.back() — whatever
+  // flow happened to arrive last — instead of the lowest-priority flow.
+  // Feed the conflict pair of DropsStrictlyFromTheBack in reverse
+  // order: the shed ids must be identical to the sorted-input run.
+  const auto hops = path_hops(10);
+  const auto f0 = make_flow(0, {{0, 1}}, 10, 2);
+  const auto f1 = make_flow(1, {{1, 2}}, 10, 2);
+  const auto f2 = make_flow(2, {{8, 9}}, 10, 2);
+  const auto shed = schedule_shedding({f2, f1, f0}, hops,
+                                      make_config(algorithm::rc, 1));
+  EXPECT_TRUE(shed.result.schedulable);
+  EXPECT_EQ(shed.shed, (std::vector<flow_id>{2, 1}));
+  ASSERT_EQ(shed.kept.size(), 1u);
+  EXPECT_EQ(shed.kept[0].id, 0);
+  EXPECT_EQ(shed.kept_input_ids, (std::vector<flow_id>{0}));
+}
+
+TEST(Shedding, SparseIdsAreReportedAsGivenAndKeptFlowsRenumbered) {
+  // Ids are priority ranks but need not be dense (e.g. handles from
+  // before an earlier recovery). The highest id is shed first, the
+  // report speaks input ids, and the kept flows come back densely
+  // renumbered for the scheduler with kept_input_ids as the mapping.
+  const auto hops = path_hops(10);
+  const auto f_hi = make_flow(3, {{0, 1}}, 10, 2);
+  const auto f_mid = make_flow(7, {{1, 2}}, 10, 2);  // conflicts with 3
+  const auto f_lo = make_flow(12, {{8, 9}}, 10, 2);  // harmless
+  const auto shed = schedule_shedding({f_lo, f_hi, f_mid}, hops,
+                                      make_config(algorithm::rc, 1));
+  EXPECT_TRUE(shed.result.schedulable);
+  EXPECT_EQ(shed.shed, (std::vector<flow_id>{12, 7}));
+  ASSERT_EQ(shed.kept.size(), 1u);
+  EXPECT_EQ(shed.kept[0].id, 0);  // dense for the scheduler
+  EXPECT_EQ(shed.kept_input_ids, (std::vector<flow_id>{3}));
+}
+
+TEST(Shedding, DuplicateIdsAreRejected) {
+  const auto hops = path_hops(10);
+  const auto a = make_flow(1, {{0, 1}}, 20, 20);
+  const auto b = make_flow(1, {{8, 9}}, 20, 20);
+  EXPECT_THROW(
+      schedule_shedding({a, b}, hops, make_config(algorithm::rc, 1)),
+      std::invalid_argument);
 }
 
 TEST(Shedding, EmptyRemainderIsTriviallySchedulable) {

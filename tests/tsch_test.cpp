@@ -113,6 +113,52 @@ TEST(Schedule, ShiftedScheduleRebuildsItsIndex) {
   EXPECT_EQ(shifted.cell_load(3, 0), 1);
 }
 
+// -------------------------------------------------------- remove_flow --
+
+TEST(Schedule, RemoveFlowFreesCellsAndCounts) {
+  schedule s(10, 2);
+  s.add(make_tx(0, 1, /*f=*/0), 0, 0);
+  s.add(make_tx(2, 3, /*f=*/1), 0, 0);  // shares the cell with flow 0
+  s.add(make_tx(1, 2, /*f=*/0), 1, 1);
+  s.add(make_tx(4, 5, /*f=*/1), 2, 0);
+
+  EXPECT_EQ(s.remove_flow(0), 2u);
+  EXPECT_EQ(s.num_transmissions(), 2u);
+  // Flow 1's placements survive, in their original relative order.
+  ASSERT_EQ(s.placements().size(), 2u);
+  EXPECT_EQ(s.placements()[0].tx.flow, 1);
+  EXPECT_EQ(s.placements()[0].slot, 0);
+  EXPECT_EQ(s.placements()[1].slot, 2);
+  // Cell vectors and load counters shrank together.
+  EXPECT_EQ(s.cell_size(0, 0), 1);
+  EXPECT_EQ(s.cell_load(0, 0), 1);
+  EXPECT_EQ(s.cell_size(1, 1), 0);
+  EXPECT_EQ(s.cell_load(1, 1), 0);
+  EXPECT_EQ(s.slot_transmissions(1).size(), 0u);
+  // Removing an absent flow is a no-op.
+  EXPECT_EQ(s.remove_flow(0), 0u);
+  EXPECT_EQ(s.remove_flow(7), 0u);
+}
+
+TEST(Schedule, RemoveFlowClearsBusyBitsButKeepsSharedSlots) {
+  schedule s(10, 2);
+  s.add(make_tx(0, 1, /*f=*/0), 4, 0);
+  s.add(make_tx(2, 3, /*f=*/1), 4, 1);  // flow 1 also busy in slot 4
+  s.add(make_tx(1, 2, /*f=*/0), 6, 0);
+
+  ASSERT_EQ(s.remove_flow(0), 2u);
+  // Flow 0's endpoints are free again everywhere...
+  EXPECT_FALSE(s.node_busy(0, 4));
+  EXPECT_FALSE(s.node_busy(1, 4));
+  EXPECT_FALSE(s.node_busy(1, 6));
+  EXPECT_FALSE(s.node_busy(2, 6));
+  // ...but flow 1's occupancy in the shared slot is retained.
+  EXPECT_TRUE(s.node_busy(2, 4));
+  EXPECT_TRUE(s.node_busy(3, 4));
+  EXPECT_TRUE(s.slot_conflict_free(make_tx(0, 1), 4));
+  EXPECT_FALSE(s.slot_conflict_free(make_tx(3, 5), 4));
+}
+
 // ------------------------------------------------------------ hopping --
 
 TEST(Hopping, FollowsTheStandardFormula) {

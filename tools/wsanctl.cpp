@@ -14,6 +14,7 @@
 //   wsanctl detect   --topology topo.txt --workload flows.txt
 //           --schedule sched.txt --channels 4 --runs 108 --wifi
 //   wsanctl bench    --all --jobs 8 --json bench_results.json
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -32,6 +33,7 @@
 #include "exp/options.h"
 #include "exp/report.h"
 #include "experiments.h"
+#include "fleet/fleet.h"
 #include "flow/flow_generator.h"
 #include "flow/flow_io.h"
 #include "graph/algorithms.h"
@@ -79,6 +81,12 @@ commands:
              --before FILE  --after FILE
   latency    per-flow end-to-end delay and slack of a schedule
              --workload FILE  --schedule FILE
+  fleet      churn a fleet of tenant networks through incremental
+             admission/eviction (delta scheduling)
+             --testbed indriya|wustl  --channels N  --algo nr|ra|rc
+             --rho N  --tenants N  --ops N  --max-flows N
+             --admit-bias P  --jobs N  --seed N
+             [--replay-tenant ID]  [--metrics FILE]  [--trace FILE]
   faults     inject faults and drive the detect/reroute/shed loop
              --topology FILE  --workload FILE  --channels N
              [--plan FILE | --crash IDS [--crash-run N]]
@@ -290,6 +298,102 @@ int cmd_latency(const cli_args& args) {
   t.print(std::cout);
   std::cout << "max worst-case delay: " << tsch::max_worst_delay(latencies)
             << " slots\n";
+  return 0;
+}
+
+int cmd_fleet(const cli_args& args) {
+  fleet::fleet_config config;
+  config.testbed = args.get("testbed", "indriya");
+  config.num_channels = static_cast<int>(args.get_int("channels", 8));
+  const auto algo_name = args.get("algo", "rc");
+  if (algo_name == "nr") config.algo = core::algorithm::nr;
+  else if (algo_name == "ra") config.algo = core::algorithm::ra;
+  else if (algo_name != "rc")
+    throw std::invalid_argument("unknown --algo: " + algo_name);
+  config.rho_t = static_cast<int>(args.get_int("rho", 2));
+  config.tenants = static_cast<int>(args.get_int("tenants", 64));
+  config.ops_per_tenant = static_cast<int>(args.get_int("ops", 16));
+  config.max_flows_per_tenant =
+      static_cast<int>(args.get_int("max-flows", 12));
+  config.admit_bias = args.get_double("admit-bias", 0.7);
+  config.seed = args.get_uint64("seed", 1);
+  const int jobs = static_cast<int>(args.get_int("jobs", 0));
+
+  exp::run_options obs_options;
+  obs_options.metrics_path = args.get("metrics", "");
+  obs_options.trace_path = args.get("trace", "");
+  exp::obs_session session(obs_options);
+
+  const fleet::fleet_manager manager(config);
+
+  if (args.has("replay-tenant")) {
+    const auto tenant_id = args.get_uint64("replay-tenant", 0);
+    fleet::tenant_stats stats;
+    const auto ten = manager.replay_tenant(tenant_id, &stats);
+    std::cout << "tenant " << tenant_id << " replay (seed "
+              << config.seed << "): " << stats.ops << " ops, "
+              << stats.admissions << " admitted, " << stats.rejections
+              << " rejected, " << stats.evictions << " evicted, "
+              << stats.repair_fallbacks << " full reschedules\n"
+              << "final state: " << ten.delta().size() << " flows, "
+              << ten.delta().sched().num_transmissions()
+              << " transmissions, digest "
+              << fleet::tenant_state_digest(tenant_id, ten.delta())
+              << "\n";
+    return 0;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = manager.run_churn(jobs);
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+
+  const auto percentile = [](std::vector<double> v, double q) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(v.size() - 1) + 0.5);
+    return v[idx];
+  };
+
+  table t({"tenants", "ops", "admitted", "rejected", "evicted",
+           "fallbacks", "final flows", "digest"});
+  const auto count_cell = [](std::int64_t v) {
+    return cell(static_cast<long long>(v));
+  };
+  t.add_row({count_cell(result.tenants), count_cell(result.totals.ops),
+             count_cell(result.totals.admissions),
+             count_cell(result.totals.rejections),
+             count_cell(result.totals.evictions),
+             count_cell(result.totals.repair_fallbacks),
+             count_cell(result.final_flows),
+             std::to_string(result.state_digest)});
+  t.print(std::cout);
+  const double admissions_per_s =
+      wall_s > 0.0
+          ? static_cast<double>(result.totals.admissions) / wall_s
+          : 0.0;
+  std::cout << result.schedulable_tenants << "/" << result.tenants
+            << " tenants schedulable; " << cell(wall_s, 2)
+            << " s wall, " << cell(admissions_per_s, 0)
+            << " admissions/s, admit latency p50 "
+            << cell(percentile(result.admit_latency_ns, 0.5) / 1e3, 1)
+            << " us / p99 "
+            << cell(percentile(result.admit_latency_ns, 0.99) / 1e3, 1)
+            << " us\n";
+
+  const auto& snap = session.finish();
+  if (session.active()) {
+    std::cout << "\nobservability: per-phase timings\n";
+    exp::print_span_table(snap, std::cout);
+    if (!obs_options.metrics_path.empty())
+      std::cout << "wrote metrics snapshot to "
+                << obs_options.metrics_path << "\n";
+    if (!obs_options.trace_path.empty())
+      std::cout << "wrote event trace to " << obs_options.trace_path
+                << "\n";
+  }
   return 0;
 }
 
@@ -564,6 +668,7 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "detect") return cmd_detect(args);
+    if (command == "fleet") return cmd_fleet(args);
     if (command == "faults") return cmd_faults(args);
     if (command == "bench") return cmd_bench(args);
     if (command == "diff") return cmd_diff(args);
