@@ -1,0 +1,23 @@
+// Scenario churn: drives the deterministic scenario engine
+// (scenario/scenario.h) through time-varying epochs — Poisson flow
+// arrivals with backpressure, per-flow departures, node crash/revival
+// churn, online re-detection, bounded-retry recovery, and the
+// timing-predicting jammer — on Indriya-80 and WUSTL-60, with the
+// SlotSwapper slot randomization off vs on. Every reported column is
+// deterministic and bit-identical at any --jobs value.
+//
+// Usage: --epochs N (default 12), --runs-per-epoch N (default 6),
+// --flows N (initial workload, default 8), --max-flows N (backpressure
+// cap, default 12), --arrival-rate R (default 1.5), --departure-rate R
+// (default 0.1), --crash-rate R (default 0.01), --revival-rate R
+// (default 0.3), --jam-slots N (default 3), --swap-attempts N (default
+// 128), --channels N (default 8), --watchdog N (default 2), plus the
+// harness flags --jobs/--trials/--seed/--json (exp/options.h).
+// --replay POINT:EPOCH re-derives one epoch of trial 0 in isolation
+// (points: 0 = indriya-80/static, 1 = indriya-80/randomized,
+// 2 = wustl-60/static, 3 = wustl-60/randomized).
+#include "experiments.h"
+
+int main(int argc, char** argv) {
+  return wsan::bench::run_figure_main("churn", argc, argv);
+}

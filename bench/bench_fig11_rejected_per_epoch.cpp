@@ -2,15 +2,25 @@
 // failing the requirement in each epoch under external interference,
 // for RA and RC schedules.
 //
-// Usage: --flows N (default 50), --epochs N (default 6)
+// The epochs are driven by the scenario engine (scenario/scenario.h):
+// the same seed-stream epoch machinery as bench_churn, with churn and
+// the jammer disabled so the workload matches the paper's static
+// setup. The engine's online re-detection is live — links rejected in
+// epoch e are isolated and rescheduled around from epoch e+1 on, so
+// the rejected count decays once the manager reacts (the paper's
+// classifier was passive; pass --arrival-rate R to also exercise the
+// shared Poisson arrival streams under interference).
+//
+// Usage: --flows N (default 50), --epochs N (default 6),
+// --onset-epoch N (default 0), --duty P, --wifi-power DB,
+// --arrival-rate R (default 0), --seed N
 #include <iostream>
-#include <set>
 
 #include "bench_common.h"
 #include "common/cli.h"
 #include "common/table.h"
-#include "detect/detector.h"
-#include "sim/simulator.h"
+#include "scenario/scenario.h"
+#include "sim/interference.h"
 
 namespace {
 constexpr int k_runs_per_epoch = 18;
@@ -30,63 +40,47 @@ int main(int argc, char** argv) {
                       "rejected links per epoch under WiFi interference "
                       "(WUSTL, channels 11-14)");
 
-  const auto env = bench::make_env("wustl", 4);
-  flow::flow_set_params fsp;
-  fsp.type = flow::traffic_type::peer_to_peer;
-  fsp.num_flows = flows;
-  fsp.period_min_exp = 0;
-  fsp.period_max_exp = 0;
-  const auto workloads = bench::find_reliability_sets(env, fsp, 1, 13000);
-  const auto& set = workloads.sets.front();
-  std::cout << "\nWorkload: " << workloads.flows_used
-            << " peer-to-peer flows at 1 s\n\n";
+  const auto topology = topo::make_wustl();
+  std::cout << "\nWorkload: up to " << flows
+            << " peer-to-peer flows at 1 s (scenario engine, shed to "
+               "fit)\n\n";
 
-  table t({"algo", "epoch", "rejected links", "stable vs epoch 0"});
+  table t({"algo", "epoch", "rejected links", "newly isolated", "flows",
+           "PDR"});
   for (const auto algo : {core::algorithm::ra, core::algorithm::rc}) {
-    const auto config = core::make_config(algo, 4);
-    const auto scheduled =
-        core::schedule_flows(set.flows, env.reuse_hops, config);
+    scenario::scenario_config config;
+    config.epochs = epochs;
+    config.runs_per_epoch = k_runs_per_epoch;
+    config.seed = args.get_uint64("seed", 13000);
+    config.flow_params.type = flow::traffic_type::peer_to_peer;
+    config.flow_params.num_flows = flows;
+    config.flow_params.period_min_exp = 0;
+    config.flow_params.period_max_exp = 0;
+    // Static workload unless --arrival-rate opts into sustained
+    // arrivals; no node churn, no jammer — interference only.
+    config.arrivals.rate = args.get_double("arrival-rate", 0.0);
+    config.arrivals.max_flows = flows;
+    config.departure_rate = 0.0;
+    config.churn.crash_rate = 0.0;
+    config.manager.num_channels = 4;
+    config.manager.scheduler = core::make_config(algo, 4);
+    config.sim.interferers = sim::one_interferer_per_floor(
+        topology, args.get_double("duty", 0.3),
+        args.get_double("wifi-power", 8.0));
+    config.interferer_onset_epoch = onset_epoch;
 
-    sim::sim_config sim_config;
-    sim_config.runs = epochs * k_runs_per_epoch;
-    sim_config.seed = 4242;
-    sim_config.interferers =
-        sim::one_interferer_per_floor(
-            env.topology, args.get_double("duty", 0.3),
-            args.get_double("wifi-power", 8.0));
-    sim_config.interferer_start_run = onset_epoch * k_runs_per_epoch;
-    const auto result = sim::run_simulation(
-        env.topology, scheduled.sched, set.flows, env.channels,
-        sim_config);
-
-    std::set<std::pair<node_id, node_id>> first_epoch_set;
-    for (int epoch = 0; epoch < epochs; ++epoch) {
-      const auto reports = detect::classify_links_in_epoch(
-          result.links, epoch, k_runs_per_epoch, {});
-      const auto rejected = detect::links_with_verdict(
-          reports, detect::link_verdict::degraded_by_reuse);
-      std::set<std::pair<node_id, node_id>> current;
-      for (const auto& link : rejected)
-        current.insert({link.sender, link.receiver});
-      if (epoch == 0) first_epoch_set = current;
-      int common = 0;
-      for (const auto& link : current)
-        common += first_epoch_set.count(link) ? 1 : 0;
-      const std::string stability =
-          current.empty() && first_epoch_set.empty()
-              ? "-"
-              : cell(static_cast<double>(common) /
-                         std::max<std::size_t>(
-                             1, std::max(current.size(),
-                                         first_epoch_set.size())),
-                     2);
-      t.add_row({core::to_string(algo), cell(epoch),
-                 cell(current.size()), stability});
-    }
+    const auto result =
+        scenario::scenario_engine(topology, config).run();
+    for (const auto& rec : result.epochs)
+      t.add_row({core::to_string(algo), cell(rec.epoch),
+                 cell(rec.rejected_links), cell(rec.newly_isolated),
+                 cell(rec.num_flows), cell(rec.pdr, 3)});
   }
   t.print(std::cout);
-  std::cout << "\nPaper shape: the rejected set is nearly the same across "
-               "epochs (the classifier is consistent over time), and RA "
-               "produces more rejected links than RC.\n";
+  std::cout << "\nPaper shape: RA produces more rejected links than RC "
+               "under interference. Unlike the paper's passive "
+               "classifier, the engine isolates rejected links and "
+               "reschedules around them, so the per-epoch count decays "
+               "after the first detection instead of repeating.\n";
   return 0;
 }

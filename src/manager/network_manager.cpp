@@ -111,17 +111,34 @@ network_manager::recovery_outcome network_manager::recover(
   outcome.epoch = epoch_++;
   obs::add_counter("manager.recover_epochs");
 
+  std::set<node_id> heard;
+  for (const auto& [key, obs] : observations)
+    if (!obs.reuse_samples.empty() || !obs.cf_samples.empty())
+      heard.insert(key.sender);
+
+  // Rehabilitation: a report is proof of life, so a node previously
+  // declared dead whose reports resume leaves the dead set at once (a
+  // flapping node is re-admitted, not permanently blacklisted). Any
+  // report also resets the sender's silent-epoch counter — receipt is
+  // receipt, whether or not the node is currently expected.
+  for (const node_id node : heard) {
+    silent_epochs_.erase(node);
+    if (dead_.erase(node) > 0) {
+      outcome.rehabilitated.push_back(node);
+      obs::add_counter("manager.nodes_rehabilitated");
+      if (obs::events_enabled())
+        obs::emit(obs::severity::info, "manager", "node_rehabilitated",
+                  {{"node", node}, {"epoch", outcome.epoch}});
+    }
+  }
+
   // Watchdog: every sender in the routed workload owes health reports
-  // (it reports its outgoing links' statistics). Nodes already declared
+  // (it reports its outgoing links' statistics). Nodes still declared
   // dead owe nothing.
   std::set<node_id> expected;
   for (const auto& f : flows)
     for (const auto& l : f.route)
       if (dead_.count(l.sender) == 0) expected.insert(l.sender);
-  std::set<node_id> heard;
-  for (const auto& [key, obs] : observations)
-    if (!obs.reuse_samples.empty() || !obs.cf_samples.empty())
-      heard.insert(key.sender);
 
   for (node_id node : expected) {
     if (heard.count(node) > 0) {

@@ -99,6 +99,11 @@ class network_manager {
     std::vector<node_id> silent_nodes;
     /// Nodes declared dead this epoch.
     std::vector<node_id> newly_dead;
+    /// Previously-dead nodes whose health reports resumed this epoch.
+    /// They are removed from the dead set immediately (a reporting node
+    /// is alive by definition); re-routing flows back over them is the
+    /// caller's decision at the next admission.
+    std::vector<node_id> rehabilitated;
     /// Consecutive silent epochs before the declaration (0 when no node
     /// was declared dead this epoch) — the detection latency.
     int detection_latency_epochs = 0;
@@ -153,6 +158,13 @@ class network_manager {
     silent_epochs_.clear();
     lineage_.clear();
   }
+
+  /// Forgets only the flow-id lineage, keeping deaths and watchdog
+  /// counters. Callers that edit the workload's composition between
+  /// recoveries (scenario churn: arrivals and departures) must call this
+  /// — a coincidentally size-matched workload would otherwise be mapped
+  /// through the stale dense-to-original lineage.
+  void reset_flow_lineage() { lineage_.clear(); }
 
   /// Drops all accumulated isolations (e.g. after the interference
   /// environment changed and the links were re-validated).

@@ -57,13 +57,22 @@ void validate_fault_plan(const fault_plan& plan, int num_nodes) {
     check_node(s.node, num_nodes, "report suppression");
     check_interval(s.start_run, s.end_run, "report suppression");
   }
+  for (const auto& j : plan.jams) {
+    WSAN_REQUIRE(j.slot >= 0, "jammed slot: slot must be non-negative");
+    check_interval(j.start_run, j.end_run, "jammed slot");
+  }
 }
 
 fault_plan slice_fault_plan(const fault_plan& plan, int first_run,
                             int num_runs) {
   WSAN_REQUIRE(first_run >= 0, "window start must be non-negative");
-  WSAN_REQUIRE(num_runs >= 1, "window must cover at least one run");
+  WSAN_REQUIRE(num_runs >= 0, "window length must be non-negative");
+  // Reject malformed plans up front: slicing an interval whose end
+  // precedes its start would silently produce a plausible-looking but
+  // meaningless sub-plan.
+  validate_fault_plan(plan);
   fault_plan out;
+  if (num_runs == 0) return out;
   for (auto c : plan.crashes) {
     if (shift_interval(c.start_run, c.restart_run, first_run, num_runs))
       out.crashes.push_back(c);
@@ -76,13 +85,17 @@ fault_plan slice_fault_plan(const fault_plan& plan, int first_run,
     if (shift_interval(s.start_run, s.end_run, first_run, num_runs))
       out.suppressions.push_back(s);
   }
+  for (auto j : plan.jams) {
+    if (shift_interval(j.start_run, j.end_run, first_run, num_runs))
+      out.jams.push_back(j);
+  }
   return out;
 }
 
 void save_fault_plan(const fault_plan& plan, std::ostream& os) {
   os << "faultplan "
      << plan.crashes.size() + plan.link_failures.size() +
-            plan.suppressions.size()
+            plan.suppressions.size() + plan.jams.size()
      << "\n";
   for (const auto& c : plan.crashes)
     os << "crash " << c.node << ' ' << c.start_run << ' ' << c.restart_run
@@ -92,6 +105,9 @@ void save_fault_plan(const fault_plan& plan, std::ostream& os) {
        << ' ' << l.end_run << "\n";
   for (const auto& s : plan.suppressions)
     os << "suppress " << s.node << ' ' << s.start_run << ' ' << s.end_run
+       << "\n";
+  for (const auto& j : plan.jams)
+    os << "jam " << j.slot << ' ' << j.start_run << ' ' << j.end_run
        << "\n";
 }
 
@@ -133,13 +149,19 @@ fault_plan load_fault_plan(std::istream& is) {
       WSAN_REQUIRE(static_cast<bool>(ls),
                    "malformed suppress record" + where);
       plan.suppressions.push_back(s);
+    } else if (kind == "jam") {
+      WSAN_REQUIRE(have_header, "jam record before header" + where);
+      jammed_slot j;
+      ls >> j.slot >> j.start_run >> j.end_run;
+      WSAN_REQUIRE(static_cast<bool>(ls), "malformed jam record" + where);
+      plan.jams.push_back(j);
     } else {
       WSAN_REQUIRE(false, "unknown record kind '" + kind + "'" + where);
     }
   }
   WSAN_REQUIRE(have_header, "stream contained no faultplan header");
   WSAN_REQUIRE(plan.crashes.size() + plan.link_failures.size() +
-                       plan.suppressions.size() ==
+                       plan.suppressions.size() + plan.jams.size() ==
                    declared,
                "fault record count does not match the header");
   validate_fault_plan(plan);
@@ -164,12 +186,16 @@ fault_state::fault_state(const fault_plan& plan, int num_nodes)
   validate_fault_plan(plan_, num_nodes);
   node_down_.assign(static_cast<std::size_t>(num_nodes), 0);
   withheld_.assign(static_cast<std::size_t>(num_nodes), 0);
+  slot_t max_slot = -1;
+  for (const auto& j : plan_.jams) max_slot = std::max(max_slot, j.slot);
+  jammed_.assign(static_cast<std::size_t>(max_slot + 1), 0);
 }
 
 void fault_state::begin_run(int run) {
   if (!any_) return;
   std::fill(node_down_.begin(), node_down_.end(), 0);
   std::fill(withheld_.begin(), withheld_.end(), 0);
+  std::fill(jammed_.begin(), jammed_.end(), 0);
   links_down_.clear();
   // Fault-plan executions are logged once, at the run where each fault
   // switches on — not on every run it stays active.
@@ -202,6 +228,16 @@ void fault_state::begin_run(int run) {
                    {"receiver", l.receiver},
                    {"run", run},
                    {"end_run", l.end_run}});
+    }
+  }
+  for (const auto& j : plan_.jams) {
+    if (interval_contains(j.start_run, j.end_run, run)) {
+      jammed_[static_cast<std::size_t>(j.slot)] = 1;
+      if (run == j.start_run && obs::events_enabled())
+        obs::emit(obs::severity::warning, "sim", "fault_jammed_slot",
+                  {{"slot", j.slot},
+                   {"run", run},
+                   {"end_run", j.end_run}});
     }
   }
 }

@@ -60,6 +60,21 @@ struct report_suppression {
                          const report_suppression&) = default;
 };
 
+/// A jammed slot for runs in [start_run, end_run); end_run == -1 is
+/// permanent. Every transmission scheduled in slot `slot` of the TSCH
+/// frame fails at the receiver while the jam is active — the model of a
+/// wideband timing-predicting jammer that blankets one slot across all
+/// channels. Senders keep transmitting and reporting (they observe the
+/// losses), so the manager sees the PRR collapse on the jammed slot's
+/// links.
+struct jammed_slot {
+  slot_t slot = 0;
+  int start_run = 0;
+  int end_run = -1;
+
+  friend bool operator==(const jammed_slot&, const jammed_slot&) = default;
+};
+
 /// The full fault script of one experiment. An empty plan is a strict
 /// no-op: the simulator's output (including its RNG consumption) is
 /// bit-identical to a run without fault support.
@@ -67,9 +82,11 @@ struct fault_plan {
   std::vector<node_crash> crashes;
   std::vector<link_failure> link_failures;
   std::vector<report_suppression> suppressions;
+  std::vector<jammed_slot> jams;
 
   bool empty() const {
-    return crashes.empty() && link_failures.empty() && suppressions.empty();
+    return crashes.empty() && link_failures.empty() &&
+           suppressions.empty() && jams.empty();
   }
 
   friend bool operator==(const fault_plan&, const fault_plan&) = default;
@@ -83,20 +100,28 @@ void validate_fault_plan(const fault_plan& plan, int num_nodes = -1);
 /// Restricts the plan to the run window [first_run, first_run + num_runs)
 /// and re-expresses it in window-local run indices — how an epoch-driven
 /// caller feeds one global plan to per-epoch run_simulation calls. Faults
-/// that do not intersect the window are dropped.
+/// that do not intersect the window are dropped; an interval starting
+/// exactly at the window's end (or ending exactly at its start) is
+/// outside the half-open window and is dropped, so adjacent epoch slices
+/// partition the plan without overlap. The input plan is validated
+/// (malformed intervals — e.g. end before start — are rejected rather
+/// than sliced silently). num_runs == 0 is an empty window and yields an
+/// empty plan, preserving the empty-plan bit-identity guarantee for
+/// degenerate epochs.
 fault_plan slice_fault_plan(const fault_plan& plan, int first_run,
                             int num_runs);
 
 // ------------------------------------------------------- text format --
 //
-//   faultplan 3
+//   faultplan 4
 //   crash 5 10 -1
 //   linkfail 3 7 0 20
 //   suppress 2 5 10
+//   jam 14 0 -1
 //
 // One record per line: `crash NODE START RESTART`, `linkfail SENDER
-// RECEIVER START END`, `suppress NODE START END`; -1 means "forever".
-// The header count must match the number of records.
+// RECEIVER START END`, `suppress NODE START END`, `jam SLOT START END`;
+// -1 means "forever". The header count must match the number of records.
 
 void save_fault_plan(const fault_plan& plan, std::ostream& os);
 fault_plan load_fault_plan(std::istream& is);
@@ -130,11 +155,18 @@ class fault_state {
     return any_ && withheld_[static_cast<std::size_t>(node)];
   }
 
+  /// True iff the given TSCH slot is jammed in the current run.
+  bool slot_jammed(slot_t slot) const {
+    return any_ && static_cast<std::size_t>(slot) < jammed_.size() &&
+           jammed_[static_cast<std::size_t>(slot)];
+  }
+
  private:
   fault_plan plan_;
   bool any_ = false;
   std::vector<char> node_down_;  // per node, current run
   std::vector<char> withheld_;   // per node, current run
+  std::vector<char> jammed_;     // per slot, current run
   std::vector<std::pair<node_id, node_id>> links_down_;  // current run
 };
 

@@ -365,13 +365,15 @@ sim_result run_simulation_naive(const topo::topology& topo,
         combined.insert(combined.end(), external.begin(), external.end());
         const double p =
             phy::reception_probability(capture, signal, combined);
-        // A crashed receiver or failed link loses the packet regardless
-        // of the channel (the sender, not knowing, transmits anyway and
-        // still interferes with concurrent receptions). The Bernoulli
-        // draw is consumed either way so a fault does not reshuffle the
-        // sample path of unrelated links within the slot.
+        // A crashed receiver, failed link, or jammed slot loses the
+        // packet regardless of the channel (the sender, not knowing,
+        // transmits anyway and still interferes with concurrent
+        // receptions). The Bernoulli draw is consumed either way so a
+        // fault does not reshuffle the sample path of unrelated links
+        // within the slot.
         const bool faulted_rx = faults.node_down(tx.receiver) ||
-                                faults.link_down(tx.sender, tx.receiver);
+                                faults.link_down(tx.sender, tx.receiver) ||
+                                faults.slot_jammed(s);
         success[i] = gen.bernoulli(p) && !faulted_rx;
 
         // Ground-truth attribution (counterfactual reception). Fault
@@ -876,8 +878,10 @@ class fast_engine {
                   capture_, signal, powers_.data(), powers_.size());
               auto& counts = counts_[static_cast<std::size_t>(li)];
               const bool faulted =
-                  faults_on_ && (faults_.node_down(tx.receiver) ||
-                                 faults_.link_down(tx.sender, tx.receiver));
+                  faults_on_ &&
+                  (faults_.node_down(tx.receiver) ||
+                   faults_.link_down(tx.sender, tx.receiver) ||
+                   faults_.slot_jammed(s));
               if (internal_count > 0 && !faulted) {
                 // Counterfactual without the in-network interferers:
                 // the external sub-span alone, or the cached p0 when
@@ -902,8 +906,10 @@ class fast_engine {
               }
             }
             const bool faulted_rx =
-                faults_on_ && (faults_.node_down(tx.receiver) ||
-                               faults_.link_down(tx.sender, tx.receiver));
+                faults_on_ &&
+                (faults_.node_down(tx.receiver) ||
+                 faults_.link_down(tx.sender, tx.receiver) ||
+                 faults_.slot_jammed(s));
             success_[i] = (gen.bernoulli(p) && !faulted_rx) ? 1 : 0;
           }
 

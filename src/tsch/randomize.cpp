@@ -1,0 +1,208 @@
+#include "tsch/randomize.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/error.h"
+
+namespace wsan::tsch {
+
+namespace {
+
+/// Per-placement chain metadata: the slot of the previous and next
+/// transmission of the same flow instance (route order x attempts), or
+/// k_invalid_slot at the chain ends, plus the instance's admission
+/// window.
+struct chain_info {
+  slot_t prev_slot = k_invalid_slot;
+  slot_t next_slot = k_invalid_slot;
+  slot_t release = 0;
+  slot_t deadline = 0;
+};
+
+}  // namespace
+
+randomize_result randomize_slots(const schedule& sched,
+                                 const std::vector<flow::flow>& flows,
+                                 rng& gen, int attempts) {
+  WSAN_REQUIRE(attempts >= 0, "attempts must be non-negative");
+  const auto& placements = sched.placements();
+  const std::size_t n = placements.size();
+
+  std::map<flow_id, const flow::flow*> flow_by_id;
+  for (const auto& f : flows) flow_by_id[f.id] = &f;
+
+  // Rebuild each flow instance's transmission chain in (link_index,
+  // attempt) order and record every placement's neighbours. The input
+  // schedule is assumed valid (the scheduler's output), so chain order
+  // equals slot order.
+  std::vector<slot_t> slot_of(n);
+  std::vector<chain_info> chains(n);
+  std::map<std::pair<flow_id, int>, std::vector<std::size_t>> instances;
+  for (std::size_t i = 0; i < n; ++i) {
+    slot_of[i] = placements[i].slot;
+    instances[{placements[i].tx.flow, placements[i].tx.instance}]
+        .push_back(i);
+  }
+  for (auto& [key, members] : instances) {
+    std::sort(members.begin(), members.end(),
+              [&](std::size_t a, std::size_t b) {
+                const auto& ta = placements[a].tx;
+                const auto& tb = placements[b].tx;
+                if (ta.link_index != tb.link_index)
+                  return ta.link_index < tb.link_index;
+                return ta.attempt < tb.attempt;
+              });
+    const auto it = flow_by_id.find(key.first);
+    WSAN_REQUIRE(it != flow_by_id.end(),
+                 "schedule references a flow absent from the workload");
+    const auto& f = *it->second;
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      auto& info = chains[members[k]];
+      info.release = f.release_slot(key.second);
+      info.deadline = f.deadline_slot(key.second);
+      if (k > 0) info.prev_slot = slot_of[members[k - 1]];
+      if (k + 1 < members.size())
+        info.next_slot = slot_of[members[k + 1]];
+    }
+  }
+
+  // members_by_slot: which placements currently sit in each slot.
+  std::vector<std::vector<std::size_t>> members_by_slot(
+      static_cast<std::size_t>(sched.num_slots()));
+  for (std::size_t i = 0; i < n; ++i)
+    members_by_slot[static_cast<std::size_t>(slot_of[i])].push_back(i);
+
+  randomize_result out;
+
+  // --- Phase 1: order-preserving column relabeling (see header) ------
+  {
+    std::vector<slot_t> cols;
+    for (slot_t s = 0; s < sched.num_slots(); ++s)
+      if (!members_by_slot[static_cast<std::size_t>(s)].empty())
+        cols.push_back(s);
+    const std::size_t k = cols.size();
+    out.columns = static_cast<int>(k);
+    if (k > 0) {
+      // Each column's admission window is the intersection of its
+      // members' windows, clamped to the frame.
+      std::vector<std::int64_t> win_lo(k, 0);
+      std::vector<std::int64_t> win_hi(
+          k, static_cast<std::int64_t>(sched.num_slots()) - 1);
+      for (std::size_t j = 0; j < k; ++j) {
+        for (const std::size_t i :
+             members_by_slot[static_cast<std::size_t>(cols[j])]) {
+          win_lo[j] = std::max(win_lo[j],
+                               static_cast<std::int64_t>(chains[i].release));
+          win_hi[j] = std::min(
+              win_hi[j], static_cast<std::int64_t>(chains[i].deadline));
+        }
+      }
+      // Backward pass: latest[j] is the latest slot column j can take
+      // while still leaving distinct later slots for columns j+1..k-1.
+      std::vector<std::int64_t> latest(k);
+      latest[k - 1] = win_hi[k - 1];
+      for (std::size_t j = k - 1; j-- > 0;)
+        latest[j] = std::min(win_hi[j], latest[j + 1] - 1);
+      // Forward sample. The original slots satisfy every bound (the
+      // input schedule is valid), so the draw range is never empty.
+      std::int64_t prev = -1;
+      std::vector<slot_t> target(k);
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::int64_t lo = std::max(win_lo[j], prev + 1);
+        WSAN_REQUIRE(lo <= latest[j],
+                     "relabeling window empty on a valid schedule");
+        target[j] = static_cast<slot_t>(gen.uniform_int(lo, latest[j]));
+        prev = target[j];
+        if (target[j] != cols[j]) ++out.columns_moved;
+      }
+      // Apply the monotone re-map.
+      std::vector<std::vector<std::size_t>> remapped(
+          static_cast<std::size_t>(sched.num_slots()));
+      for (std::size_t j = 0; j < k; ++j) {
+        auto& members = members_by_slot[static_cast<std::size_t>(cols[j])];
+        for (const std::size_t i : members) slot_of[i] = target[j];
+        remapped[static_cast<std::size_t>(target[j])] = std::move(members);
+      }
+      members_by_slot = std::move(remapped);
+      for (auto& [key, members] : instances) {
+        (void)key;
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          auto& info = chains[members[m]];
+          if (m > 0) info.prev_slot = slot_of[members[m - 1]];
+          if (m + 1 < members.size())
+            info.next_slot = slot_of[members[m + 1]];
+        }
+      }
+    }
+  }
+
+  // --- Phase 2: pairwise column swaps ---------------------------------
+  // A column swap lo<->hi is feasible iff every moved transmission keeps
+  // its chain strictly ordered and stays inside its admission window.
+  // For a transmission moving lo -> hi (later): its successor must
+  // still come after it (next_slot > hi) and hi must not pass the
+  // deadline; the release bound is implied (release <= lo < hi). For a
+  // transmission moving hi -> lo (earlier): its predecessor must still
+  // come before it (prev_slot < lo) and lo must not precede the
+  // release; the deadline bound is implied. A chain with members in
+  // BOTH slots is rejected by these same tests (its lo member's
+  // next_slot == hi fails next_slot > hi).
+  const auto feasible = [&](slot_t lo, slot_t hi) {
+    for (const std::size_t i :
+         members_by_slot[static_cast<std::size_t>(lo)]) {
+      const auto& info = chains[i];
+      if (info.next_slot != k_invalid_slot && info.next_slot <= hi)
+        return false;
+      if (hi > info.deadline) return false;
+    }
+    for (const std::size_t i :
+         members_by_slot[static_cast<std::size_t>(hi)]) {
+      const auto& info = chains[i];
+      if (info.prev_slot != k_invalid_slot && info.prev_slot >= lo)
+        return false;
+      if (lo < info.release) return false;
+    }
+    return true;
+  };
+
+  out.swaps_attempted = attempts;
+  const auto last = static_cast<std::int64_t>(sched.num_slots()) - 1;
+  for (int a = 0; a < attempts; ++a) {
+    // Both draws happen unconditionally (see header contract).
+    const auto s1 = static_cast<slot_t>(gen.uniform_int(0, last));
+    const auto s2 = static_cast<slot_t>(gen.uniform_int(0, last));
+    if (s1 == s2) continue;
+    const slot_t lo = std::min(s1, s2);
+    const slot_t hi = std::max(s1, s2);
+    if (!feasible(lo, hi)) continue;
+
+    auto& mlo = members_by_slot[static_cast<std::size_t>(lo)];
+    auto& mhi = members_by_slot[static_cast<std::size_t>(hi)];
+    for (const std::size_t i : mlo) slot_of[i] = hi;
+    for (const std::size_t i : mhi) slot_of[i] = lo;
+    std::swap(mlo, mhi);
+    // Chain neighbours changed slots too; update the affected entries.
+    // Only placements whose neighbour sat in lo or hi are affected.
+    for (auto& [key, members] : instances) {
+      (void)key;
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        auto& info = chains[members[k]];
+        if (k > 0) info.prev_slot = slot_of[members[k - 1]];
+        if (k + 1 < members.size())
+          info.next_slot = slot_of[members[k + 1]];
+      }
+    }
+    ++out.swaps_applied;
+  }
+
+  // Rebuild the schedule with the permuted slots; placement order (and
+  // therefore the simulator's iteration order) follows the original.
+  out.sched = schedule(sched.num_slots(), sched.num_offsets());
+  for (std::size_t i = 0; i < n; ++i)
+    out.sched.add(placements[i].tx, slot_of[i], placements[i].offset);
+  return out;
+}
+
+}  // namespace wsan::tsch

@@ -1,0 +1,79 @@
+// Epoch-wise schedule randomization against timing-predicting jammers
+// (the SlotSwapper idea, arXiv:1910.12000).
+//
+// A TSCH schedule repeats every hyperperiod, so an eavesdropping jammer
+// that observed one epoch knows exactly which slots will be busy in the
+// next and can concentrate its energy there. The defense is to permute
+// the schedule between epochs while preserving every constraint the
+// scheduler established. Both phases move whole slot *columns* — the
+// complete contents of a slot travel together — which is the right
+// primitive because:
+//  * intra-slot conflict freedom is untouched (the set of transmissions
+//    sharing a slot never changes);
+//  * the channel/reuse constraint is untouched (cells travel with their
+//    offset: cell (a, o) becomes cell (b, o), so the set of
+//    transmissions sharing a cell never changes);
+//  * only the *ordering* constraints remain — each flow instance's
+//    transmission chain must stay strictly increasing in slot order and
+//    inside its [release, deadline] window.
+//
+// Phase 1 — order-preserving column relabeling. The scheduler packs
+// as-soon-as-possible, so every busy column's successors sit in the very
+// next busy column and pairwise column swaps alone have (almost) no
+// freedom: the busy-slot *set* would never move, and a jammer that
+// blankets last epoch's busy slots would keep a 100% hit rate. Instead
+// the k busy columns are re-mapped monotonically onto a random strictly
+// increasing slot sequence: column j's target is drawn uniformly from
+// [max(window_low_j, prev_target + 1), latest_j], where latest_j is a
+// backward-pass bound that always leaves room for the columns after j.
+// A monotone whole-column re-map preserves chain order by construction,
+// so only the per-column [release, deadline] intersection constrains the
+// draw — and the original slots are a witness that the windows are
+// always satisfiable. This is what actually spreads the busy set across
+// the frame.
+//
+// Phase 2 — pairwise column swaps (the SlotSwapper move). Random slot
+// pairs trade contents when every moved transmission keeps its chain
+// strictly ordered and stays inside its window (O(1) checks against
+// chain neighbours). This adds order-*changing* permutations between
+// independent instances that the monotone phase cannot reach.
+//
+// The pass is deterministic given the rng stream: the scenario engine
+// derives a per-epoch generator so any epoch's permutation can be
+// replayed in isolation. The draw count — k uniform_int draws for phase
+// 1 plus exactly 2 * attempts for phase 2 — is a pure function of the
+// input schedule, never of which moves were accepted.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "flow/flow.h"
+#include "tsch/schedule.h"
+
+namespace wsan::tsch {
+
+struct randomize_result {
+  schedule sched;
+  /// Busy columns seen by the relabeling phase.
+  int columns = 0;
+  /// Columns whose relabeled slot differs from their original slot.
+  int columns_moved = 0;
+  /// Candidate swaps drawn (== the `attempts` argument).
+  int swaps_attempted = 0;
+  /// Swaps that passed the feasibility check and were applied.
+  int swaps_applied = 0;
+};
+
+/// Randomizes the schedule: first the monotone column relabeling, then
+/// `attempts` pairwise column-swap candidates, each applied only when it
+/// preserves schedule validity (see file comment). The rng stream
+/// position after the call depends only on the input schedule and
+/// `attempts`, not on which moves were accepted. The flows must be the
+/// workload the schedule was produced for (release/deadline windows are
+/// read off them by flow id).
+randomize_result randomize_slots(const schedule& sched,
+                                 const std::vector<flow::flow>& flows,
+                                 rng& gen, int attempts);
+
+}  // namespace wsan::tsch

@@ -150,6 +150,66 @@ TEST_F(FaultRecoveryTest, HeardEpochResetsTheWatchdogCounter) {
   EXPECT_EQ(declared.newly_dead, std::vector<node_id>{victim});
 }
 
+TEST_F(FaultRecoveryTest, FlappingNodeIsRehabilitatedWhenReportsResume) {
+  // Regression: a node declared dead whose reports later resumed was
+  // never rehabilitated — the watchdog excluded dead nodes from the
+  // expected-reporter set, so hearing from one changed nothing and the
+  // manager routed around healthy hardware forever.
+  const auto set = workload(12, 11);
+  ASSERT_TRUE(manager_.admit(set.flows).schedulable);
+  const node_id victim = some_expected_relay(set.flows);
+  ASSERT_NE(victim, k_invalid_node);
+
+  const auto healthy = healthy_reports(set.flows);
+  auto muted = healthy;
+  mute(muted, victim);
+
+  manager_.recover(set.flows, muted);  // counter 1
+  const auto declared = manager_.recover(set.flows, muted);  // dead
+  ASSERT_EQ(declared.newly_dead, std::vector<node_id>{victim});
+  ASSERT_EQ(manager_.dead_nodes().count(victim), 1u);
+
+  // The node comes back: its reports resume (the original workload
+  // still names it as a sender), and the very next epoch removes it
+  // from the dead set.
+  const auto revived = manager_.recover(set.flows, healthy);
+  EXPECT_EQ(revived.rehabilitated, std::vector<node_id>{victim});
+  EXPECT_TRUE(revived.newly_dead.empty());
+  EXPECT_TRUE(manager_.dead_nodes().empty());
+
+  // Rehabilitation also resets the silence counter: declaring it dead
+  // again takes the full watchdog_epochs of fresh silence.
+  const auto flap1 = manager_.recover(set.flows, muted);
+  EXPECT_TRUE(flap1.newly_dead.empty());
+  const auto flap2 = manager_.recover(set.flows, muted);
+  EXPECT_EQ(flap2.newly_dead, std::vector<node_id>{victim});
+
+  // A second resume rehabilitates again — flapping never wedges the
+  // dead set.
+  const auto revived2 = manager_.recover(set.flows, healthy);
+  EXPECT_EQ(revived2.rehabilitated, std::vector<node_id>{victim});
+  EXPECT_TRUE(manager_.dead_nodes().empty());
+}
+
+TEST_F(FaultRecoveryTest, RevivalBeforeDeclarationIsNotRehabilitation) {
+  // A node that resumes while merely *silent* (not yet declared) was
+  // never dead: the counter resets but nothing is reported as
+  // rehabilitated.
+  const auto set = workload(12, 11);
+  ASSERT_TRUE(manager_.admit(set.flows).schedulable);
+  const node_id victim = some_expected_relay(set.flows);
+  ASSERT_NE(victim, k_invalid_node);
+
+  const auto healthy = healthy_reports(set.flows);
+  auto muted = healthy;
+  mute(muted, victim);
+
+  manager_.recover(set.flows, muted);  // counter 1 of 2
+  const auto resumed = manager_.recover(set.flows, healthy);
+  EXPECT_TRUE(resumed.rehabilitated.empty());
+  EXPECT_TRUE(manager_.dead_nodes().empty());
+}
+
 TEST_F(FaultRecoveryTest, MarkDeadAndResetWatchdog) {
   const auto set = workload(12, 11);
   const node_id victim = some_expected_relay(set.flows);
@@ -305,6 +365,122 @@ TEST_F(FaultRecoveryTest, RerouteFailsWhenAnEndpointDied) {
           graph::remove_nodes(manager_.communication_graph(), dead_dest), f,
           dead_dest)
           .has_value());
+}
+
+TEST(RerouteCorners, UnreachableDestinationAfterPruningReturnsNullopt) {
+  // Both endpoints survive but the only relay between them died: the
+  // pruned graph is partitioned and the reroute must fail cleanly.
+  graph::graph line(3);
+  line.add_edge(0, 1);
+  line.add_edge(1, 2);
+  flow::flow f;
+  f.id = 0;
+  f.source = 0;
+  f.destination = 2;
+  f.period = 10;
+  f.deadline = 10;
+  f.route = {flow::link{0, 1}, flow::link{1, 2}};
+  f.uplink_links = 2;
+  const std::set<node_id> excluded{1};
+  const auto pruned = graph::remove_nodes(line, excluded);
+  EXPECT_FALSE(flow::reroute_flow(pruned, f, excluded).has_value());
+}
+
+TEST(RerouteCorners, CentralizedFlowKeepsItsAccessPointsAcrossRecoveries) {
+  // Topology: 0-1-2(AP)-3-4 with detour relays 5 (uplink) and 6
+  // (downlink), plus a "wrong" AP 7 adjacent to source and destination.
+  // Repeated recoveries must re-route through the flow's own AP (2),
+  // never migrate to AP 7.
+  graph::graph g(8);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(0, 5);
+  g.add_edge(5, 2);
+  g.add_edge(2, 6);
+  g.add_edge(6, 4);
+  g.add_edge(0, 7);
+  g.add_edge(7, 4);
+
+  flow::flow f;
+  f.id = 0;
+  f.type = flow::traffic_type::centralized;
+  f.source = 0;
+  f.destination = 4;
+  f.period = 20;
+  f.deadline = 20;
+  f.route = {flow::link{0, 1}, flow::link{1, 2}, flow::link{2, 3},
+             flow::link{3, 4}};
+  f.uplink_links = 2;
+
+  // First recovery: uplink relay 1 dies; the detour through 5 keeps the
+  // uplink terminating at AP 2.
+  std::set<node_id> excluded{1};
+  auto rerouted =
+      flow::reroute_flow(graph::remove_nodes(g, excluded), f, excluded);
+  ASSERT_TRUE(rerouted.has_value());
+  ASSERT_GE(rerouted->uplink_links, 1);
+  EXPECT_EQ(rerouted
+                ->links[static_cast<std::size_t>(rerouted->uplink_links - 1)]
+                .receiver,
+            2);
+  f.route = rerouted->links;
+  f.uplink_links = rerouted->uplink_links;
+
+  // Second recovery on the repaired flow: downlink relay 3 dies too; the
+  // detour through 6 keeps the downlink starting at AP 2.
+  excluded = {1, 3};
+  rerouted =
+      flow::reroute_flow(graph::remove_nodes(g, excluded), f, excluded);
+  ASSERT_TRUE(rerouted.has_value());
+  EXPECT_EQ(rerouted
+                ->links[static_cast<std::size_t>(rerouted->uplink_links - 1)]
+                .receiver,
+            2);
+  EXPECT_EQ(rerouted->links[static_cast<std::size_t>(rerouted->uplink_links)]
+                .sender,
+            2);
+  for (const auto& l : rerouted->links) {
+    EXPECT_NE(l.sender, 7);
+    EXPECT_NE(l.receiver, 7);
+  }
+
+  // When the AP itself dies, the infrastructure is gone: no reroute.
+  excluded = {2};
+  EXPECT_FALSE(
+      flow::reroute_flow(graph::remove_nodes(g, excluded), f, excluded)
+          .has_value());
+}
+
+TEST(RerouteCorners, SingleNodeResidualGraph) {
+  // Remove everything except one node: the residual graph keeps the id
+  // space (no renumbering), has no edges, and routes nothing.
+  graph::graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const std::set<node_id> removed{0, 1, 2};
+  const auto residual = graph::remove_nodes(g, removed);
+  EXPECT_EQ(residual.num_nodes(), 4);
+  EXPECT_EQ(residual.num_edges(), 0u);
+  for (node_id u = 0; u < 4; ++u)
+    EXPECT_TRUE(residual.neighbors(u).empty());
+
+  flow::flow f;
+  f.id = 0;
+  f.source = 3;
+  f.destination = 0;
+  f.period = 10;
+  f.deadline = 10;
+  f.route = {flow::link{3, 2}, flow::link{2, 1}, flow::link{1, 0}};
+  f.uplink_links = 3;
+  EXPECT_FALSE(flow::reroute_flow(residual, f, removed).has_value());
+
+  // Removing the empty set is the identity.
+  const auto same = graph::remove_nodes(g, {});
+  EXPECT_EQ(same.num_edges(), g.num_edges());
+  EXPECT_TRUE(same.has_edge(0, 1));
 }
 
 // -------------------------------------------- the acceptance scenario --

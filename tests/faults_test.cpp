@@ -355,6 +355,158 @@ TEST(FaultSim, FaultsDoNotPerturbUnrelatedSamplePaths) {
   EXPECT_EQ(obs.reuse_samples, base.reuse_samples);
 }
 
+// ------------------------------------------- slice boundary semantics --
+
+TEST(FaultPlan, SliceDropsEventsOnTheHalfOpenBoundary) {
+  fault_plan plan;
+  // Starts exactly at the window's end: outside [0, 18).
+  plan.crashes.push_back(node_crash{1, 18, 20});
+  // Ends exactly at the window's start: outside [18, 36).
+  plan.link_failures.push_back(link_failure{0, 1, 10, 18});
+  // Permanent from inside the first window.
+  plan.suppressions.push_back(report_suppression{2, 4, -1});
+  plan.jams.push_back(jammed_slot{3, 17, 19});  // straddles the boundary
+
+  const auto first = slice_fault_plan(plan, 0, 18);
+  EXPECT_TRUE(first.crashes.empty());
+  ASSERT_EQ(first.link_failures.size(), 1u);
+  EXPECT_EQ(first.link_failures[0], (link_failure{0, 1, 10, 18}));
+  ASSERT_EQ(first.suppressions.size(), 1u);
+  EXPECT_EQ(first.suppressions[0], (report_suppression{2, 4, -1}));
+  ASSERT_EQ(first.jams.size(), 1u);
+  EXPECT_EQ(first.jams[0], (jammed_slot{3, 17, 18}));  // clipped
+
+  const auto second = slice_fault_plan(plan, 18, 18);
+  ASSERT_EQ(second.crashes.size(), 1u);
+  EXPECT_EQ(second.crashes[0], (node_crash{1, 0, 2}));
+  EXPECT_TRUE(second.link_failures.empty());
+  // The permanent suppression stays permanent in every later window.
+  ASSERT_EQ(second.suppressions.size(), 1u);
+  EXPECT_EQ(second.suppressions[0], (report_suppression{2, 0, -1}));
+  ASSERT_EQ(second.jams.size(), 1u);
+  EXPECT_EQ(second.jams[0], (jammed_slot{3, 0, 1}));
+
+  // Adjacent slices partition the plan: every run of the straddling jam
+  // lands in exactly one window-local interval.
+  EXPECT_EQ((first.jams[0].end_run - first.jams[0].start_run) +
+                (second.jams[0].end_run - second.jams[0].start_run),
+            2);
+}
+
+TEST(FaultPlan, SliceEmptyWindowPreservesEmptyPlanIdentity) {
+  fault_plan plan;
+  plan.crashes.push_back(node_crash{1, 0, -1});
+  plan.jams.push_back(jammed_slot{0, 0, -1});
+  const auto sliced = slice_fault_plan(plan, 5, 0);
+  EXPECT_TRUE(sliced.empty());
+  // An empty slice of an empty plan is the strict no-op the simulator's
+  // bit-identity guarantee relies on.
+  EXPECT_EQ(slice_fault_plan(fault_plan{}, 0, 10), fault_plan{});
+}
+
+TEST(FaultPlan, SliceRejectsMalformedInput) {
+  fault_plan plan;
+  plan.crashes.push_back(node_crash{1, 0, 10});
+  EXPECT_THROW(slice_fault_plan(plan, -1, 10), std::invalid_argument);
+  EXPECT_THROW(slice_fault_plan(plan, 0, -1), std::invalid_argument);
+  // A malformed plan (end before start) is rejected, not sliced quietly.
+  plan.crashes[0] = node_crash{1, 10, 4};
+  EXPECT_THROW(slice_fault_plan(plan, 0, 20), std::invalid_argument);
+  plan.crashes.clear();
+  plan.jams.push_back(jammed_slot{-1, 0, -1});  // negative slot
+  EXPECT_THROW(slice_fault_plan(plan, 0, 20), std::invalid_argument);
+}
+
+// ------------------------------------------------------- jammed slots --
+
+TEST(FaultPlan, JamRecordsValidateAndRoundTrip) {
+  fault_plan plan;
+  plan.jams.push_back(jammed_slot{14, 0, -1});
+  plan.jams.push_back(jammed_slot{3, 5, 9});
+  EXPECT_NO_THROW(validate_fault_plan(plan));
+
+  std::stringstream ss;
+  save_fault_plan(plan, ss);
+  EXPECT_EQ(load_fault_plan(ss), plan);
+
+  plan.jams.push_back(jammed_slot{2, 7, 7});  // empty interval
+  EXPECT_THROW(validate_fault_plan(plan), std::invalid_argument);
+}
+
+TEST(FaultState, TracksJammedSlotsAcrossRuns) {
+  fault_plan plan;
+  plan.jams.push_back(jammed_slot{2, 1, 3});
+  plan.jams.push_back(jammed_slot{5, 0, -1});
+  fault_state state(plan, 3);
+  EXPECT_TRUE(state.any());
+
+  state.begin_run(0);
+  EXPECT_FALSE(state.slot_jammed(2));
+  EXPECT_TRUE(state.slot_jammed(5));
+  EXPECT_FALSE(state.slot_jammed(99));  // beyond any jam: never jammed
+
+  state.begin_run(1);
+  EXPECT_TRUE(state.slot_jammed(2));
+  state.begin_run(3);
+  EXPECT_FALSE(state.slot_jammed(2));
+  EXPECT_TRUE(state.slot_jammed(5));
+}
+
+TEST(FaultSim, JammedSlotKillsThatSlotButRetriesSurvive) {
+  // The relay schedule puts each hop's first attempt in slots 0 and 2
+  // and the retries in slots 1 and 3. Jamming slot 0 kills every
+  // first-hop attempt there; the retry slot is untouched, so on perfect
+  // links the flow still delivers.
+  relay_world w;
+  auto config = quick_config(30);
+  config.probes_per_run = 0;  // probes are jam-immune; count traffic only
+  config.faults.jams.push_back(jammed_slot{0, 0, -1});
+  const auto jammed = w.run(config);
+  EXPECT_DOUBLE_EQ(jammed.flow_pdr[0], 1.0);
+
+  // Jamming both attempts' slots of hop 0 severs the flow entirely.
+  config.faults.jams.push_back(jammed_slot{1, 0, -1});
+  const auto severed = w.run(config);
+  EXPECT_DOUBLE_EQ(severed.flow_pdr[0], 0.0);
+  // The sender still transmitted and reported: the manager sees the
+  // PRR collapse rather than silence.
+  const auto& obs = severed.links.at(link_key{0, 1});
+  EXPECT_GT(obs.cf_attempts + obs.reuse_attempts, 0);
+  EXPECT_EQ(obs.cf_successes + obs.reuse_successes, 0);
+}
+
+TEST(FaultSim, JamOnOffSharesTheSamplePathOutsideTheJam) {
+  // Jam checks compose after the PHY draw (the draw is consumed either
+  // way), so switching a jam on must not reshuffle any other slot's
+  // sample path: the unjammed flow's observations are identical with
+  // and without the jam.
+  auto t = line_topology(4, 100.0);
+  const auto channels = phy::channels(4);
+  set_link_all_channels(t, 0, 1, 0.7, channels);
+  set_link_all_channels(t, 2, 3, 0.7, channels);
+  const auto f0 = one_link_flow(0, 0, 1, 10, 10);
+  const auto f1 = one_link_flow(1, 2, 3, 10, 10);
+  tsch::schedule sched(10, 4);
+  sched.add(make_tx(0, 0, 0, 0, 0, 1), 0, 0);
+  sched.add(make_tx(1, 0, 0, 0, 2, 3), 1, 1);
+
+  auto config = quick_config(40, 17);
+  config.probes_per_run = 1;
+  const auto baseline =
+      run_simulation(t, sched, {f0, f1}, channels, config);
+  config.faults.jams.push_back(jammed_slot{1, 0, -1});
+  const auto jammed =
+      run_simulation(t, sched, {f0, f1}, channels, config);
+
+  EXPECT_DOUBLE_EQ(jammed.flow_pdr[1], 0.0);
+  EXPECT_DOUBLE_EQ(jammed.flow_pdr[0], baseline.flow_pdr[0]);
+  const auto& base = baseline.links.at(link_key{0, 1});
+  const auto& obs = jammed.links.at(link_key{0, 1});
+  EXPECT_EQ(obs.cf_samples, base.cf_samples);
+  EXPECT_EQ(obs.reuse_samples, base.reuse_samples);
+  EXPECT_EQ(obs.cf_successes, base.cf_successes);
+}
+
 // --------------------------------------------------- config validation --
 
 TEST(SimConfig, ValidatesNumericInvariants) {

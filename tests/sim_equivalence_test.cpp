@@ -95,14 +95,16 @@ const world& shared_world(core::algorithm algo, int flows) {
 sim::fault_plan crash_and_suppress_plan(const world& w) {
   sim::fault_plan plan;
   // Crash a relay mid-experiment, fail one direction of a scheduled
-  // link, and suppress another sender's reports — all three fault kinds
-  // exercise distinct branches of the hot loop.
+  // link, suppress another sender's reports, and jam two busy slots —
+  // all four fault kinds exercise distinct branches of the hot loop.
   const auto& placements = w.sched.placements();
   const auto& first = placements.front().tx;
   const auto& last = placements.back().tx;
   plan.crashes.push_back({first.sender, 5, 9});
   plan.link_failures.push_back({last.sender, last.receiver, 3, -1});
   plan.suppressions.push_back({first.receiver, 7, 11});
+  plan.jams.push_back({placements.front().slot, 2, 8});
+  plan.jams.push_back({placements.back().slot, 0, -1});
   return plan;
 }
 

@@ -40,7 +40,9 @@
 #include "graph/comm_graph.h"
 #include "graph/reuse_graph.h"
 #include "manager/network_manager.h"
+#include "scenario/scenario.h"
 #include "sim/faults.h"
+#include "sim/interference.h"
 #include "sim/simulator.h"
 #include "stats/summary.h"
 #include "topo/testbeds.h"
@@ -87,6 +89,15 @@ commands:
              --rho N  --tenants N  --ops N  --max-flows N
              --admit-bias P  --jobs N  --seed N
              [--replay-tenant ID]  [--metrics FILE]  [--trace FILE]
+  scenario   drive the scenario engine through time-varying epochs
+             (arrivals, departures, node churn, jamming, recovery)
+             --testbed indriya|wustl | --topology FILE
+             --channels N  --algo nr|ra|rc  --flows N  --epochs N
+             --runs-per-epoch N  --arrival-rate R  --max-flows N
+             --departure-rate R  --crash-rate R  --revival-rate R
+             --jam-slots N  [--randomize]  --swap-attempts N
+             --watchdog N  [--wifi]  --onset-epoch N  --seed N
+             [--replay EPOCH]  [--metrics FILE]  [--trace FILE]
   faults     inject faults and drive the detect/reroute/shed loop
              --topology FILE  --workload FILE  --channels N
              [--plan FILE | --crash IDS [--crash-run N]]
@@ -397,6 +408,130 @@ int cmd_fleet(const cli_args& args) {
   return 0;
 }
 
+int cmd_scenario(const cli_args& args) {
+  // The deployment: an explicit topology file, or a named testbed with
+  // its fixed per-figure seed (indriya 1, wustl 2).
+  topo::topology topology;
+  if (args.has("topology")) {
+    topology = topo::load_topology_file(args.get("topology", ""));
+  } else {
+    const auto testbed = args.get("testbed", "wustl");
+    if (testbed == "indriya") topology = topo::make_indriya();
+    else if (testbed == "wustl") topology = topo::make_wustl();
+    else throw std::invalid_argument("unknown --testbed: " + testbed);
+  }
+
+  scenario::scenario_config config;
+  config.epochs = static_cast<int>(args.get_int("epochs", 12));
+  config.runs_per_epoch =
+      static_cast<int>(args.get_int("runs-per-epoch", 6));
+  config.seed = args.get_uint64("seed", 1);
+  config.flow_params.num_flows =
+      static_cast<int>(args.get_int("flows", 8));
+  config.flow_params.type = args.get("type", "p2p") == "centralized"
+                                ? flow::traffic_type::centralized
+                                : flow::traffic_type::peer_to_peer;
+  config.flow_params.period_min_exp =
+      static_cast<int>(args.get_int("period-min", 0));
+  config.flow_params.period_max_exp =
+      static_cast<int>(args.get_int("period-max", 1));
+  config.departure_rate = args.get_double("departure-rate", 0.1);
+  config.arrivals.rate = args.get_double("arrival-rate", 1.5);
+  config.arrivals.max_flows =
+      static_cast<int>(args.get_int("max-flows", 12));
+  config.churn.crash_rate = args.get_double("crash-rate", 0.01);
+  config.churn.revival_rate = args.get_double("revival-rate", 0.3);
+  const int jam_slots = static_cast<int>(args.get_int("jam-slots", 0));
+  config.jammer.enabled = jam_slots > 0;
+  config.jammer.jam_slots = jam_slots;
+  config.jammer.randomize = args.get_bool("randomize", false);
+  config.jammer.swap_attempts =
+      static_cast<int>(args.get_int("swap-attempts", 128));
+  const int channels = static_cast<int>(args.get_int("channels", 8));
+  config.manager.num_channels = channels;
+  const auto algo_name = args.get("algo", "rc");
+  core::algorithm algo = core::algorithm::rc;
+  if (algo_name == "nr") algo = core::algorithm::nr;
+  else if (algo_name == "ra") algo = core::algorithm::ra;
+  else if (algo_name != "rc")
+    throw std::invalid_argument("unknown --algo: " + algo_name);
+  config.manager.scheduler = core::make_config(algo, channels);
+  config.manager.watchdog_epochs =
+      static_cast<int>(args.get_int("watchdog", 2));
+  if (args.get_bool("wifi", false))
+    config.sim.interferers =
+        sim::one_interferer_per_floor(topology, 0.3, 8.0);
+  config.interferer_onset_epoch =
+      static_cast<int>(args.get_int("onset-epoch", 0));
+  config.sim.probes_per_run = 1;
+
+  if (args.has("replay")) {
+    const int epoch = static_cast<int>(args.get_int("replay", 0));
+    WSAN_REQUIRE(epoch >= 0 && epoch < config.epochs,
+                 "--replay epoch out of range");
+    const auto rec =
+        scenario::scenario_engine::replay(topology, config, epoch);
+    std::cout << "epoch " << epoch << " (seed " << config.seed
+              << "): flows=" << rec.num_flows << " arrivals="
+              << rec.arrivals_accepted << "/" << rec.arrivals_offered
+              << " departures=" << rec.departures << " crashed="
+              << rec.crashed.size() << " newly_dead="
+              << rec.newly_dead.size() << " rehabilitated="
+              << rec.rehabilitated.size() << "\n  rejected_links="
+              << rec.rejected_links << " swaps=" << rec.swaps_applied
+              << "/" << rec.swaps_attempted << " jam_hits="
+              << rec.jam_hits << "/" << rec.jam_predictions << " pdr="
+              << cell(rec.pdr, 3) << " digest=" << rec.digest << "\n";
+    return 0;
+  }
+
+  exp::run_options obs_options;
+  obs_options.metrics_path = args.get("metrics", "");
+  obs_options.trace_path = args.get("trace", "");
+  exp::obs_session session(obs_options);
+
+  scenario::scenario_engine engine(std::move(topology), config);
+  const auto result = engine.run();
+
+  table t({"epoch", "flows", "arr", "dep", "crash", "dead", "rehab",
+           "rej links", "swaps", "jam", "PDR", "digest"});
+  for (const auto& rec : result.epochs) {
+    t.add_row({cell(rec.epoch), cell(rec.num_flows),
+               cell(rec.arrivals_accepted) + "/" +
+                   cell(rec.arrivals_offered),
+               cell(rec.departures), cell(rec.crashed.size()),
+               cell(rec.newly_dead.size()), cell(rec.rehabilitated.size()),
+               cell(rec.rejected_links),
+               cell(rec.swaps_applied) + "/" + cell(rec.swaps_attempted),
+               cell(rec.jam_hits) + "/" + cell(rec.jam_predictions),
+               cell(rec.pdr, 3), std::to_string(rec.digest)});
+  }
+  t.print(std::cout);
+  std::cout << result.total_arrivals_accepted << "/"
+            << result.total_arrivals_offered << " arrivals admitted, "
+            << result.total_rejected << " rejected, "
+            << result.total_departures << " departed; "
+            << result.total_crashes << " crash(es), "
+            << result.total_newly_dead << " declared dead, "
+            << result.total_rehabilitated << " rehabilitated; jam hit "
+            << "rate " << cell(result.jam_hit_rate(), 3) << ", mean PDR "
+            << cell(result.mean_pdr, 3) << ", final digest "
+            << result.final_digest << "\n";
+
+  const auto& snap = session.finish();
+  if (session.active()) {
+    std::cout << "\nobservability: per-phase timings\n";
+    exp::print_span_table(snap, std::cout);
+    if (!obs_options.metrics_path.empty())
+      std::cout << "wrote metrics snapshot to "
+                << obs_options.metrics_path << "\n";
+    if (!obs_options.trace_path.empty())
+      std::cout << "wrote event trace to " << obs_options.trace_path
+                << "\n";
+  }
+  return 0;
+}
+
 int cmd_faults(const cli_args& args) {
   auto topology = topo::load_topology_file(args.get("topology", ""));
   const auto set = flow::load_flow_set_file(args.get("workload", ""));
@@ -669,6 +804,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "detect") return cmd_detect(args);
     if (command == "fleet") return cmd_fleet(args);
+    if (command == "scenario") return cmd_scenario(args);
     if (command == "faults") return cmd_faults(args);
     if (command == "bench") return cmd_bench(args);
     if (command == "diff") return cmd_diff(args);
