@@ -13,12 +13,16 @@
 //
 // Usage: --flows N (default 50), --epochs N (default 6),
 // --onset-epoch N (default 0), --duty P, --wifi-power DB,
-// --arrival-rate R (default 0), --seed N
+// --arrival-rate R (default 0), --seed N,
+// --series FILE (epoch-indexed wsan-series/1 JSONL, algo-prefixed)
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.h"
 #include "common/cli.h"
+#include "common/error.h"
 #include "common/table.h"
+#include "obs/timeseries.h"
 #include "scenario/scenario.h"
 #include "sim/interference.h"
 
@@ -47,6 +51,9 @@ int main(int argc, char** argv) {
 
   table t({"algo", "epoch", "rejected links", "newly isolated", "flows",
            "PDR"});
+  obs::series merged;
+  merged.name = "fig11";
+  merged.index_unit = "epoch";
   for (const auto algo : {core::algorithm::ra, core::algorithm::rc}) {
     scenario::scenario_config config;
     config.epochs = epochs;
@@ -75,8 +82,27 @@ int main(int argc, char** argv) {
       t.add_row({core::to_string(algo), cell(rec.epoch),
                  cell(rec.rejected_links), cell(rec.newly_isolated),
                  cell(rec.num_flows), cell(rec.pdr, 3)});
+
+    // Fold this algorithm's epoch windows into the merged series under
+    // an algo prefix ("ra.pdr", "rc.rejected_links", ...).
+    const auto series = scenario::scenario_series(result);
+    merged.windows.resize(
+        std::max(merged.windows.size(), series.windows.size()));
+    const std::string prefix = std::string(core::to_string(algo)) + ".";
+    for (std::size_t w = 0; w < series.windows.size(); ++w) {
+      merged.windows[w].index = series.windows[w].index;
+      for (const auto& [key, val] : series.windows[w].values)
+        merged.windows[w].values[prefix + key] = val;
+    }
   }
   t.print(std::cout);
+  if (args.has("series")) {
+    const auto path = args.get("series", "");
+    std::ofstream out(path);
+    WSAN_REQUIRE(out.good(), "cannot open for writing: " + path);
+    obs::write_series_jsonl(merged, out);
+    std::cout << "\nwrote per-epoch series to " << path << "\n";
+  }
   std::cout << "\nPaper shape: RA produces more rejected links than RC "
                "under interference. Unlike the paper's passive "
                "classifier, the engine isolates rejected links and "

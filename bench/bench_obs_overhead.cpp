@@ -31,6 +31,7 @@
 #include "core/scheduler.h"
 #include "flow/flow_generator.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace {
@@ -59,6 +60,27 @@ double disabled_site_cost_ns() {
   const auto elapsed = std::chrono::steady_clock::now() - start;
   return std::chrono::duration<double, std::nano>(elapsed).count() /
          k_iters;
+}
+
+/// Microseconds to record one closed series window (two scalars). The
+/// temporal layer (obs/timeseries.h) ships in the same library as the
+/// hot-path metrics; recording a window here proves it is compiled
+/// into this binary while staying entirely off the scheduler hot path
+/// — its cost is per-epoch, so it must never enter the per-placement
+/// overhead asserted below.
+double window_record_cost_us() {
+  constexpr int k_windows = 10'000;
+  obs::series_recorder rec({.name = "calibration", .index_unit = "epoch"});
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < k_windows; ++i) {
+    rec.begin_window(i);
+    rec.set("pdr", 0.5);
+    rec.set("rejection_rate", 0.25);
+    rec.end_window();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::micro>(elapsed).count() /
+         k_windows;
 }
 
 /// Instrumentation sites executed by one schedule, from an enabled-run
@@ -149,6 +171,9 @@ int main(int argc, char** argv) {
             << "% tracing cost, informational)\n"
             << "instrumentation sites : " << sites << " @ " << site_ns
             << " ns/site disabled\n"
+            << "series window record  : " << window_record_cost_us()
+            << " us/window (time-series layer compiled in; per-epoch, "
+               "off the hot path)\n"
             << "disabled-mode overhead: " << disabled_pct
             << "% of schedule time (threshold "
             << (threshold - 1.0) * 100.0 << "%)\n";

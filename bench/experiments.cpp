@@ -1283,6 +1283,17 @@ exp::figure_report run_fleet(const exp::run_options& options,
   panel.name = "churn";
   panel.x_label = "fleet";
 
+  // One point-indexed series window per fleet configuration, with the
+  // admission-latency distribution in an exponential-bucket histogram
+  // (measurement side — stripped from the science payload along with
+  // the health block).
+  const double p99_bound = args.get_double("admit-p99-bound", 5000.0);
+  const auto fleet_policy = obs::default_fleet_policy(p99_bound);
+  static const std::vector<double> k_admit_bounds =
+      obs::exponential_bounds(1.0, 4.0, 10);
+  obs::series_recorder srec({.name = "fleet", .index_unit = "point"});
+  std::vector<std::pair<std::string, obs::health_verdict>> verdicts;
+
   for (int pi = 0; pi < k_num_fleet_points; ++pi) {
     const auto& spec = k_fleet_points[pi];
     fleet::tenant_stats totals;
@@ -1356,10 +1367,37 @@ exp::figure_report run_fleet(const exp::run_options& options,
                  {"admissions_per_s", best_adm_per_s},
                  {"admit_p50_us", p50_us},
                  {"admit_p99_us", p99_us}};
+
+    srec.begin_window(pi);
+    for (const auto& [key, val] : rp.values) srec.set(key, val);
+    srec.set("rejection_rate",
+             totals.ops > 0 ? static_cast<double>(totals.rejections) /
+                                  static_cast<double>(totals.ops)
+                            : 0.0);
+    for (double ns : latencies)
+      srec.observe("admit_us", k_admit_bounds, ns / 1e3);
+    const auto& window = srec.end_window();
+    std::vector<obs::slo_violation> violations;
+    obs::evaluate_window(window, fleet_policy, violations);
+    obs::health_verdict verdict;
+    verdict.windows_evaluated = 1;
+    verdict.violations = std::move(violations);
+    verdict.healthy = verdict.errors() == 0;
+    verdicts.emplace_back(spec.name, std::move(verdict));
     panel.points.push_back(std::move(rp));
   }
   t.print(out);
   report.panels.push_back(std::move(panel));
+
+  report.health = exp::health_section(fleet_policy, verdicts);
+  const auto series_file = options.series_file_for("fleet");
+  if (!series_file.empty()) {
+    std::ofstream sout(series_file);
+    WSAN_REQUIRE(sout.good(), "cannot open for writing: " + series_file);
+    obs::write_series_jsonl(srec.result(), sout);
+    report.series_path = series_file;
+    out << "\nwrote per-point series to " << series_file << "\n";
+  }
   out << "\nEvery admission resumes the greedy scheduler against the "
          "tenant's existing occupancy index and every eviction repairs "
          "the schedule in place (core/delta.h); 'fallbacks' counts the "
@@ -1478,7 +1516,8 @@ exp::figure_report run_churn(const exp::run_options& options,
       {"runs-per-epoch", std::to_string(args.get_int("runs-per-epoch", 6))},
       {"flows", std::to_string(args.get_int("flows", 8))},
       {"max-flows", std::to_string(args.get_int("max-flows", 12))},
-      {"jam-slots", std::to_string(args.get_int("jam-slots", 3))}};
+      {"jam-slots", std::to_string(args.get_int("jam-slots", 3))},
+      {"pdr-floor", cell(args.get_double("pdr-floor", 0.65), 2)}};
 
   // All (point, trial) scenarios in parallel, results in trial-indexed
   // slots: completion order cannot perturb the aggregates.
@@ -1504,6 +1543,19 @@ exp::figure_report run_churn(const exp::run_options& options,
 
   out << "\n" << trials << " scenario trial(s) per point; every column "
       << "is deterministic (bit-identical at any --jobs)\n\n";
+
+  // SLO policy for the per-point health verdicts: the scenario default
+  // with the PDR floor tuned to this figure's regime — static jamming
+  // pins the trial-averaged per-epoch PDR near 0.5 while randomized
+  // runs stay above ~0.72, so 0.65 separates the two.
+  auto slo_policy = obs::default_scenario_policy();
+  const double pdr_floor = args.get_double("pdr-floor", 0.65);
+  for (auto& rule : slo_policy.rules)
+    if (rule.metric == "pdr") rule.bound = pdr_floor;
+  static const std::vector<double> k_pdr_bounds = {0.2, 0.4, 0.6,
+                                                   0.8, 0.9, 0.95};
+  std::vector<std::pair<std::string, obs::health_verdict>> verdicts;
+  std::vector<obs::series> point_series;
   table t({"scenario", "offered", "accepted", "rejected", "departed",
            "crashes", "dead", "max rec lat", "retries", "jam hits",
            "hit rate", "busy frac", "mean PDR", "digest"});
@@ -1575,10 +1627,12 @@ exp::figure_report run_churn(const exp::run_options& options,
     exp::report_panel per_epoch;
     per_epoch.name = std::string("per-epoch ") + spec.name;
     per_epoch.x_label = "epoch";
+    obs::series_recorder srec({.name = spec.name, .index_unit = "epoch"});
     const int epochs = static_cast<int>(runs.front().epochs.size());
     for (int e = 0; e < epochs; ++e) {
       double rej = 0, rej_links = 0, jam = 0, pred = 0, pdr = 0;
-      double dead_e = 0, shed = 0;
+      double dead_e = 0, shed = 0, off = 0, failed = 0;
+      srec.begin_window(e);
       for (const auto& r : runs) {
         const auto& rec = r.epochs[static_cast<std::size_t>(e)];
         rej += rec.rejected_backpressure + rec.rejected_unroutable +
@@ -1589,6 +1643,9 @@ exp::figure_report run_churn(const exp::run_options& options,
         pdr += rec.pdr;
         dead_e += static_cast<double>(rec.newly_dead.size());
         shed += rec.shed_for_schedulability + rec.recovery_shed;
+        off += rec.arrivals_offered;
+        failed += rec.recovery_failed ? 1.0 : 0.0;
+        srec.observe("pdr", k_pdr_bounds, rec.pdr);
       }
       const double n = static_cast<double>(trials);
       exp::report_point ep;
@@ -1601,11 +1658,59 @@ exp::figure_report run_churn(const exp::run_options& options,
                    {"newly_dead", dead_e / n},
                    {"shed", shed / n}};
       per_epoch.points.push_back(std::move(ep));
+      srec.set("pdr", pdr / n);
+      srec.set("rejected", rej / n);
+      srec.set("rejection_rate", off > 0 ? rej / off : 0.0);
+      srec.set("jam_hits", jam / n);
+      srec.set("jam_hit_rate", pred > 0 ? jam / pred : 0.0);
+      srec.set("newly_dead", dead_e / n);
+      srec.set("shed", shed / n);
+      srec.set("recovery_failed", failed / n);
+      srec.end_window();
     }
+    verdicts.emplace_back(spec.name,
+                          obs::evaluate_slo(srec.result(), slo_policy));
+    point_series.push_back(srec.result());
     report.panels.push_back(std::move(per_epoch));
   }
   t.print(out);
   report.panels.insert(report.panels.begin(), std::move(summary));
+
+  report.health = exp::health_section(slo_policy, verdicts);
+  out << "\nSLO health (PDR floor " << cell(pdr_floor, 2) << "): ";
+  for (const auto& [point_name, verdict] : verdicts)
+    out << point_name << "="
+        << (verdict.healthy ? "healthy" : "VIOLATED") << "  ";
+  out << "\n";
+
+  // One merged epoch-indexed series file: every point's windows with
+  // point-prefixed metric names, PDR histograms included.
+  const auto series_file = options.series_file_for("churn");
+  if (!series_file.empty()) {
+    obs::series merged;
+    merged.name = "churn";
+    merged.index_unit = "epoch";
+    merged.windows.resize(point_series.front().windows.size());
+    for (std::size_t w = 0; w < merged.windows.size(); ++w) {
+      merged.windows[w].index = point_series.front().windows[w].index;
+      for (std::size_t pi = 0; pi < point_series.size(); ++pi) {
+        const std::string prefix =
+            std::string(k_churn_points[pi].name) + ".";
+        if (w >= point_series[pi].windows.size()) continue;
+        const auto& window = point_series[pi].windows[w];
+        for (const auto& [key, val] : window.values)
+          merged.windows[w].values[prefix + key] = val;
+        for (const auto& [key, h] : window.histograms)
+          merged.windows[w].histograms[prefix + key] = h;
+      }
+    }
+    std::ofstream sout(series_file);
+    WSAN_REQUIRE(sout.good(), "cannot open for writing: " + series_file);
+    obs::write_series_jsonl(merged, sout);
+    report.series_path = series_file;
+    out << "wrote per-epoch series to " << series_file << "\n";
+  }
+
   out << "\nExpected: without randomization the jammer's hit rate is "
          "near-certain — the frame repeats, so last epoch's busiest "
          "slots repeat too — and the PDR suffers accordingly. With the "

@@ -1,7 +1,9 @@
 #include "exp/obs_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
+#include <vector>
 
 #include "common/error.h"
 #include "common/table.h"
@@ -168,14 +170,240 @@ void print_span_table(const obs::snapshot& snap, std::ostream& os) {
   t.print(os);
 }
 
+// ----------------------------------------------- temporal telemetry --
+
+obs::series series_from_jsonl(std::istream& is) {
+  obs::series s;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const json::value v = json::parse(line);
+    WSAN_REQUIRE(v.is_object(), "series line must be a JSON object");
+    if (!saw_header) {
+      const auto* schema = v.find("schema");
+      WSAN_REQUIRE(schema != nullptr && schema->is_string() &&
+                       schema->as_string() == "wsan-series/1",
+                   "series header must declare wsan-series/1");
+      if (const auto* name = v.find("name")) s.name = name->as_string();
+      if (const auto* unit = v.find("index_unit"))
+        s.index_unit = unit->as_string();
+      saw_header = true;
+      continue;
+    }
+    obs::series_window w;
+    const auto* index = v.find("index");
+    const auto* values = v.find("values");
+    WSAN_REQUIRE(index != nullptr && index->is_int() &&
+                     values != nullptr && values->is_object(),
+                 "series window line is missing index/values");
+    w.index = index->as_int();
+    for (const auto& [name, val] : values->as_object())
+      w.values[name] = val.as_double();
+    if (const auto* hists = v.find("histograms")) {
+      for (const auto& [name, h] : hists->as_object()) {
+        obs::histogram_snapshot hs;
+        const auto* bounds = h.find("upper_bounds");
+        const auto* counts = h.find("counts");
+        WSAN_REQUIRE(bounds != nullptr && counts != nullptr,
+                     "series histogram is malformed: " + name);
+        for (const auto& b : bounds->as_array())
+          hs.upper_bounds.push_back(b.as_double());
+        for (const auto& c : counts->as_array())
+          hs.counts.push_back(static_cast<std::uint64_t>(c.as_int()));
+        w.histograms[name] = std::move(hs);
+      }
+    }
+    WSAN_REQUIRE(s.windows.empty() || w.index > s.windows.back().index,
+                 "series windows out of order");
+    s.windows.push_back(std::move(w));
+  }
+  WSAN_REQUIRE(saw_header, "not a series file: no wsan-series/1 header");
+  return s;
+}
+
+obs::series series_from_jsonl_file(const std::string& path) {
+  std::ifstream in(path);
+  WSAN_REQUIRE(in.is_open(), "cannot open series file: " + path);
+  return series_from_jsonl(in);
+}
+
+obs::series series_from_panel(const report_panel& panel,
+                              std::string name) {
+  obs::series s;
+  s.name = std::move(name);
+  s.index_unit = panel.x_label.empty() ? "epoch" : panel.x_label;
+  for (const auto& point : panel.points) {
+    obs::series_window w;
+    w.index = static_cast<std::int64_t>(point.x);
+    w.values = point.values;
+    s.windows.push_back(std::move(w));
+  }
+  return s;
+}
+
+json::value health_section(
+    const obs::slo_policy& policy,
+    const std::vector<std::pair<std::string, obs::health_verdict>>&
+        verdicts) {
+  json::array rules;
+  for (const auto& rule : policy.rules) {
+    json::object r;
+    r["metric"] = rule.metric;
+    r["kind"] = std::string(obs::to_string(rule.kind));
+    r["bound"] = rule.bound;
+    r["severity"] = std::string(obs::to_string(rule.sev));
+    rules.emplace_back(std::move(r));
+  }
+  json::object verdict_obj;
+  for (const auto& [subject, verdict] : verdicts) {
+    json::object v;
+    v["healthy"] = verdict.healthy;
+    v["windows"] = verdict.windows_evaluated;
+    v["errors"] = verdict.errors();
+    v["warnings"] = verdict.warnings();
+    json::array violations;
+    for (const auto& viol : verdict.violations) {
+      json::object o;
+      o["window"] = viol.window_index;
+      o["metric"] = viol.metric;
+      o["value"] = viol.value;
+      o["bound"] = viol.bound;
+      o["kind"] = std::string(obs::to_string(viol.kind));
+      o["severity"] = std::string(obs::to_string(viol.sev));
+      violations.emplace_back(std::move(o));
+    }
+    v["violations"] = std::move(violations);
+    verdict_obj[subject] = std::move(v);
+  }
+  json::object health;
+  health["policy"] = std::move(rules);
+  health["verdicts"] = std::move(verdict_obj);
+  return json::value(std::move(health));
+}
+
+bool print_health_block(const json::value& health, std::ostream& os) {
+  WSAN_REQUIRE(health.is_object(), "health block must be an object");
+  const auto* verdicts = health.find("verdicts");
+  WSAN_REQUIRE(verdicts != nullptr && verdicts->is_object(),
+               "health block is missing \"verdicts\"");
+  if (const auto* policy = health.find("policy");
+      policy != nullptr && policy->is_array() &&
+      !policy->as_array().empty()) {
+    table t({"metric", "kind", "bound", "severity"});
+    for (const auto& rule : policy->as_array())
+      t.add_row({rule.find("metric")->as_string(),
+                 rule.find("kind")->as_string(),
+                 cell(rule.find("bound")->as_double(), 4),
+                 rule.find("severity")->as_string()});
+    os << "policy:\n";
+    t.print(os);
+  }
+  bool all_healthy = true;
+  table t({"subject", "verdict", "windows", "errors", "warnings"});
+  for (const auto& [subject, verdict] : verdicts->as_object()) {
+    const auto* healthy = verdict.find("healthy");
+    WSAN_REQUIRE(healthy != nullptr, "verdict is missing \"healthy\"");
+    const bool ok = healthy->as_bool();
+    all_healthy = all_healthy && ok;
+    const auto count_of = [&](const char* key) -> long long {
+      const auto* member = verdict.find(key);
+      return member != nullptr ? member->as_int() : 0;
+    };
+    t.add_row({subject, ok ? "healthy" : "VIOLATED",
+               cell(count_of("windows")), cell(count_of("errors")),
+               cell(count_of("warnings"))});
+  }
+  os << "verdicts:\n";
+  t.print(os);
+  // Every individual violation, for post-mortem drill-down.
+  table viol({"subject", "window", "metric", "value", "bound", "kind",
+              "severity"});
+  for (const auto& [subject, verdict] : verdicts->as_object()) {
+    const auto* violations = verdict.find("violations");
+    if (violations == nullptr || !violations->is_array()) continue;
+    for (const auto& v : violations->as_array())
+      viol.add_row({subject,
+                    cell(static_cast<long long>(
+                        v.find("window")->as_int())),
+                    v.find("metric")->as_string(),
+                    cell(v.find("value")->as_double(), 4),
+                    cell(v.find("bound")->as_double(), 4),
+                    v.find("kind")->as_string(),
+                    v.find("severity")->as_string()});
+  }
+  if (viol.num_rows() > 0) {
+    os << "violations:\n";
+    viol.print(os);
+  }
+  return all_healthy;
+}
+
+namespace {
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* const k_blocks[] = {"▁", "▂", "▃", "▄",
+                                         "▅", "▆", "▇", "█"};
+  double lo = values.empty() ? 0.0 : values[0];
+  double hi = lo;
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (const double v : values) {
+    const double span = hi - lo;
+    const int level =
+        span > 0.0
+            ? std::min(7, static_cast<int>((v - lo) / span * 8.0))
+            : 0;
+    out += k_blocks[level];
+  }
+  return out;
+}
+
+}  // namespace
+
+void print_series_table(const obs::series& s, std::ostream& os) {
+  os << "series \"" << s.name << "\": " << s.windows.size() << " "
+     << s.index_unit << "-indexed windows\n";
+  if (s.windows.empty()) return;
+  std::map<std::string, std::vector<double>> columns;
+  for (const auto& w : s.windows)
+    for (const auto& [name, value] : w.values)
+      columns[name].push_back(value);
+  table t({"metric", "min", "mean", "max", "last", "trend"});
+  for (const auto& [name, values] : columns) {
+    double lo = values[0], hi = values[0], sum = 0.0;
+    for (const double v : values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+    }
+    t.add_row({name, cell(lo, 3),
+               cell(sum / static_cast<double>(values.size()), 3),
+               cell(hi, 3), cell(values.back(), 3), sparkline(values)});
+  }
+  t.print(os);
+}
+
 obs_session::obs_session(const run_options& options)
+    : obs_session(options, nullptr) {}
+
+obs_session::obs_session(const run_options& options,
+                         std::shared_ptr<obs::event_sink> extra_sink)
     : metrics_path_(options.metrics_path) {
-  if (!options.obs_requested()) return;
+  if (!options.obs_requested() && extra_sink == nullptr) return;
   active_ = true;
   obs::reset_metrics();
+  std::vector<std::shared_ptr<obs::event_sink>> sinks;
   if (!options.trace_path.empty())
-    obs::set_event_sink(
-        std::make_shared<obs::jsonl_sink>(options.trace_path));
+    sinks.push_back(std::make_shared<obs::jsonl_sink>(options.trace_path));
+  if (extra_sink != nullptr) sinks.push_back(std::move(extra_sink));
+  if (sinks.size() == 1)
+    obs::set_event_sink(std::move(sinks.front()));
+  else if (sinks.size() > 1)
+    obs::set_event_sink(std::make_shared<obs::tee_sink>(std::move(sinks)));
   obs::set_enabled(true);
 }
 

@@ -19,11 +19,17 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exp/json.h"
 #include "exp/options.h"
+#include "exp/report.h"
 #include "obs/events.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 
 namespace wsan::exp {
 
@@ -43,6 +49,36 @@ bool print_obs_document(const json::value& doc, std::ostream& os);
 /// us) — the per-phase breakdown benches show when obs is enabled.
 void print_span_table(const obs::snapshot& snap, std::ostream& os);
 
+// --------------------------------------------- temporal telemetry --
+// obs writes series and dumps with hand-rolled serialisation; the exp
+// layer owns parsing (exp::json) and rendering, keeping src/obs free
+// of upward dependencies.
+
+/// Parses a wsan-series/1 JSONL stream (obs::write_series_jsonl).
+obs::series series_from_jsonl(std::istream& is);
+obs::series series_from_jsonl_file(const std::string& path);
+
+/// Reconstructs a series from a per-epoch report panel: point.x
+/// becomes the window index, the point's values the window values.
+obs::series series_from_panel(const report_panel& panel,
+                              std::string name);
+
+/// The per-figure "health" block stored under the report container's
+/// optional "health" key: the policy that was evaluated plus one
+/// verdict per subject (bench point name, tenant, ...).
+json::value health_section(
+    const obs::slo_policy& policy,
+    const std::vector<std::pair<std::string, obs::health_verdict>>&
+        verdicts);
+
+/// Renders one figure's health block as tables. Returns true iff every
+/// verdict in it is healthy.
+bool print_health_block(const json::value& health, std::ostream& os);
+
+/// Renders a series as one row per metric — min / mean / max / last
+/// plus a unicode sparkline over the windows (the `wsanctl top` view).
+void print_series_table(const obs::series& s, std::ostream& os);
+
 /// Per-run observability session. When the options request any
 /// observability output, the constructor resets the metrics registry,
 /// enables recording, and — for --trace — installs a JSONL event sink.
@@ -53,6 +89,11 @@ void print_span_table(const obs::snapshot& snap, std::ostream& os);
 class obs_session {
  public:
   explicit obs_session(const run_options& options);
+  /// Same, with an additional event sink (e.g. a flight recorder) that
+  /// is tee'd with the --trace sink. A non-null extra sink activates
+  /// the session even when the options request no other output.
+  obs_session(const run_options& options,
+              std::shared_ptr<obs::event_sink> extra_sink);
   ~obs_session();
 
   obs_session(const obs_session&) = delete;

@@ -33,9 +33,22 @@ run_options parse_run_options(const cli_args& args) {
   options.json_path = args.get("json", "");
   options.metrics_path = args.get("metrics", "");
   options.trace_path = args.get("trace", "");
+  options.series_path = args.get("series", "");
   if (args.has("replay"))
     options.replay = parse_replay_target(args.get("replay", ""));
   return options;
+}
+
+std::string run_options::series_file_for(const std::string& figure) const {
+  if (series_path.empty()) return {};
+  const auto dot = series_path.rfind('.');
+  const auto slash = series_path.find_last_of("/\\");
+  const bool has_ext =
+      dot != std::string::npos &&
+      (slash == std::string::npos || dot > slash);
+  if (!has_ext) return series_path + "." + figure;
+  return series_path.substr(0, dot) + "." + figure +
+         series_path.substr(dot);
 }
 
 }  // namespace wsan::exp

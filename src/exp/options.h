@@ -10,6 +10,9 @@
 //   --replay POINT:TRIAL  re-run one trial in isolation and print it
 //   --metrics FILE      write an observability metrics snapshot
 //   --trace FILE        stream structured events as JSON lines
+//   --series FILE       write per-epoch series files (wsan-series/1
+//                       JSONL); figures that have no epoch dimension
+//                       ignore it
 #pragma once
 
 #include <cstdint>
@@ -34,12 +37,23 @@ struct run_options {
   replay_target replay;
   std::string metrics_path;  ///< empty: no metrics snapshot file
   std::string trace_path;    ///< empty: no event trace file
+  /// Base path for per-epoch series files ("" = none). A figure that
+  /// emits several series inserts its id before the extension. Series
+  /// are built from deterministic aggregates, so this does not enable
+  /// the obs runtime.
+  std::string series_path;
 
   /// True when any observability output was asked for; the harness
   /// enables the obs runtime for the run exactly in this case.
   bool obs_requested() const {
     return !metrics_path.empty() || !trace_path.empty();
   }
+
+  /// The series file a figure should write: the --series path with the
+  /// figure id inserted before the extension ("s.jsonl" ->
+  /// "s.churn.jsonl"), so --all runs never clobber one another. Empty
+  /// when --series was not given.
+  std::string series_file_for(const std::string& figure) const;
 
   /// The figure-specific trial count: the --trials value when given,
   /// otherwise the figure's default.

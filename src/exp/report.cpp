@@ -49,6 +49,7 @@ json::value to_json(const figure_report& report) {
     panels.emplace_back(std::move(p));
   }
   obj["panels"] = std::move(panels);
+  if (!report.series_path.empty()) obj["series_file"] = report.series_path;
   return json::value(std::move(obj));
 }
 
@@ -64,6 +65,13 @@ json::value to_json(const std::vector<figure_report>& reports,
   obj["schema"] = "wsan-bench-report/1";
   obj["commit"] = build_commit();
   obj["observability"] = std::move(observability);
+  // Optional "health" key: per-figure SLO verdicts, keyed by figure id.
+  // Omitted entirely when no report carries one, so documents from
+  // figures without SLOs are byte-identical to pre-health producers.
+  json::object health;
+  for (const auto& report : reports)
+    if (!report.health.is_null()) health[report.figure] = report.health;
+  if (!health.empty()) obj["health"] = std::move(health);
   json::array arr;
   for (const auto& report : reports) arr.push_back(to_json(report));
   obj["reports"] = std::move(arr);
@@ -91,6 +99,8 @@ figure_report report_from_json(const json::value& v) {
   if (const auto* measured = v.find("measurement_keys"))
     for (const auto& key : measured->as_array())
       report.measurement_keys.push_back(key.as_string());
+  if (const auto* series_file = v.find("series_file"))
+    report.series_path = series_file->as_string();
   for (const auto& panel_json : get("panels").as_array()) {
     report_panel panel;
     const auto* name = panel_json.find("name");
@@ -122,6 +132,12 @@ std::vector<figure_report> reports_from_json(const json::value& v) {
   std::vector<figure_report> out;
   for (const auto& report : reports->as_array())
     out.push_back(report_from_json(report));
+  // Rehydrate per-figure health verdicts from the optional container
+  // key so a to_json round-trip preserves them.
+  if (const auto* health = v.find("health"); health && health->is_object())
+    for (auto& report : out)
+      if (const auto* verdict = health->find(report.figure.c_str()))
+        report.health = *verdict;
   return out;
 }
 
@@ -174,6 +190,11 @@ void validate_report(const json::value& v, const std::string& where,
               "expected string", errors);
     }
   }
+  // Optional series-pointer key: the path of the series file the
+  // figure wrote alongside the report.
+  if (const auto* series_file = v.find("series_file"))
+    check(series_file->is_string(), where + "/series_file",
+          "expected string", errors);
   const auto* panels =
       require("panels", "array", &json::value::is_array);
   if (panels == nullptr) return;
@@ -244,6 +265,16 @@ std::vector<std::string> validate_reports_json(const json::value& v) {
   else
     check(obs->is_null() || obs->is_object(), "observability",
           "expected null or object", errors);
+  // Optional "health" key: figure id -> SLO verdict object.
+  if (const auto* health = v.find("health")) {
+    if (!health->is_object()) {
+      errors.push_back("health: expected object");
+    } else {
+      for (const auto& [figure, verdict] : health->as_object())
+        check(verdict.is_object(), "health/" + figure, "expected object",
+              errors);
+    }
+  }
   const auto* reports = v.find("reports");
   if (reports == nullptr || !reports->is_array()) {
     errors.push_back("document: missing array \"reports\"");
@@ -261,11 +292,15 @@ json::value science_payload(const json::value& container) {
   json::value payload = container;
   auto& obj = payload.as_object();
   obj["observability"] = json::value(nullptr);
+  // Health verdicts and series pointers are telemetry and provenance,
+  // not science: remove them like the observability section.
+  obj.erase("health");
   if (const auto it = obj.find("reports");
       it != obj.end() && it->second.is_array()) {
     for (auto& report : it->second.as_array()) {
       if (!report.is_object()) continue;
       auto& robj = report.as_object();
+      robj.erase("series_file");
       if (const auto wit = robj.find("wall_seconds"); wit != robj.end())
         wit->second = 0.0;
       // Worker count is run provenance, not science: the whole point

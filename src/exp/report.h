@@ -66,6 +66,15 @@ struct figure_report {
   /// payload stays bit-comparable; deterministic series stay put.
   std::vector<std::string> measurement_keys;
   std::vector<report_panel> panels;
+  /// Optional per-figure SLO verdict (an object, e.g. from
+  /// exp::health_section); null when the figure computed none. Emitted
+  /// under the container's optional "health" key, keyed by figure id,
+  /// and stripped by science_payload().
+  json::value health;
+  /// Path of the series file this figure wrote ("" = none). Emitted as
+  /// the report's optional "series_file" pointer key — run provenance,
+  /// stripped by science_payload().
+  std::string series_path;
 };
 
 /// The commit baked in at build time (WSAN_GIT_COMMIT), or "unknown".
@@ -90,11 +99,12 @@ std::vector<figure_report> reports_from_json(const json::value& v);
 std::vector<std::string> validate_reports_json(const json::value& v);
 
 /// The deterministic part of a container document: a copy with the
-/// "observability" section nulled, every report's "wall_seconds" and
-/// "jobs" (run provenance) zeroed, and every panel value listed in a
-/// report's "measurement_keys" zeroed. Two runs of the same experiment
-/// agree on this to the bit, whatever --jobs or --metrics/--trace they
-/// used.
+/// "observability" section nulled, the optional "health" verdict and
+/// per-report "series_file" pointers removed, every report's
+/// "wall_seconds" and "jobs" (run provenance) zeroed, and every panel
+/// value listed in a report's "measurement_keys" zeroed. Two runs of
+/// the same experiment agree on this to the bit, whatever --jobs,
+/// --metrics/--trace, or --series they used.
 json::value science_payload(const json::value& container);
 
 /// Writes the container document to `path` (throws on I/O failure).

@@ -151,7 +151,8 @@ std::uint64_t tenant_state_digest(std::uint64_t tenant_id,
   return h;
 }
 
-fleet_result fleet_manager::run_churn(int jobs) const {
+fleet_result fleet_manager::run_churn(int jobs,
+                                      obs::flight_recorder* recorder) const {
   OBS_SPAN("fleet.run_churn");
   const int n = config_.tenants;
   // Every per-tenant output lands in a slot indexed by tenant id, so
@@ -185,6 +186,31 @@ fleet_result fleet_manager::run_churn(int jobs) const {
     result.admit_latency_ns.insert(result.admit_latency_ns.end(),
                                    latencies[t].begin(),
                                    latencies[t].end());
+  }
+
+  // Flight recorder: tenant-indexed windows, fed after the fold so the
+  // sequence is deterministic at any jobs value. A tenant that ends
+  // its churn stream unschedulable is an anomaly worth a post-mortem.
+  if (recorder != nullptr) {
+    for (std::size_t t = 0; t < static_cast<std::size_t>(n); ++t) {
+      obs::series_window w;
+      w.index = static_cast<std::int64_t>(t);
+      w.values["ops"] = static_cast<double>(stats[t].ops);
+      w.values["admissions"] = static_cast<double>(stats[t].admissions);
+      w.values["rejections"] = static_cast<double>(stats[t].rejections);
+      w.values["evictions"] = static_cast<double>(stats[t].evictions);
+      w.values["repair_fallbacks"] =
+          static_cast<double>(stats[t].repair_fallbacks);
+      w.values["schedulable"] = schedulable[t] ? 1.0 : 0.0;
+      w.values["flows"] = static_cast<double>(flows[t]);
+      recorder->record_window(w);
+      if (!schedulable[t])
+        recorder->trigger(
+            obs::severity::error, "fleet", "tenant_unschedulable",
+            {{"tenant", static_cast<std::int64_t>(t)},
+             {"flows", flows[t]},
+             {"ops", stats[t].ops}});
+    }
   }
   return result;
 }

@@ -35,6 +35,7 @@
 #include "core/delta.h"
 #include "flow/flow_generator.h"
 #include "graph/hop_matrix.h"
+#include "obs/flight_recorder.h"
 #include "topo/topology.h"
 
 namespace wsan::fleet {
@@ -147,8 +148,12 @@ class fleet_manager {
 
   /// Runs the full churn workload (tenants x ops_per_tenant) across
   /// `jobs` workers. The deterministic part of the result is
-  /// bit-identical at any jobs value.
-  fleet_result run_churn(int jobs) const;
+  /// bit-identical at any jobs value. When `recorder` is non-null it is
+  /// fed one tenant-indexed window per tenant (after the parallel fold,
+  /// in tenant order — deterministic) and triggered if any tenant ends
+  /// the run unschedulable.
+  fleet_result run_churn(int jobs,
+                         obs::flight_recorder* recorder = nullptr) const;
 
   /// Re-runs one tenant in isolation — same derived streams, no
   /// siblings. Its stats and final state equal that tenant's slice of

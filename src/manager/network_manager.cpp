@@ -1,6 +1,7 @@
 #include "manager/network_manager.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.h"
 #include "flow/router.h"
@@ -48,8 +49,21 @@ flow::flow_set network_manager::generate_workload(
 core::schedule_result network_manager::admit(
     const std::vector<flow::flow>& flows) const {
   OBS_SPAN("manager.admit");
+  // Admission latency distribution (microseconds, wall-clock — a
+  // measurement like span total_ns, not part of the deterministic
+  // science): exponential buckets 1us .. ~260ms.
+  static const obs::histogram admit_hist = obs::register_histogram(
+      "manager.admit_us", obs::exponential_bounds(1.0, 4.0, 10));
+  const auto start = obs::enabled()
+                         ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
   auto result =
       core::schedule_flows(flows, reuse_hops_, effective_scheduler_config());
+  if (obs::enabled())
+    admit_hist.observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count());
   if (obs::events_enabled())
     obs::emit(result.schedulable ? obs::severity::info
                                  : obs::severity::warning,

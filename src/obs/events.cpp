@@ -113,10 +113,33 @@ jsonl_sink::jsonl_sink(const std::string& path) : file_(path) {
   os_ = &file_;
 }
 
+jsonl_sink::~jsonl_sink() {
+  std::uint64_t errors = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    os_->flush();
+    if (!os_->good() && write_errors_ == 0) write_errors_ = 1;
+    errors = write_errors_;
+  }
+  if (errors == 0) return;
+  // Surface the loss on whatever telemetry still works: a registry
+  // counter, and (if this sink was not the global one) a final event.
+  add_counter("obs.trace.write_errors", errors);
+  if (events_enabled())
+    emit(severity::error, "obs", "trace_write_errors",
+         {{"dropped_lines", static_cast<std::int64_t>(errors)}});
+}
+
 void jsonl_sink::consume(const event& ev) {
+  if (!accepts(ev)) return;
   const std::string line = to_jsonl(ev);
   const std::lock_guard<std::mutex> lock(mu_);
+  // clear() lets a stream that failed transiently (e.g. ENOSPC) try
+  // again for the next line instead of silently eating the rest.
+  if (!os_->good()) os_->clear();
   *os_ << line << '\n';
+  os_->flush();
+  if (!os_->good()) ++write_errors_;
 }
 
 ring_sink::ring_sink(std::size_t capacity) : capacity_(capacity) {
@@ -124,6 +147,7 @@ ring_sink::ring_sink(std::size_t capacity) : capacity_(capacity) {
 }
 
 void ring_sink::consume(const event& ev) {
+  if (!accepts(ev)) return;
   const std::lock_guard<std::mutex> lock(mu_);
   if (buffer_.size() == capacity_) {
     buffer_.pop_front();
@@ -140,6 +164,11 @@ std::vector<event> ring_sink::events() const {
 std::uint64_t ring_sink::dropped() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return dropped_;
+}
+
+std::uint64_t jsonl_sink::write_errors() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return write_errors_;
 }
 
 void set_event_sink(std::shared_ptr<event_sink> sink) {

@@ -20,6 +20,7 @@
 // tooling code.
 #pragma once
 
+#include <atomic>
 #include <concepts>
 #include <cstdint>
 #include <deque>
@@ -79,22 +80,47 @@ class event_sink {
   virtual ~event_sink() = default;
   /// May be called from multiple threads; implementations serialise.
   virtual void consume(const event& ev) = 0;
+
+  /// Events below this severity are ignored by the shipped sinks —
+  /// checked first in consume(), before any buffering, so filtered
+  /// events never count as ring drops or write attempts.
+  void set_min_severity(severity sev) {
+    min_sev_.store(sev, std::memory_order_relaxed);
+  }
+  severity min_severity() const {
+    return min_sev_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  bool accepts(const event& ev) const { return ev.sev >= min_severity(); }
+
+ private:
+  std::atomic<severity> min_sev_{severity::debug};
 };
 
-/// Appends one JSON line per event to a stream or file.
+/// Appends one JSON line per event to a stream or file. Every line is
+/// flushed so a post-mortem reader sees the trace up to the crash;
+/// failed writes are counted (write_errors()) and surfaced once on
+/// destruction as a final error event plus an
+/// "obs.trace.write_errors" counter, instead of failing silently.
 class jsonl_sink final : public event_sink {
  public:
   /// Non-owning: the stream must outlive the sink.
   explicit jsonl_sink(std::ostream& os) : os_(&os) {}
   /// Owning: opens (truncates) `path`; throws on failure.
   explicit jsonl_sink(const std::string& path);
+  ~jsonl_sink() override;
 
   void consume(const event& ev) override;
+
+  /// Events whose line could not be written (stream went bad).
+  std::uint64_t write_errors() const;
 
  private:
   std::ofstream file_;
   std::ostream* os_ = nullptr;
-  std::mutex mu_;
+  mutable std::mutex mu_;
+  std::uint64_t write_errors_ = 0;
 };
 
 /// Keeps the most recent `capacity` events; older ones are dropped and

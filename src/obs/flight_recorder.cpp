@@ -1,0 +1,117 @@
+#include "obs/flight_recorder.h"
+
+#include <fstream>
+#include <utility>
+
+#include "common/error.h"
+
+namespace wsan::obs {
+
+tee_sink::tee_sink(std::vector<std::shared_ptr<event_sink>> sinks)
+    : sinks_(std::move(sinks)) {}
+
+void tee_sink::consume(const event& ev) {
+  // Forward unfiltered: each child applies its own min_severity.
+  for (const auto& sink : sinks_)
+    if (sink) sink->consume(ev);
+}
+
+flight_recorder::flight_recorder(config cfg) : cfg_(std::move(cfg)) {
+  WSAN_REQUIRE(cfg_.event_capacity > 0 && cfg_.window_capacity > 0,
+               "flight_recorder capacities must be positive");
+}
+
+void flight_recorder::consume(const event& ev) {
+  if (!accepts(ev)) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() == cfg_.event_capacity) {
+    events_.pop_front();
+    ++dropped_events_;
+  }
+  events_.push_back(ev);
+}
+
+void flight_recorder::record_window(const series_window& w) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (windows_.size() == cfg_.window_capacity) {
+    windows_.pop_front();
+    ++dropped_windows_;
+  }
+  windows_.push_back(w);
+}
+
+std::string flight_recorder::trigger(severity sev,
+                                     std::string_view component,
+                                     std::string_view reason,
+                                     std::vector<event_field> fields) {
+  // Surface the trigger on the global event stream too, so a --trace
+  // file interleaves it with the engine's own events.
+  if (events_enabled())
+    emit(sev, component, reason, fields);
+
+  event trig;
+  trig.sev = sev;
+  trig.component = std::string(component);
+  trig.name = std::string(reason);
+  trig.fields = std::move(fields);
+
+  std::string doc;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++triggers_;
+    doc.reserve(4096);
+    doc += "{\"schema\":\"wsan-flight-recorder/1\",\"trigger\":";
+    doc += to_jsonl(trig);
+    doc += ",\"trigger_count\":";
+    doc += std::to_string(triggers_);
+    doc += ",\"dropped_events\":";
+    doc += std::to_string(dropped_events_);
+    doc += ",\"dropped_windows\":";
+    doc += std::to_string(dropped_windows_);
+    doc += ",\"windows\":[";
+    bool first = true;
+    for (const auto& w : windows_) {
+      if (!first) doc.push_back(',');
+      first = false;
+      doc += window_to_jsonl(w);
+    }
+    doc += "],\"events\":[";
+    first = true;
+    for (const auto& ev : events_) {
+      if (!first) doc.push_back(',');
+      first = false;
+      doc += to_jsonl(ev);
+    }
+    doc += "]}";
+  }
+
+  if (!cfg_.dump_path.empty()) {
+    std::ofstream out(cfg_.dump_path);
+    WSAN_REQUIRE(out.is_open(),
+                 "cannot open flight-recorder dump: " + cfg_.dump_path);
+    out << doc << '\n';
+  }
+  return doc;
+}
+
+std::uint64_t flight_recorder::triggers() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return triggers_;
+}
+
+std::uint64_t flight_recorder::dropped_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_events_;
+}
+
+std::vector<event> flight_recorder::recent_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+std::vector<series_window> flight_recorder::recent_windows() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {windows_.begin(), windows_.end()};
+}
+
+}  // namespace wsan::obs

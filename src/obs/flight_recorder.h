@@ -1,0 +1,87 @@
+// Anomaly flight recorder (DESIGN.md §15).
+//
+// A bounded black box: it retains the most recent events (fed to it as
+// an event_sink, typically behind a tee_sink so a --trace file keeps
+// receiving everything) and the most recent series windows (fed by the
+// engine that owns it). When an anomaly fires — an SLO rule trips at
+// error severity, or recover() exhausts its retries — trigger() writes
+// a self-contained JSON post-mortem (`wsan-flight-recorder/1`): the
+// triggering event, the surviving window of engine events, the last N
+// epoch windows of metric deltas, and drop counters that tell the
+// reader exactly how much history was lost. Repeated triggers rewrite
+// the dump, so the artifact always describes the most recent anomaly.
+//
+// Everything here is cold-path tooling: it compiles and works under
+// WSAN_OBS=OFF (the global emit() path is dead there, but engines feed
+// the recorder directly).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/timeseries.h"
+
+namespace wsan::obs {
+
+/// Fans one event stream out to several sinks (e.g. a jsonl trace file
+/// plus a flight recorder). Null entries are skipped.
+class tee_sink final : public event_sink {
+ public:
+  explicit tee_sink(std::vector<std::shared_ptr<event_sink>> sinks);
+
+  void consume(const event& ev) override;
+
+ private:
+  std::vector<std::shared_ptr<event_sink>> sinks_;
+};
+
+class flight_recorder final : public event_sink {
+ public:
+  struct config {
+    std::size_t event_capacity = 256;  ///< ring of recent events
+    std::size_t window_capacity = 16;  ///< last N series windows kept
+    /// Dump file written on trigger; empty disables file output
+    /// (trigger() still returns the document text).
+    std::string dump_path;
+  };
+
+  flight_recorder() : flight_recorder(config{}) {}
+  explicit flight_recorder(config cfg);
+
+  /// event_sink: retain the event in the bounded ring.
+  void consume(const event& ev) override;
+
+  /// Retains one closed series window in the bounded window ring.
+  void record_window(const series_window& w);
+
+  /// Fires the black box: composes the post-mortem document from the
+  /// trigger description plus the retained history, writes it to
+  /// config.dump_path (when set), and returns the JSON text. Also
+  /// emits the trigger as a global event so trace files carry it.
+  std::string trigger(severity sev, std::string_view component,
+                      std::string_view reason,
+                      std::vector<event_field> fields = {});
+
+  std::uint64_t triggers() const;
+  std::uint64_t dropped_events() const;
+  std::vector<event> recent_events() const;
+  std::vector<series_window> recent_windows() const;
+  const config& recorder_config() const { return cfg_; }
+
+ private:
+  config cfg_;
+  mutable std::mutex mu_;
+  std::deque<event> events_;
+  std::deque<series_window> windows_;
+  std::uint64_t dropped_events_ = 0;
+  std::uint64_t dropped_windows_ = 0;
+  std::uint64_t triggers_ = 0;
+};
+
+}  // namespace wsan::obs

@@ -115,6 +115,22 @@ class histogram {
   const double* bounds_ = nullptr;  // interned, immutable
 };
 
+/// Strictly increasing exponential histogram bounds: start,
+/// start*factor, ..., start*factor^(count-1). The natural bucket
+/// layout for latency-style metrics whose tail spans decades. Requires
+/// start > 0, factor > 1, count >= 1.
+inline std::vector<double> exponential_bounds(double start, double factor,
+                                              int count) {
+  std::vector<double> bounds;
+  bounds.reserve(count > 0 ? static_cast<std::size_t>(count) : 0);
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
 /// Interns a counter. Registering the same name twice returns the same
 /// handle; re-registering a name as a different metric kind throws.
 #if WSAN_OBS_ENABLED

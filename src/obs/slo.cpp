@@ -1,0 +1,89 @@
+#include "obs/slo.h"
+
+namespace wsan::obs {
+
+std::string_view to_string(slo_kind kind) {
+  return kind == slo_kind::upper_bound ? "max" : "min";
+}
+
+int health_verdict::errors() const {
+  int n = 0;
+  for (const auto& v : violations)
+    if (v.sev == severity::error) ++n;
+  return n;
+}
+
+int health_verdict::warnings() const {
+  int n = 0;
+  for (const auto& v : violations)
+    if (v.sev == severity::warning) ++n;
+  return n;
+}
+
+slo_policy default_scenario_policy() {
+  slo_policy p;
+  // PDR floor: a healthy epoch delivers the large majority of its
+  // packets even under churn; sustained jamming of a static schedule
+  // drives PDR well below this.
+  p.rules.push_back({"pdr", slo_kind::lower_bound, 0.85, severity::error});
+  // Retry exhaustion is always an error: the manager gave up and kept
+  // the previous epoch's state.
+  p.rules.push_back(
+      {"recovery_failed", slo_kind::upper_bound, 0.0, severity::error});
+  // Back-pressure is expected near capacity; flag only heavy rejection.
+  p.rules.push_back({"rejection_rate", slo_kind::upper_bound, 0.75,
+                     severity::warning});
+  // A predicting jammer hitting most of its predictions means the
+  // schedule is temporally predictable (SlotSwapper off or defeated).
+  p.rules.push_back({"jam_hit_rate", slo_kind::upper_bound, 0.5,
+                     severity::warning});
+  return p;
+}
+
+slo_policy default_fleet_policy(double admit_p99_us) {
+  slo_policy p;
+  p.rules.push_back({"admit_p99_us", slo_kind::upper_bound, admit_p99_us,
+                     severity::warning});
+  p.rules.push_back({"rejection_rate", slo_kind::upper_bound, 0.75,
+                     severity::warning});
+  p.rules.push_back(
+      {"recovery_failed", slo_kind::upper_bound, 0.0, severity::error});
+  return p;
+}
+
+int evaluate_window(const series_window& w, const slo_policy& policy,
+                    std::vector<slo_violation>& out) {
+  int appended = 0;
+  for (const auto& rule : policy.rules) {
+    const auto it = w.values.find(rule.metric);
+    if (it == w.values.end()) continue;
+    const double value = it->second;
+    const bool violated = rule.kind == slo_kind::upper_bound
+                              ? value > rule.bound
+                              : value < rule.bound;
+    if (!violated) continue;
+    out.push_back({w.index, rule.metric, value, rule.bound, rule.kind,
+                   rule.sev});
+    ++appended;
+    if (events_enabled())
+      emit(rule.sev, "slo", "slo_violation",
+           {{"window", w.index},
+            {"metric", rule.metric},
+            {"value", value},
+            {"bound", rule.bound},
+            {"kind", to_string(rule.kind)}});
+  }
+  return appended;
+}
+
+health_verdict evaluate_slo(const series& s, const slo_policy& policy) {
+  health_verdict verdict;
+  for (const auto& w : s.windows) {
+    ++verdict.windows_evaluated;
+    evaluate_window(w, policy, verdict.violations);
+  }
+  verdict.healthy = verdict.errors() == 0;
+  return verdict;
+}
+
+}  // namespace wsan::obs

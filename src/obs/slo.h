@@ -1,0 +1,82 @@
+// Declarative SLOs over metric series (DESIGN.md §15).
+//
+// A policy is a list of per-window threshold rules — "pdr must stay
+// >= 0.9", "recovery_failed must stay <= 0" — each with a severity.
+// evaluate_window() checks one window (the per-epoch path engines use
+// to trip the flight recorder the moment a rule breaks) and
+// evaluate_slo() folds a whole series into a health_verdict: healthy
+// iff no error-severity rule was violated in any window. Violations
+// are emitted as obs events (component "slo") when events are enabled,
+// so a --trace file interleaves them with the engine's own events.
+//
+// Rules reference window *scalar* values by name; windows that do not
+// carry the metric are skipped (a fleet series has no "pdr", a
+// scenario series has no "admit_p99_us" — one policy can serve both).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/timeseries.h"
+
+namespace wsan::obs {
+
+enum class slo_kind {
+  upper_bound,  ///< violated when value > bound
+  lower_bound,  ///< violated when value < bound
+};
+
+std::string_view to_string(slo_kind kind);
+
+struct slo_rule {
+  std::string metric;  ///< window value name, e.g. "pdr"
+  slo_kind kind = slo_kind::upper_bound;
+  double bound = 0.0;
+  severity sev = severity::error;
+};
+
+struct slo_policy {
+  std::vector<slo_rule> rules;
+  bool empty() const { return rules.empty(); }
+};
+
+struct slo_violation {
+  std::int64_t window_index = 0;
+  std::string metric;
+  double value = 0.0;
+  double bound = 0.0;
+  slo_kind kind = slo_kind::upper_bound;
+  severity sev = severity::error;
+};
+
+struct health_verdict {
+  /// True iff no error-severity violation (warnings stay healthy).
+  bool healthy = true;
+  int windows_evaluated = 0;
+  std::vector<slo_violation> violations;
+
+  int errors() const;
+  int warnings() const;
+};
+
+/// The scenario-engine policy used by `wsanctl health` defaults and the
+/// churn bench: PDR floor, rejection-rate ceiling, recovery-retry
+/// exhaustion, jammer hit-rate ceiling.
+slo_policy default_scenario_policy();
+
+/// The fleet policy: admission p99 latency ceiling (measurement;
+/// microseconds) and rejection-rate ceiling.
+slo_policy default_fleet_policy(double admit_p99_us);
+
+/// Checks one window against the policy, appending violations and
+/// emitting one obs event per violation. Returns the number appended.
+int evaluate_window(const series_window& w, const slo_policy& policy,
+                    std::vector<slo_violation>& out);
+
+/// Folds a whole series into a verdict (emits events per violation).
+health_verdict evaluate_slo(const series& s, const slo_policy& policy);
+
+}  // namespace wsan::obs

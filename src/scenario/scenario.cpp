@@ -322,7 +322,110 @@ epoch_record scenario_engine::step() {
   rec.digest = chain_digest(rec, executed);
   digest_ = rec.digest;
   ++epoch_;
+
+  // -- temporal observability (never feeds back into the trace) -------
+  if (config_.recorder != nullptr || !config_.slo.empty()) {
+    const obs::series_window window = epoch_window(rec);
+    // Record before triggering so a dump includes this epoch's window.
+    if (config_.recorder != nullptr)
+      config_.recorder->record_window(window);
+    std::vector<obs::slo_violation> violations;
+    evaluate_window(window, config_.slo, violations);
+    const obs::slo_violation* first_error = nullptr;
+    for (const auto& v : violations)
+      if (v.sev == obs::severity::error && first_error == nullptr)
+        first_error = &v;
+    if (config_.recorder != nullptr) {
+      if (rec.recovery_failed) {
+        config_.recorder->trigger(
+            obs::severity::error, "scenario", "recovery_exhausted",
+            {{"epoch", rec.epoch},
+             {"attempts", config_.retry.max_attempts},
+             {"backoff", rec.recovery_backoff}});
+      } else if (first_error != nullptr) {
+        config_.recorder->trigger(
+            obs::severity::error, "scenario", "slo_tripped",
+            {{"epoch", rec.epoch},
+             {"metric", first_error->metric},
+             {"value", first_error->value},
+             {"bound", first_error->bound},
+             {"kind", obs::to_string(first_error->kind)}});
+      }
+    }
+  }
   return rec;
+}
+
+obs::series_window epoch_window(const epoch_record& rec) {
+  obs::series_window w;
+  w.index = rec.epoch;
+  auto& v = w.values;
+  v["arrivals_offered"] = rec.arrivals_offered;
+  v["arrivals_accepted"] = rec.arrivals_accepted;
+  const int rejected = rec.rejected_backpressure + rec.rejected_unroutable +
+                       rec.rejected_admission;
+  v["rejected"] = rejected;
+  v["rejection_rate"] =
+      rec.arrivals_offered > 0
+          ? static_cast<double>(rejected) /
+                static_cast<double>(rec.arrivals_offered)
+          : 0.0;
+  v["departures"] = rec.departures;
+  v["shed"] = rec.shed_for_schedulability + rec.recovery_shed;
+  v["crashed"] = static_cast<double>(rec.crashed.size());
+  v["revived"] = static_cast<double>(rec.revived.size());
+  v["newly_dead"] = static_cast<double>(rec.newly_dead.size());
+  v["rehabilitated"] = static_cast<double>(rec.rehabilitated.size());
+  v["recovery_latency_epochs"] = rec.recovery_latency_epochs;
+  v["recovery_retries"] = rec.recovery_retries;
+  v["recovery_failed"] = rec.recovery_failed ? 1.0 : 0.0;
+  v["rejected_links"] = rec.rejected_links;
+  v["newly_isolated"] = rec.newly_isolated;
+  v["num_flows"] = rec.num_flows;
+  v["num_slots"] = rec.num_slots;
+  v["busy_fraction"] = rec.busy_fraction;
+  v["swaps_applied"] = rec.swaps_applied;
+  v["jam_predictions"] = rec.jam_predictions;
+  v["jam_hits"] = rec.jam_hits;
+  v["jam_hit_rate"] =
+      rec.jam_predictions > 0
+          ? static_cast<double>(rec.jam_hits) /
+                static_cast<double>(rec.jam_predictions)
+          : 0.0;
+  v["pdr"] = rec.pdr;
+  return w;
+}
+
+obs::series scenario_series(const scenario_result& result) {
+  obs::series s;
+  s.name = "scenario";
+  s.index_unit = "epoch";
+  s.windows.reserve(result.epochs.size());
+  for (const auto& rec : result.epochs)
+    s.windows.push_back(epoch_window(rec));
+  return s;
+}
+
+obs::series fleet_series(const fleet_epochs_result& result) {
+  obs::series s;
+  s.name = "fleet";
+  s.index_unit = "epoch";
+  s.windows.reserve(result.epochs.size());
+  for (const auto& rec : result.epochs) {
+    obs::series_window w;
+    w.index = rec.epoch;
+    auto& v = w.values;
+    v["ops"] = static_cast<double>(rec.ops);
+    v["admissions"] = static_cast<double>(rec.admissions);
+    v["rejections"] = static_cast<double>(rec.rejections);
+    v["evictions"] = static_cast<double>(rec.evictions);
+    v["rejection_rate"] =
+        rec.ops > 0 ? static_cast<double>(rec.rejections) /
+                          static_cast<double>(rec.ops)
+                    : 0.0;
+    s.windows.push_back(std::move(w));
+  }
+  return s;
 }
 
 std::uint64_t scenario_engine::chain_digest(
@@ -485,6 +588,28 @@ fleet_epochs_result run_fleet_epochs(const fleet_epoch_params& params,
     }
   }
   out.final_digest = out.epochs.back().state_digest;
+
+  // Temporal observability on the folded (jobs-independent) aggregates.
+  if (params.recorder != nullptr || !params.slo.empty()) {
+    const obs::series s = fleet_series(out);
+    for (const auto& w : s.windows) {
+      if (params.recorder != nullptr) params.recorder->record_window(w);
+      std::vector<obs::slo_violation> violations;
+      evaluate_window(w, params.slo, violations);
+      const obs::slo_violation* first_error = nullptr;
+      for (const auto& v : violations)
+        if (v.sev == obs::severity::error && first_error == nullptr)
+          first_error = &v;
+      if (params.recorder != nullptr && first_error != nullptr)
+        params.recorder->trigger(
+            obs::severity::error, "fleet", "slo_tripped",
+            {{"epoch", w.index},
+             {"metric", first_error->metric},
+             {"value", first_error->value},
+             {"bound", first_error->bound},
+             {"kind", obs::to_string(first_error->kind)}});
+    }
+  }
   return out;
 }
 

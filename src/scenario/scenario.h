@@ -42,6 +42,9 @@
 #include "fleet/fleet.h"
 #include "flow/flow_generator.h"
 #include "manager/network_manager.h"
+#include "obs/flight_recorder.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "sim/faults.h"
 #include "sim/simulator.h"
 #include "topo/topology.h"
@@ -134,6 +137,16 @@ struct scenario_config {
   /// retry_config). Not part of the deterministic trace unless the hook
   /// itself is deterministic.
   std::function<void(int, int)> recovery_hook;
+  /// SLO rules evaluated against every epoch's metric window (see
+  /// epoch_window); empty disables evaluation. Violations emit obs
+  /// events and error-severity ones trip the flight recorder. The
+  /// evaluation never feeds back into the trace — digests and records
+  /// are identical with and without a policy.
+  obs::slo_policy slo;
+  /// Non-owning anomaly flight recorder. When set, every epoch's
+  /// window is recorded and a post-mortem dump is triggered the epoch
+  /// recovery exhausts its retries or an error-severity SLO rule trips.
+  obs::flight_recorder* recorder = nullptr;
 };
 
 /// Everything that happened in one epoch, plus the chained state digest.
@@ -220,6 +233,15 @@ struct scenario_result {
 /// driver, benches) shares one seed-stream implementation.
 int poisson_draw(rng& gen, double mean);
 
+/// The per-epoch metric window derived from one epoch record — the
+/// series contract shared by the SLO layer, the flight recorder, and
+/// `wsanctl health`: pdr, rejection_rate, jam_hit_rate,
+/// recovery_failed, and the raw churn/recovery/jammer counts.
+obs::series_window epoch_window(const epoch_record& rec);
+
+/// Folds a finished scenario into an epoch-indexed series.
+obs::series scenario_series(const scenario_result& result);
+
 class scenario_engine {
  public:
   /// Builds the manager for the topology and admits the initial
@@ -303,9 +325,19 @@ struct fleet_epoch_params {
   fleet::fleet_config fleet;
   int epochs = 8;
   double ops_rate = 2.0;  ///< mean fleet ops per tenant per epoch
+  /// SLO rules evaluated against every epoch's aggregate window after
+  /// the parallel fold (deterministic at any jobs value); empty
+  /// disables. Error-severity violations trip the recorder.
+  obs::slo_policy slo;
+  /// Non-owning anomaly flight recorder fed one window per epoch.
+  obs::flight_recorder* recorder = nullptr;
 };
 
 fleet_epochs_result run_fleet_epochs(const fleet_epoch_params& params,
                                      int jobs);
+
+/// Folds a fleet epoch run into an epoch-indexed series (ops,
+/// admissions, rejections, evictions, rejection_rate).
+obs::series fleet_series(const fleet_epochs_result& result);
 
 }  // namespace wsan::scenario

@@ -13,6 +13,7 @@
 //
 // Recording tests skip when the library is built with WSAN_OBS=OFF;
 // sink/serialisation tests run in both configurations.
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -224,6 +225,84 @@ TEST(ObsSinks, JsonlEscapesStringsSafely) {
   const auto doc = exp::json::parse(line);
   EXPECT_EQ(doc.find("fields")->find("text")->as_string(),
             "quote\" slash\\ tab\t");
+}
+
+TEST(ObsSinks, ExponentialBoundsGenerateGeometricSeries) {
+  EXPECT_EQ(obs::exponential_bounds(1.0, 4.0, 4),
+            (std::vector<double>{1.0, 4.0, 16.0, 64.0}));
+  EXPECT_EQ(obs::exponential_bounds(0.5, 2.0, 3),
+            (std::vector<double>{0.5, 1.0, 2.0}));
+  EXPECT_EQ(obs::exponential_bounds(1.0, 10.0, 1),
+            (std::vector<double>{1.0}));
+}
+
+TEST_F(ObsTest, ExponentialHistogramAssignsBoundariesInclusively) {
+  SKIP_IF_COMPILED_OUT();
+  static const obs::histogram h = obs::register_histogram(
+      "test.expo.hist", obs::exponential_bounds(1.0, 4.0, 3));
+  h.observe(1.0);   // bucket 0: upper bounds are inclusive
+  h.observe(1.5);   // bucket 1
+  h.observe(4.0);   // bucket 1
+  h.observe(16.0);  // bucket 2
+  h.observe(16.5);  // overflow
+  const auto& hist = obs::take_snapshot().histograms.at("test.expo.hist");
+  EXPECT_EQ(hist.upper_bounds, (std::vector<double>{1.0, 4.0, 16.0}));
+  EXPECT_EQ(hist.counts, (std::vector<std::uint64_t>{1, 2, 1, 1}));
+}
+
+TEST(ObsSinks, JsonlSinkThrowsOnUnopenablePath) {
+  EXPECT_THROW(obs::jsonl_sink("/nonexistent-dir-wsan/trace.jsonl"),
+               std::invalid_argument);
+}
+
+TEST(ObsSinks, JsonlSinkCountsWriteErrorsInsteadOfFailingSilently) {
+  // /dev/full accepts open() but fails every flushed write with ENOSPC
+  // — the exact failure mode the drop counter exists for. Skip where
+  // the device is missing or permissive (non-Linux).
+  {
+    std::ofstream probe("/dev/full");
+    if (!probe.is_open()) GTEST_SKIP() << "/dev/full unavailable";
+    probe << 'x' << std::flush;
+    if (probe.good()) GTEST_SKIP() << "/dev/full does not fail writes";
+  }
+  obs::jsonl_sink sink("/dev/full");
+  obs::event ev;
+  ev.sev = obs::severity::error;
+  ev.component = "test";
+  ev.name = "lost";
+  sink.consume(ev);
+  sink.consume(ev);
+  EXPECT_EQ(sink.write_errors(), 2u);
+}
+
+TEST(ObsSinks, MinSeverityFiltersBeforeBufferingOrWriting) {
+  // jsonl_sink: filtered events never reach the stream.
+  std::ostringstream os;
+  obs::jsonl_sink jsonl(os);
+  jsonl.set_min_severity(obs::severity::warning);
+  obs::event ev;
+  ev.component = "test";
+  ev.name = "tick";
+  ev.sev = obs::severity::info;
+  jsonl.consume(ev);
+  EXPECT_TRUE(os.str().empty());
+  ev.sev = obs::severity::warning;
+  jsonl.consume(ev);
+  EXPECT_NE(os.str().find("\"tick\""), std::string::npos);
+  EXPECT_EQ(jsonl.write_errors(), 0u);
+
+  // ring_sink: filtered events are not buffered and do NOT count as
+  // drops — dropped() keeps meaning "history lost to capacity".
+  obs::ring_sink ring(2);
+  ring.set_min_severity(obs::severity::error);
+  ev.sev = obs::severity::info;
+  for (int i = 0; i < 10; ++i) ring.consume(ev);
+  EXPECT_TRUE(ring.events().empty());
+  EXPECT_EQ(ring.dropped(), 0u);
+  ev.sev = obs::severity::error;
+  ring.consume(ev);
+  EXPECT_EQ(ring.events().size(), 1u);
+  EXPECT_EQ(ring.dropped(), 0u);
 }
 
 TEST_F(ObsTest, ScheduleMetricsAreBitIdenticalAcrossJobs) {

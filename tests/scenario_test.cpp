@@ -3,8 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "exp/json.h"
 
 #include "common/rng.h"
 #include "core/scheduler.h"
@@ -339,6 +344,110 @@ TEST(FleetEpochs, BitIdenticalAcrossJobsAndEpochsAggregate) {
   }
   EXPECT_EQ(jobs1.final_digest, jobs4.final_digest);
   EXPECT_GT(total_ops, 0);
+}
+
+TEST(TemporalObservability, ScenarioSeriesMirrorsEpochRecords) {
+  const auto topology = topo::make_wustl(2);
+  const auto result = scenario_engine(topology, churn_config()).run();
+  const auto s = scenario_series(result);
+  EXPECT_EQ(s.name, "scenario");
+  EXPECT_EQ(s.index_unit, "epoch");
+  ASSERT_EQ(s.windows.size(), result.epochs.size());
+  for (std::size_t e = 0; e < s.windows.size(); ++e) {
+    const auto& w = s.windows[e];
+    const auto& rec = result.epochs[e];
+    EXPECT_EQ(w.index, rec.epoch);
+    EXPECT_DOUBLE_EQ(w.values.at("pdr"), rec.pdr);
+    EXPECT_DOUBLE_EQ(w.values.at("num_flows"), rec.num_flows);
+    EXPECT_DOUBLE_EQ(w.values.at("jam_hits"), rec.jam_hits);
+    EXPECT_DOUBLE_EQ(w.values.at("recovery_failed"),
+                     rec.recovery_failed ? 1.0 : 0.0);
+  }
+}
+
+TEST(TemporalObservability, RecoveryExhaustionDumpsAPostMortem) {
+  const auto topology = topo::make_wustl(2);
+  auto config = jamming_config(false, false);
+  config.retry.max_attempts = 2;
+  config.recovery_hook = [](int epoch, int) {
+    if (epoch == 2) throw std::runtime_error("down hard");
+  };
+  obs::flight_recorder::config fc;
+  fc.window_capacity = 8;
+  fc.dump_path = ::testing::TempDir() + "wsan_scenario_dump.json";
+  obs::flight_recorder recorder(fc);
+  config.recorder = &recorder;
+  const auto result = scenario_engine(topology, config).run();
+  EXPECT_TRUE(result.epochs[2].recovery_failed);
+  EXPECT_EQ(recorder.triggers(), 1u);
+
+  // The dump is a self-contained, parseable post-mortem: the trigger
+  // plus the last epoch windows up to and including the failing one.
+  std::ifstream in(fc.dump_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto doc = exp::json::parse(text.str());
+  EXPECT_EQ(doc.find("schema")->as_string(), "wsan-flight-recorder/1");
+  const auto* trigger = doc.find("trigger");
+  ASSERT_NE(trigger, nullptr);
+  EXPECT_EQ(trigger->find("event")->as_string(), "recovery_exhausted");
+  EXPECT_EQ(trigger->find("fields")->find("epoch")->as_int(), 2);
+  EXPECT_EQ(trigger->find("fields")->find("attempts")->as_int(), 2);
+  const auto& windows = doc.find("windows")->as_array();
+  ASSERT_EQ(windows.size(), 3u);  // epochs 0..2 recorded before firing
+  EXPECT_EQ(windows.back().find("index")->as_int(), 2);
+  EXPECT_EQ(windows.back()
+                .find("values")
+                ->find("recovery_failed")
+                ->as_double(),
+            1.0);
+  std::remove(fc.dump_path.c_str());
+}
+
+TEST(TemporalObservability, SloAndRecorderNeverPerturbDigests) {
+  const auto topology = topo::make_wustl(2);
+  const auto config = churn_config();
+  const auto plain = scenario_engine(topology, config).run();
+  auto instrumented = config;
+  instrumented.slo = obs::default_scenario_policy();
+  obs::flight_recorder recorder;  // no dump file
+  instrumented.recorder = &recorder;
+  const auto observed = scenario_engine(topology, instrumented).run();
+  ASSERT_EQ(plain.epochs.size(), observed.epochs.size());
+  for (std::size_t e = 0; e < plain.epochs.size(); ++e)
+    EXPECT_EQ(plain.epochs[e].digest, observed.epochs[e].digest)
+        << "epoch " << e;
+  EXPECT_EQ(plain.final_digest, observed.final_digest);
+  // Every epoch's window was fed to the recorder.
+  EXPECT_EQ(recorder.recent_windows().size(), plain.epochs.size());
+}
+
+TEST(TemporalObservability, FleetSeriesMatchesAggregatesAtAnyJobs) {
+  fleet_epoch_params params;
+  params.fleet.tenants = 12;
+  params.fleet.max_flows_per_tenant = 6;
+  params.fleet.seed = 5;
+  params.epochs = 4;
+  params.ops_rate = 2.0;
+  const auto plain = run_fleet_epochs(params, 1);
+  auto instrumented = params;
+  instrumented.slo = obs::default_fleet_policy(/*admit_p99_us=*/1e9);
+  obs::flight_recorder recorder;
+  instrumented.recorder = &recorder;
+  const auto observed = run_fleet_epochs(instrumented, 4);
+  EXPECT_EQ(plain.final_digest, observed.final_digest);
+
+  const auto s = fleet_series(plain);
+  ASSERT_EQ(s.windows.size(), plain.epochs.size());
+  for (std::size_t e = 0; e < s.windows.size(); ++e) {
+    EXPECT_EQ(s.windows[e].index, plain.epochs[e].epoch);
+    EXPECT_DOUBLE_EQ(s.windows[e].values.at("ops"),
+                     static_cast<double>(plain.epochs[e].ops));
+    EXPECT_DOUBLE_EQ(s.windows[e].values.at("rejections"),
+                     static_cast<double>(plain.epochs[e].rejections));
+  }
+  EXPECT_EQ(recorder.recent_windows().size(), s.windows.size());
 }
 
 TEST(Poisson, DrawIsDeterministicAndMeanIsPlausible) {

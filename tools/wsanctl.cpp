@@ -98,6 +98,13 @@ commands:
              --jam-slots N  [--randomize]  --swap-attempts N
              --watchdog N  [--wifi]  --onset-epoch N  --seed N
              [--replay EPOCH]  [--metrics FILE]  [--trace FILE]
+             [--series FILE]  [--openmetrics FILE]
+             [--slo]  [--pdr-floor P]  (evaluate SLO health; exit 1
+             when an error-severity rule trips)
+             [--flight-dump FILE]  (post-mortem on SLO trip or
+             recovery exhaustion)
+             [--fail-recovery EPOCH]  (inject recovery failures at
+             EPOCH, exhausting the retry budget)
   faults     inject faults and drive the detect/reroute/shed loop
              --topology FILE  --workload FILE  --channels N
              [--plan FILE | --crash IDS [--crash-run N]]
@@ -109,12 +116,20 @@ commands:
              --replay POINT:TRIAL (with --figure)
              --metrics FILE (observability snapshot)
              --trace FILE (JSONL event log)
+             --series FILE (per-epoch wsan-series/1 JSONL files)
              plus each figure's own flags (--flows, --runs, ...)
   obs        pretty-print an observability document
              FILE (metrics snapshot or bench report container)
              [--payload OUT]  write the report's science payload
              (observability nulled; wall_seconds, jobs, and declared
              measurement series zeroed) for bit-exact diffing
+  health     evaluate / render SLO health; exit 0 iff healthy
+             FILE (bench report container with a "health" section,
+             or a wsan-series/1 JSONL file)  [--pdr-floor P]
+  top        per-metric summary + sparklines of a series file
+             FILE (wsan-series/1 JSONL)
+  flight     render a flight-recorder post-mortem dump
+             FILE (wsan-flight-recorder/1 JSON)
 )";
   return 2;
 }
@@ -488,7 +503,39 @@ int cmd_scenario(const cli_args& args) {
   exp::run_options obs_options;
   obs_options.metrics_path = args.get("metrics", "");
   obs_options.trace_path = args.get("trace", "");
-  exp::obs_session session(obs_options);
+  obs_options.series_path = args.get("series", "");
+  const auto openmetrics_path = args.get("openmetrics", "");
+
+  // SLO policy: --slo enables the default scenario policy; --pdr-floor
+  // (which implies --slo) overrides its PDR lower bound.
+  if (args.get_bool("slo", false) || args.has("pdr-floor")) {
+    config.slo = obs::default_scenario_policy();
+    const double pdr_floor = args.get_double("pdr-floor", -1.0);
+    if (pdr_floor >= 0.0)
+      for (auto& rule : config.slo.rules)
+        if (rule.metric == "pdr") rule.bound = pdr_floor;
+  }
+
+  // Flight recorder: fed every epoch window by the engine, tee'd into
+  // the event stream so its ring also holds the recent engine events.
+  std::shared_ptr<obs::flight_recorder> recorder;
+  if (args.has("flight-dump")) {
+    obs::flight_recorder::config recorder_config;
+    recorder_config.dump_path = args.get("flight-dump", "");
+    recorder = std::make_shared<obs::flight_recorder>(recorder_config);
+    config.recorder = recorder.get();
+  }
+
+  if (args.has("fail-recovery")) {
+    const int fail_epoch =
+        static_cast<int>(args.get_int("fail-recovery", 0));
+    config.recovery_hook = [fail_epoch](int epoch, int) {
+      if (epoch == fail_epoch)
+        throw std::runtime_error("injected management-plane loss");
+    };
+  }
+
+  exp::obs_session session(obs_options, recorder);
 
   scenario::scenario_engine engine(std::move(topology), config);
   const auto result = engine.run();
@@ -518,6 +565,24 @@ int cmd_scenario(const cli_args& args) {
             << cell(result.mean_pdr, 3) << ", final digest "
             << result.final_digest << "\n";
 
+  const auto series = scenario::scenario_series(result);
+  if (!obs_options.series_path.empty()) {
+    std::ofstream out(obs_options.series_path);
+    WSAN_REQUIRE(out.good(),
+                 "cannot open for writing: " + obs_options.series_path);
+    obs::write_series_jsonl(series, out);
+    std::cout << "wrote " << series.windows.size()
+              << "-window series to " << obs_options.series_path << "\n";
+  }
+  if (!openmetrics_path.empty()) {
+    std::ofstream out(openmetrics_path);
+    WSAN_REQUIRE(out.good(),
+                 "cannot open for writing: " + openmetrics_path);
+    obs::write_series_openmetrics(series, out);
+    std::cout << "wrote OpenMetrics exposition to " << openmetrics_path
+              << "\n";
+  }
+
   const auto& snap = session.finish();
   if (session.active()) {
     std::cout << "\nobservability: per-phase timings\n";
@@ -528,6 +593,22 @@ int cmd_scenario(const cli_args& args) {
     if (!obs_options.trace_path.empty())
       std::cout << "wrote event trace to " << obs_options.trace_path
                 << "\n";
+  }
+  if (recorder != nullptr) {
+    std::cout << "flight recorder: " << recorder->triggers()
+              << " trigger(s)";
+    if (recorder->triggers() > 0)
+      std::cout << ", post-mortem written to "
+                << recorder->recorder_config().dump_path;
+    std::cout << "\n";
+  }
+  if (!config.slo.empty()) {
+    // Events are already disabled (session finished), so this second
+    // evaluation renders the verdict without re-emitting violations.
+    const auto verdict = obs::evaluate_slo(series, config.slo);
+    const auto health =
+        exp::health_section(config.slo, {{"scenario", verdict}});
+    if (!exp::print_health_block(health, std::cout)) return 1;
   }
   return 0;
 }
@@ -735,12 +816,10 @@ int cmd_bench(const cli_args& args) {
   return 0;
 }
 
-/// `wsanctl obs FILE` — renders a metrics snapshot (--metrics output)
-/// or a bench report container's observability section as text.
-/// `wsanctl obs FILE --payload OUT` extracts a report container's
-/// science payload for bit-exact diffing across runs.
-int cmd_obs(int argc, char** argv) {
-  std::string path;
+/// Splits a `FILE [--flags]` argv (the obs/health/top/flight pattern,
+/// which generic cli_args parsing rejects) into the positional path and
+/// the remaining flag arguments.
+cli_args positional_file_args(int argc, char** argv, std::string& path) {
   std::vector<const char*> rest;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -750,20 +829,38 @@ int cmd_obs(int argc, char** argv) {
     }
     rest.push_back(argv[i]);
   }
-  const cli_args args(static_cast<int>(rest.size()), rest.data());
+  cli_args args(static_cast<int>(rest.size()), rest.data());
   if (path.empty()) path = args.get("file", "");
+  return args;
+}
+
+/// Reads and JSON-parses a whole file; throws on parse errors, returns
+/// false (after printing) when the file cannot be opened.
+bool parse_json_file(const std::string& path, exp::json::value& doc) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  doc = exp::json::parse(text.str());
+  return true;
+}
+
+/// `wsanctl obs FILE` — renders a metrics snapshot (--metrics output)
+/// or a bench report container's observability section as text.
+/// `wsanctl obs FILE --payload OUT` extracts a report container's
+/// science payload for bit-exact diffing across runs.
+int cmd_obs(int argc, char** argv) {
+  std::string path;
+  const cli_args args = positional_file_args(argc, argv, path);
   if (path.empty()) {
     std::cerr << "obs needs a file: wsanctl obs FILE [--payload OUT]\n";
     return 2;
   }
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "error: cannot read " << path << "\n";
-    return 1;
-  }
-  std::ostringstream text;
-  text << in.rdbuf();
-  const auto doc = exp::json::parse(text.str());
+  exp::json::value doc;
+  if (!parse_json_file(path, doc)) return 1;
   if (args.has("payload")) {
     const auto out_path = args.get("payload", "");
     const auto payload = exp::science_payload(doc);
@@ -776,6 +873,162 @@ int cmd_obs(int argc, char** argv) {
     return 0;
   }
   exp::print_obs_document(doc, std::cout);
+  return 0;
+}
+
+/// True when the file starts with a wsan-series/1 JSONL header line.
+bool looks_like_series_file(const std::string& path) {
+  std::ifstream in(path);
+  std::string first_line;
+  if (!in || !std::getline(in, first_line)) return false;
+  return first_line.find("\"wsan-series/1\"") != std::string::npos;
+}
+
+/// `wsanctl health FILE` — evaluates or renders SLO health. A bench
+/// report container carrying a "health" section is rendered as-is; a
+/// wsan-series/1 JSONL file is evaluated against the default scenario
+/// policy (--pdr-floor overrides the PDR lower bound). Exit 0 iff
+/// every verdict is healthy.
+int cmd_health(int argc, char** argv) {
+  std::string path;
+  const cli_args args = positional_file_args(argc, argv, path);
+  if (path.empty()) {
+    std::cerr << "health needs a file: wsanctl health FILE "
+                 "[--pdr-floor P]\n";
+    return 2;
+  }
+
+  if (looks_like_series_file(path)) {
+    const auto series = exp::series_from_jsonl_file(path);
+    auto policy = obs::default_scenario_policy();
+    const double pdr_floor = args.get_double("pdr-floor", -1.0);
+    if (pdr_floor >= 0.0)
+      for (auto& rule : policy.rules)
+        if (rule.metric == "pdr") rule.bound = pdr_floor;
+    const auto verdict = obs::evaluate_slo(series, policy);
+    const auto health =
+        exp::health_section(policy, {{series.name, verdict}});
+    return exp::print_health_block(health, std::cout) ? 0 : 1;
+  }
+
+  exp::json::value doc;
+  if (!parse_json_file(path, doc)) return 1;
+  const auto* health = doc.find("health");
+  if (health == nullptr || !health->is_object()) {
+    std::cerr << path
+              << ": no \"health\" section (re-run the bench with SLO "
+                 "evaluation, or pass a wsan-series/1 file)\n";
+    return 2;
+  }
+  bool all_healthy = true;
+  for (const auto& [figure, block] : health->as_object()) {
+    std::cout << "figure " << figure << "\n";
+    if (!exp::print_health_block(block, std::cout)) all_healthy = false;
+    std::cout << "\n";
+  }
+  std::cout << (all_healthy ? "HEALTHY" : "UNHEALTHY")
+            << " (" << health->as_object().size() << " figure(s))\n";
+  return all_healthy ? 0 : 1;
+}
+
+/// `wsanctl top FILE` — per-metric min/mean/max/last plus a sparkline
+/// over the windows of a wsan-series/1 JSONL file.
+int cmd_top(int argc, char** argv) {
+  std::string path;
+  positional_file_args(argc, argv, path);
+  if (path.empty()) {
+    std::cerr << "top needs a file: wsanctl top FILE\n";
+    return 2;
+  }
+  exp::print_series_table(exp::series_from_jsonl_file(path), std::cout);
+  return 0;
+}
+
+/// `wsanctl flight FILE` — renders a wsan-flight-recorder/1 post-mortem
+/// dump: the trigger, the drop counters, the retained windows (as a
+/// series table), and the retained event tail.
+int cmd_flight(int argc, char** argv) {
+  std::string path;
+  positional_file_args(argc, argv, path);
+  if (path.empty()) {
+    std::cerr << "flight needs a file: wsanctl flight FILE\n";
+    return 2;
+  }
+  exp::json::value doc;
+  if (!parse_json_file(path, doc)) return 1;
+  const auto* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "wsan-flight-recorder/1") {
+    std::cerr << path << ": not a wsan-flight-recorder/1 dump\n";
+    return 1;
+  }
+
+  const auto int_or = [&doc](const char* key, std::int64_t fallback) {
+    const auto* v = doc.find(key);
+    return v != nullptr && v->is_int() ? v->as_int() : fallback;
+  };
+  const auto field_text = [](const exp::json::value& v) -> std::string {
+    if (v.is_string()) return v.as_string();
+    if (v.is_int()) return std::to_string(v.as_int());
+    if (v.is_number()) return cell(v.as_double(), 4);
+    return "?";
+  };
+  const auto event_line = [&field_text](const exp::json::value& ev) {
+    std::string line;
+    const auto* sev = ev.find("severity");
+    const auto* component = ev.find("component");
+    const auto* name = ev.find("event");
+    line += sev != nullptr && sev->is_string() ? sev->as_string() : "?";
+    line += " ";
+    line += component != nullptr && component->is_string()
+                ? component->as_string()
+                : "?";
+    line += "/";
+    line += name != nullptr && name->is_string() ? name->as_string()
+                                                 : "?";
+    if (const auto* fields = ev.find("fields");
+        fields != nullptr && fields->is_object()) {
+      for (const auto& [key, val] : fields->as_object())
+        line += " " + key + "=" + field_text(val);
+    }
+    return line;
+  };
+
+  if (const auto* trigger = doc.find("trigger"); trigger != nullptr)
+    std::cout << "trigger:  " << event_line(*trigger) << "\n";
+  std::cout << "triggers: " << int_or("trigger_count", 0)
+            << "  dropped events: " << int_or("dropped_events", 0)
+            << "  dropped windows: " << int_or("dropped_windows", 0)
+            << "\n";
+
+  if (const auto* windows = doc.find("windows");
+      windows != nullptr && windows->is_array() &&
+      !windows->as_array().empty()) {
+    obs::series series;
+    series.name = "flight";
+    for (const auto& w : windows->as_array()) {
+      obs::series_window window;
+      if (const auto* index = w.find("index");
+          index != nullptr && index->is_int())
+        window.index = index->as_int();
+      if (const auto* values = w.find("values");
+          values != nullptr && values->is_object())
+        for (const auto& [key, val] : values->as_object())
+          if (val.is_number()) window.values[key] = val.as_double();
+      series.windows.push_back(std::move(window));
+    }
+    std::cout << "\nlast " << series.windows.size() << " window(s):\n";
+    exp::print_series_table(series, std::cout);
+  }
+
+  if (const auto* events = doc.find("events");
+      events != nullptr && events->is_array() &&
+      !events->as_array().empty()) {
+    std::cout << "\nlast " << events->as_array().size()
+              << " event(s):\n";
+    for (const auto& ev : events->as_array())
+      std::cout << "  " << event_line(ev) << "\n";
+  }
   return 0;
 }
 
@@ -793,9 +1046,12 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
-    // `obs` takes a positional file path, which cli_args rejects;
-    // parse it separately before the generic flag parsing below.
+    // These commands take a positional file path, which cli_args
+    // rejects; parse them separately before the generic flag parsing.
     if (command == "obs") return cmd_obs(argc - 1, argv + 1);
+    if (command == "health") return cmd_health(argc - 1, argv + 1);
+    if (command == "top") return cmd_top(argc - 1, argv + 1);
+    if (command == "flight") return cmd_flight(argc - 1, argv + 1);
     const cli_args args(argc - 1, argv + 1);
     if (command == "topology") return cmd_topology(args);
     if (command == "workload") return cmd_workload(args);
