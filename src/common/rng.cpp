@@ -1,16 +1,6 @@
 #include "common/rng.h"
 
-#include <cmath>
-#include <numbers>
-
 namespace wsan {
-
-std::uint64_t splitmix64(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
 
 std::uint64_t derive_seed(std::uint64_t experiment_seed,
                           std::uint64_t point_index,
@@ -26,11 +16,6 @@ std::uint64_t derive_seed(std::uint64_t experiment_seed,
   h = splitmix64(state);
   state = h ^ trial_index;
   return splitmix64(state);
-}
-
-rng::rng(std::uint64_t seed) {
-  std::uint64_t sm = seed;
-  for (auto& word : s_) word = splitmix64(sm);
 }
 
 std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
@@ -55,15 +40,15 @@ double rng::normal() {
     has_spare_normal_ = false;
     return spare_normal_;
   }
-  // Box-Muller transform.
+  // Box-Muller transform; both halves re-derive radius and angle from
+  // the shared header kernels (bit-identical to sharing intermediates,
+  // see box_muller_first's documentation).
   double u1 = 0.0;
   while (u1 == 0.0) u1 = uniform01();
   const double u2 = uniform01();
-  const double radius = std::sqrt(-2.0 * std::log(u1));
-  const double angle = 2.0 * std::numbers::pi * u2;
-  spare_normal_ = radius * std::sin(angle);
+  spare_normal_ = box_muller_second(u1, u2);
   has_spare_normal_ = true;
-  return radius * std::cos(angle);
+  return box_muller_first(u1, u2);
 }
 
 double rng::normal(double mean, double stddev) {

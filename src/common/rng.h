@@ -6,15 +6,52 @@
 // via splitmix64 plus our own distribution helpers.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <numbers>
 #include <vector>
 
 #include "common/error.h"
 
 namespace wsan {
 
+/// The splitmix64 output function: mixes an already-advanced state word
+/// into a finalized output. Exposed separately from splitmix64() so
+/// counter-based consumers (batch_rng) can evaluate the k-th output of a
+/// chain as finalize(seed + k * increment) without carrying the mutable
+/// state — the two formulations produce identical streams.
+inline std::uint64_t splitmix64_finalize(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// splitmix64: used to expand a single 64-bit seed into generator state.
-std::uint64_t splitmix64(std::uint64_t& state);
+/// Inline because simulation seed chains call it several times per fade
+/// coordinate; the golden-ratio increment is the canonical constant.
+inline constexpr std::uint64_t k_splitmix64_increment =
+    0x9e3779b97f4a7c15ULL;
+
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  return splitmix64_finalize(state += k_splitmix64_increment);
+}
+
+/// The two halves of the Box-Muller transform for uniforms u1 in (0, 1]
+/// and u2 in [0, 1). Each half re-derives radius and angle from the same
+/// inputs; because the libm calls are deterministic functions of their
+/// argument bits, recomputing them yields the same values as sharing the
+/// intermediates, so callers that need only one half (the fast path's
+/// fade kernel, rng::first_normal) skip the other half's sin/cos
+/// entirely without breaking bit-identity with rng::normal().
+inline double box_muller_first(double u1, double u2) {
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+inline double box_muller_second(double u1, double u2) {
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::sin(2.0 * std::numbers::pi * u2);
+}
 
 /// Counter-style seed derivation for experiment trials.
 ///
@@ -51,7 +88,13 @@ class rng {
  public:
   using result_type = std::uint64_t;
 
-  explicit rng(std::uint64_t seed = 0);
+  // Inline for the same reason as operator(): the fast simulation path
+  // constructs a fresh generator per fade coordinate, and an out-of-line
+  // constructor would dominate the four-word state expansion.
+  explicit rng(std::uint64_t seed = 0) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~result_type{0}; }
@@ -112,6 +155,22 @@ class rng {
     WSAN_REQUIRE(!v.empty(), "cannot pick from an empty vector");
     return v[static_cast<std::size_t>(
         uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+  /// First Box-Muller normal of a fresh generator seeded with `seed`.
+  ///
+  /// Bit-identical to `rng(seed).normal()` — same state expansion, same
+  /// u1-rejection loop, same transform — but computes only the cosine
+  /// half, so the sine spare (which a throwaway generator never reads)
+  /// is elided entirely. This is the shared scalar fade kernel: the
+  /// oracle engine reaches it through rng::normal() and the fast path
+  /// calls it directly per (run, pair, channel) seed.
+  static double first_normal(std::uint64_t seed) {
+    rng gen(seed);
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = gen.uniform01();
+    const double u2 = gen.uniform01();
+    return box_muller_first(u1, u2);
   }
 
   /// Derives an independent child generator by consuming one output.

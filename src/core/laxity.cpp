@@ -8,7 +8,7 @@
 #include "core/constraints.h"
 #include "core/slot_finder.h"
 #include "obs/trace.h"
-#include "tsch/schedule_stats.h"
+#include "core/probe_counters.h"
 
 namespace wsan::core {
 
@@ -104,7 +104,7 @@ long long calculate_laxity(const tsch::schedule& sched,
                            const std::vector<tsch::transmission>& post,
                            slot_t s, slot_t deadline_slot,
                            int management_slot_period, bool use_index,
-                           tsch::probe_stats* probes) {
+                           probe_counters* probes) {
   OBS_SPAN("core.laxity");
   WSAN_REQUIRE(s >= 0, "slot must be non-negative");
   WSAN_REQUIRE(management_slot_period >= 0,

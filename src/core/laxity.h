@@ -19,12 +19,9 @@
 
 #include <vector>
 
+#include "core/probe_counters.h"
 #include "tsch/schedule.h"
 #include "tsch/transmission.h"
-
-namespace wsan::tsch {
-struct probe_stats;
-}  // namespace wsan::tsch
 
 namespace wsan::core {
 
@@ -42,6 +39,6 @@ long long calculate_laxity(const tsch::schedule& sched,
                            slot_t s, slot_t deadline_slot,
                            int management_slot_period = 0,
                            bool use_index = true,
-                           tsch::probe_stats* probes = nullptr);
+                           probe_counters* probes = nullptr);
 
 }  // namespace wsan::core

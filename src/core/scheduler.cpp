@@ -17,8 +17,9 @@ namespace {
 /// End-of-run metrics flush. The hot path keeps accumulating into the
 /// plain scheduler_stats struct (deterministic per trial and cheap);
 /// the registry only sees the totals, once per schedule_flows call.
-/// This is also where the deprecated tsch::probe_stats counters
-/// surface under their registry names (core.probes.*).
+/// This is also where the probe_counters totals surface under their
+/// registry names (core.probes.*) — the sole observability surface for
+/// them now that the tsch::probe_stats façade is gone.
 void flush_scheduler_metrics(const scheduler_stats& stats,
                              bool schedulable) {
   if (!obs::enabled()) return;

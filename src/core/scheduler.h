@@ -9,7 +9,7 @@
 #include "flow/flow.h"
 #include "graph/hop_matrix.h"
 #include "tsch/schedule.h"
-#include "tsch/schedule_stats.h"
+#include "core/probe_counters.h"
 
 namespace wsan::core {
 
@@ -22,7 +22,7 @@ struct scheduler_stats {
   std::size_t reuse_activations = 0;
   /// Hot-path work: slots scanned, cells probed, checks answered by the
   /// occupancy index (see scheduler_config::use_occupancy_index).
-  tsch::probe_stats probes;
+  probe_counters probes;
 };
 
 struct schedule_result {

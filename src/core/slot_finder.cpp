@@ -5,7 +5,7 @@
 #include "common/error.h"
 #include "core/constraints.h"
 #include "obs/trace.h"
-#include "tsch/schedule_stats.h"
+#include "core/probe_counters.h"
 
 namespace wsan::core {
 
@@ -32,7 +32,7 @@ std::optional<slot_assignment> find_slot(
     const graph::hop_matrix& reuse_hops, channel_policy policy,
     const std::set<std::pair<node_id, node_id>>* isolated,
     int management_slot_period, bool use_index,
-    tsch::probe_stats* probes) {
+    probe_counters* probes) {
   OBS_SPAN("core.find_slot");
   WSAN_REQUIRE(earliest >= 0, "earliest slot must be non-negative");
   WSAN_REQUIRE(management_slot_period >= 0,

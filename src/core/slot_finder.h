@@ -7,12 +7,9 @@
 #include <utility>
 
 #include "core/config.h"
+#include "core/probe_counters.h"
 #include "graph/hop_matrix.h"
 #include "tsch/schedule.h"
-
-namespace wsan::tsch {
-struct probe_stats;
-}  // namespace wsan::tsch
 
 namespace wsan::core {
 
@@ -48,7 +45,7 @@ std::optional<slot_assignment> find_slot(
     channel_policy policy = channel_policy::min_load,
     const std::set<std::pair<node_id, node_id>>* isolated = nullptr,
     int management_slot_period = 0, bool use_index = true,
-    tsch::probe_stats* probes = nullptr);
+    probe_counters* probes = nullptr);
 
 /// True iff the slot is reserved for management traffic under the given
 /// reservation period (0 = nothing reserved).

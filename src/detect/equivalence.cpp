@@ -1,0 +1,55 @@
+#include "detect/equivalence.h"
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace wsan::detect {
+
+namespace {
+
+std::string link_name(const sim::link_key& link, const char* kind) {
+  std::ostringstream out;
+  out << link.sender << "->" << link.receiver << "/" << kind;
+  return out.str();
+}
+
+void collect(const std::vector<sim::sim_result>& results, bool candidate,
+             std::map<std::pair<sim::link_key, bool>,
+                      stats::ks_gate_group>& groups) {
+  for (const auto& result : results) {
+    for (const auto& [link, obs] : result.links) {
+      for (const bool reuse : {true, false}) {
+        const auto& samples = reuse ? obs.reuse_samples : obs.cf_samples;
+        if (samples.empty()) continue;
+        auto& group = groups[{link, reuse}];
+        if (group.name.empty())
+          group.name = link_name(link, reuse ? "reuse" : "cf");
+        auto& side = candidate ? group.candidate : group.reference;
+        for (const auto& [run, prr] : samples) side.push_back(prr);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+stats::ks_gate_result compare_prr_streams(
+    const std::vector<sim::sim_result>& reference_runs,
+    const std::vector<sim::sim_result>& candidate_runs,
+    const stats::ks_gate_config& config) {
+  // Keyed map (not insertion order) so the group list — and therefore
+  // the Bonferroni m and every reported name — is independent of the
+  // order results were supplied in.
+  std::map<std::pair<sim::link_key, bool>, stats::ks_gate_group> groups;
+  collect(reference_runs, /*candidate=*/false, groups);
+  collect(candidate_runs, /*candidate=*/true, groups);
+
+  std::vector<stats::ks_gate_group> ordered;
+  ordered.reserve(groups.size());
+  for (auto& [key, group] : groups) ordered.push_back(std::move(group));
+  return stats::ks_equivalence_gate(ordered, config);
+}
+
+}  // namespace wsan::detect

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "phy/dbm.h"
+#include "phy/sigmoid.h"
 
 namespace wsan::phy {
 
@@ -21,15 +22,6 @@ double sinr_db(double signal_dbm, const std::vector<double>& interference_dbm,
                  interference_dbm.size(), noise_floor_dbm);
 }
 
-namespace {
-
-double clamped_sigmoid(double x) {
-  if (x > 8.0) return 1.0;
-  if (x < -8.0) return 0.0;
-  return 1.0 / (1.0 + std::exp(-x));
-}
-
-}  // namespace
 
 double reception_probability(const capture_params& params, double signal_dbm,
                              const double* interference_dbm,

@@ -4,21 +4,9 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "phy/sigmoid.h"
 
 namespace wsan::phy {
-
-namespace {
-
-/// Logistic sigmoid clamped to exactly 0/1 far from the midpoint so that
-/// strong links are genuinely loss-free in expectation and dead links are
-/// genuinely dead (keeps graph construction crisp).
-double clamped_sigmoid(double x) {
-  if (x > 8.0) return 1.0;
-  if (x < -8.0) return 0.0;
-  return 1.0 / (1.0 + std::exp(-x));
-}
-
-}  // namespace
 
 double prr_from_rssi(const link_model_params& params, double rssi_dbm) {
   WSAN_REQUIRE(params.transition_width_db > 0.0,

@@ -7,11 +7,13 @@
 #include <numbers>
 #include <set>
 
+#include "common/batch_rng.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "phy/channel.h"
+#include "phy/sigmoid.h"
 #include "tsch/hopping.h"
 
 namespace wsan::sim {
@@ -91,103 +93,106 @@ std::vector<std::vector<slot_entry>> flatten_schedule(
   return by_slot;
 }
 
-/// Temporal fading: deterministic per (unordered pair, channel, run).
-/// Fast multipath variation is frequency-selective, which is exactly
-/// why TSCH hops channels: a retry on a different channel sees an
-/// independent fade, so engineered links with retries ride through it,
-/// while a single shared cell pinned to a faded channel does not.
-double compute_fade_db(const sim_config& config, int run, node_id a,
-                       node_id b, channel_t ch) {
-  if (config.temporal_fading_sigma_db <= 0.0) return 0.0;
-  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
-  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
-  std::uint64_t state = config.seed ^ (0x9e3779b97f4a7c15ULL +
-                                       static_cast<std::uint64_t>(run));
-  state ^= splitmix64(state) + (lo << 32 | hi);
+// Seed chains for the derived-RNG kernels. Both tiers share these
+// integer chains verbatim — the tiers differ only in the transform
+// applied to the final 64-bit seed (xoshiro + libm Box-Muller for the
+// oracle, the counter-based batched kernels for batched), so a
+// coordinate's identity is tier-independent.
+
+/// Run-level prefix of the fade chain: everything that does not depend
+/// on the pair/channel, hoisted so the fast engine computes it once per
+/// run. Returns (state, first mixed output).
+struct fade_run_prefix {
+  std::uint64_t state = 0;
+  std::uint64_t z = 0;
+};
+
+inline fade_run_prefix fade_prefix(std::uint64_t seed, int run) {
+  std::uint64_t st =
+      seed ^ (k_splitmix64_increment + static_cast<std::uint64_t>(run));
+  fade_run_prefix p;
+  p.z = splitmix64(st);
+  p.state = st;
+  return p;
+}
+
+/// Tail of the fade chain: folds the unordered pair and channel into
+/// the run prefix, yielding the coordinate's fade seed.
+inline std::uint64_t fade_seed(const fade_run_prefix& prefix, node_id a,
+                               node_id b, channel_t ch) {
+  const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+  const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+  std::uint64_t state = prefix.state ^ (prefix.z + (lo << 32 | hi));
   state ^= splitmix64(state) + static_cast<std::uint64_t>(ch);
-  rng pair_gen(splitmix64(state));
-  return pair_gen.normal(0.0, config.temporal_fading_sigma_db);
+  return splitmix64(state);
 }
 
-/// Local inline of the splitmix64 finalizer (common/rng.cpp), with
-/// bit-identical arithmetic. The fade kernel runs the finalizer six
-/// times per fill; keeping those calls inline lets the compiler
-/// schedule the integer mixing of one fill under the log/cos latency
-/// of the previous one in the batch loops, which the out-of-line
-/// library call defeats.
-inline std::uint64_t splitmix64_inline(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-/// The first normal() draw of rng(seed), scaled: bit-identical to
-/// `0.0 + sigma * rng(seed).normal()` — same splitmix64 state expansion,
-/// same xoshiro256** outputs, same Box-Muller expressions in the same
-/// order — except the spare (sin) half of the transform, which the
-/// oracle computes only to discard with its temporary rng, is elided.
-/// This is the fast engine's fade kernel; sim_equivalence_test pins it
-/// against the oracle's full rng path across every memoized table.
-double scaled_first_normal(std::uint64_t seed, double sigma) {
-  std::uint64_t sm = seed;
-  std::uint64_t s0 = splitmix64_inline(sm);
-  std::uint64_t s1 = splitmix64_inline(sm);
-  std::uint64_t s2 = splitmix64_inline(sm);
-  std::uint64_t s3 = splitmix64_inline(sm);
-  const auto rotl = [](std::uint64_t x, int k) {
-    return (x << k) | (x >> (64 - k));
-  };
-  const auto next = [&]() {
-    const std::uint64_t result = rotl(s1 * 5, 7) * 9;
-    const std::uint64_t t = s1 << 17;
-    s2 ^= s0;
-    s3 ^= s1;
-    s1 ^= s2;
-    s0 ^= s3;
-    s2 ^= t;
-    s3 = rotl(s3, 45);
-    return result;
-  };
-  double u1 = 0.0;
-  while (u1 == 0.0)
-    u1 = static_cast<double>(next() >> 11) * 0x1.0p-53;
-  const double u2 = static_cast<double>(next() >> 11) * 0x1.0p-53;
-  const double radius = std::sqrt(-2.0 * std::log(u1));
-  const double angle = 2.0 * std::numbers::pi * u2;
-  return 0.0 + sigma * (radius * std::cos(angle));
-}
-
-/// Calibration drift: static per (unordered pair, channel) offset
-/// between the measured topology (which produced the schedule's graphs)
-/// and the RF world the schedule actually runs in. `maintained` is
-/// whether the pair carries scheduled traffic (re-measured every
-/// health-report epoch).
-double compute_drift_db(const sim_config& config, bool maintained,
-                        node_id a, node_id b, channel_t ch) {
-  const node_id lo_id = std::min(a, b);
-  const node_id hi_id = std::max(a, b);
-  const auto lo = static_cast<std::uint64_t>(lo_id);
-  const auto hi = static_cast<std::uint64_t>(hi_id);
-  std::uint64_t pair_state = config.seed ^ 0xd51f7ULL;
+/// Pair-level state of the drift chain (intermittence classification
+/// keys off this alone — intermittence is a property of the pair, not
+/// of one channel).
+inline std::uint64_t drift_pair_state(std::uint64_t seed, node_id a,
+                                      node_id b) {
+  const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+  const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+  std::uint64_t pair_state = seed ^ 0xd51f7ULL;
   pair_state ^= splitmix64(pair_state) + (lo << 32 | hi);
+  return pair_state;
+}
+
+/// Per-channel drift seed derived from the pair state.
+inline std::uint64_t drift_chan_seed(std::uint64_t pair_state,
+                                     channel_t ch) {
   std::uint64_t state = pair_state;
   state ^= splitmix64(state) + static_cast<std::uint64_t>(ch);
-  rng chan_gen(splitmix64(state));
-  double sigma = config.calibration_drift_sigma_db;
+  return splitmix64(state);
+}
+
+/// Drift sigma selection shared by both tiers up to the intermittence
+/// draw, which each tier takes from its own transform of the pair seed.
+inline double drift_sigma(const sim_config& config, bool maintained,
+                          double intermittent_u) {
   if (maintained) {
     // Used links are re-measured every health-report epoch; a link
     // that went intermittent would be rerouted, so in steady state
     // the maintained population only sees small drift.
-    sigma = config.maintained_drift_sigma_db;
-  } else {
-    // Intermittence is a property of the pair, not of one channel.
-    rng pair_gen(splitmix64(pair_state));
-    if (pair_gen.uniform01() < config.intermittent_fraction)
-      sigma = config.intermittent_sigma_db;
+    return config.maintained_drift_sigma_db;
   }
+  return intermittent_u < config.intermittent_fraction
+             ? config.intermittent_sigma_db
+             : config.calibration_drift_sigma_db;
+}
+
+/// Stream index for the batched tier's derived per-run interferer
+/// activity stream: derive_seed(config.seed, k_interferer_stream, run).
+/// Any fixed value distinct from the point indexes the experiment
+/// harness feeds derive_seed works; collisions would only correlate
+/// streams, not break determinism.
+inline constexpr std::uint64_t k_interferer_stream = 0x1f7eedULL;
+
+/// Stream index for the batched tier's derived per-run probe stream
+/// (channel picks and Bernoulli thresholds; same derivation pattern as
+/// the interferer stream above).
+inline constexpr std::uint64_t k_probe_stream = 0x9b0be5ULL;
+
+/// dBm <-> mW conversion constants for the batched tier's poly SINR
+/// path: pow(10, x/10) == exp(x * ln10/10) and 10*log10(m) ==
+/// 10/ln10 * ln(m), routed through batch_detail's poly_exp/poly_log.
+inline constexpr double k_ln10_over_10 = std::numbers::ln10 / 10.0;
+inline constexpr double k_10_over_ln10 = 10.0 / std::numbers::ln10;
+
+/// Batched-tier drift: same seed chain as compute_drift_db, with the
+/// xoshiro/Box-Muller transform replaced by the batched kernels.
+double compute_drift_db_batched(const sim_config& config, bool maintained,
+                                node_id a, node_id b, channel_t ch) {
+  const std::uint64_t pair_state = drift_pair_state(config.seed, a, b);
+  double u = 0.0;
+  if (!maintained) {
+    std::uint64_t s = pair_state;
+    u = batch_uniform01(splitmix64(s));
+  }
+  const double sigma = drift_sigma(config, maintained, u);
   if (sigma <= 0.0) return 0.0;
-  return chan_gen.normal(0.0, sigma);
+  return sigma * batch_normal(drift_chan_seed(pair_state, ch));
 }
 
 /// Shared tail of both engines: totals, per-flow PDR, obs counters.
@@ -510,10 +515,22 @@ sim_result run_simulation_naive(const topo::topology& topo,
 // statistics accumulate in dense arrays over links interned once at
 // setup, and every per-slot scratch vector is hoisted into a reusable
 // pre-reserved buffer. The caches only memoize values drawn from
-// *derived* RNGs keyed by their coordinates; every draw from the main
-// `gen` stream (interferer activity, reception Bernoullis, probe
-// channels) happens in exactly the naive order, so the sample path —
-// and therefore every output — is bit-identical to the oracle engine.
+// *derived* RNGs keyed by their coordinates; in the default oracle
+// tier every draw from the main `gen` stream (interferer activity,
+// reception Bernoullis, probe channels) happens in exactly the naive
+// order, so the sample path — and therefore every output — is
+// bit-identical to the oracle engine.
+//
+// The batched tier (config.fade_kernel == batched) keeps the engine
+// structure and the coordinate-keyed seed chains but swaps the scalar
+// xoshiro + libm transforms for the vectorized counter-based kernels
+// of common/batch_rng.h: a dense whole-table refill per run
+// (batch_fade_fill over run-invariant pair-key/channel/base arrays), a
+// drift-table setup batch (prefill_drift_batched), and derived per-run
+// streams for interferer duty-cycle activity
+// (refresh_interferer_rows) and probe draws. Outputs are then
+// statistically — not bitwise — equivalent to the oracle, which the
+// K-S gate in stats/equivalence.h enforces.
 
 /// Compact per-transmission record for the fast engine's hyperperiod
 /// scan. Everything the slot loop reads per entry, packed into 24
@@ -662,7 +679,8 @@ class fast_engine {
     // entries stay valid for the whole simulation (epoch 1); with
     // fading on they are stamped per run. The only query this cache
     // cannot serve — the cross RSSI of a concurrent sender into
-    // another link's receiver — is computed uncached (see cross_rssi).
+    // another link's receiver — has its own lazily allocated memo
+    // (see cross_rssi).
     link_coords_.reset(
         new coord_cache[link_keys_.size() *
                         static_cast<std::size_t>(ncl_)]());
@@ -733,6 +751,78 @@ class fast_engine {
     interferers_active_.reserve(static_cast<std::size_t>(num_intf));
     counts_.assign(link_keys_.size(), link_run_counts{});
     obs_cache_.assign(link_keys_.size(), nullptr);
+
+    // Batched tier setup (everything above is tier-independent).
+    batched_ = config.fade_kernel == fade_kernel_kind::batched;
+    if (batched_) {
+      // Poly SINR path: the interference branch of the reception
+      // probability re-expressed through the batch poly kernels (see
+      // reception_probability below). Gated on the same width
+      // validation as the inline p0; the noise-floor term of the SINR
+      // denominator is run-invariant, so it is converted once here.
+      poly_rx_ = p0_inline_ok_;
+      cap_thresh_ = capture_.capture_threshold_db;
+      cap_scale_ = capture_.transition_width_db / 4.0;
+      noise_mw_ = batch_detail::poly_exp(capture_.link.noise_floor_dbm *
+                                         k_ln10_over_10);
+      if (poly_rx_) {
+        powers_mw_.reserve(powers_.capacity());
+        ext_power_mw_.resize(ext_power_.size());
+        for (std::size_t i = 0; i < ext_power_.size(); ++i)
+          ext_power_mw_[i] =
+              batch_detail::poly_exp(ext_power_[i] * k_ln10_over_10);
+      }
+      probe_uu_.resize(2 * max_probes);
+      if (!drift_zero_) prefill_drift_batched();
+      // Dense refill mode: with fading on, nearly every (link, channel)
+      // coordinate is touched every run (the slot working set plus the
+      // probes' uniform channel picks cover the table), so the batched
+      // tier refills the whole table once per run with one fused
+      // kernel call over run-invariant arrays instead of tracking
+      // misses. Pair keys, channels and bases (rssi + drift) never
+      // change across runs; the run prefix enters inside the kernel.
+      dense_on_ = fade_on_ && p0_inline_ok_;
+      if (dense_on_) {
+        prefill_on_ = false;  // subsumed: no used-set tracking needed
+        dense_pk_.resize(coord_count_);
+        dense_ch_.resize(coord_count_);
+        dense_base_.resize(coord_count_);
+        dense_sig_.resize(coord_count_);
+        dense_p0_.resize(coord_count_);
+        for (std::size_t li = 0; li < link_keys_.size(); ++li) {
+          const link_key& key = link_keys_[li];
+          const auto lo = static_cast<std::uint64_t>(
+              key.sender < key.receiver ? key.sender : key.receiver);
+          const auto hi = static_cast<std::uint64_t>(
+              key.sender < key.receiver ? key.receiver : key.sender);
+          for (int ci = 0; ci < ncl_; ++ci) {
+            const std::size_t id = li * static_cast<std::size_t>(ncl_) +
+                                   static_cast<std::size_t>(ci);
+            const channel_t ch =
+                list_chan_[static_cast<std::size_t>(ci)];
+            dense_pk_[id] = lo << 32 | hi;
+            dense_ch_[id] = static_cast<std::uint64_t>(ch);
+            dense_base_[id] =
+                topo_.rssi_dbm(key.sender, key.receiver, ch) +
+                drift(key.sender, key.receiver, ci, ch);
+          }
+        }
+      }
+      if (num_intf > 0) {
+        // One activity row per possible sample point of a run: every
+        // slot of the hyperperiod plus every probe. A run consumes at
+        // most that many rows (slots without active transmissions and
+        // muted links skip theirs).
+        const std::size_t rows =
+            static_cast<std::size_t>(hp_) + max_probes;
+        intf_active_.resize(rows * static_cast<std::size_t>(num_intf));
+        intf_u_.resize(rows * static_cast<std::size_t>(num_intf));
+        intf_duty_.resize(static_cast<std::size_t>(num_intf));
+        for (int k = 0; k < num_intf; ++k)
+          intf_duty_[static_cast<std::size_t>(k)] =
+              field_.interferer(k).duty_cycle;
+      }
+    }
   }
 
   sim_result run() {
@@ -765,20 +855,33 @@ class fast_engine {
         // mixes a value that depends only on the run, so both halves
         // can be computed once here and xor-combined with the pair key
         // per miss.
-        std::uint64_t st = config_.seed ^ (0x9e3779b97f4a7c15ULL +
-                                          static_cast<std::uint64_t>(run));
-        fade_z_ = splitmix64(st);
-        fade_state_ = st;
+        fade_prefix_ = fade_prefix(config_.seed, run);
         // Prefill the coordinates the slot loop used in the previous
         // run of this hopping class (the (slot, offset) -> channel
         // mapping repeats with period |channels|, so the used set is a
         // high-accuracy predictor). Batching the fills lets the fade
         // kernels' splitmix/log/cos chains pipeline across independent
         // coordinates, where the lazy miss path pays each chain's full
-        // serial latency. Prefilled values are pure derived data: a
-        // retry coordinate that does not fire this run wastes a kernel
-        // but cannot perturb the main gen stream.
-        if (prefill_on_) {
+        // serial latency — and in the batched tier the whole working
+        // set goes through one vectorized normal + sigmoid pass.
+        // Prefilled values are pure derived data: a retry coordinate
+        // that does not fire this run wastes a kernel but cannot
+        // perturb the main gen stream.
+        if (dense_on_) {
+          // Whole-table refill, one fused vectorized pass: fade chain,
+          // sigma scale, base add and clean-PRR sigmoid for every
+          // coordinate. Readers then index dense_sig_/dense_p0_
+          // directly — no epochs, no used-set tracking, no miss
+          // queues. Per-coordinate values match the lazy element
+          // transforms exactly (same chain, same expression order).
+          batch_fade_fill(fade_prefix_.state, fade_prefix_.z,
+                          dense_pk_.data(), dense_ch_.data(),
+                          dense_base_.data(), coord_count_,
+                          config_.temporal_fading_sigma_db, p0_sens_,
+                          p0_scale_, dense_sig_.data(),
+                          dense_p0_.data());
+          obs_fade_kernels_ += coord_count_;
+        } else if (prefill_on_) {
           for (const int packed :
                class_log_[static_cast<std::size_t>(run_class_)]) {
             const std::size_t idx =
@@ -789,6 +892,7 @@ class fast_engine {
           }
         }
       }
+      if (batched_ && num_intf > 0) refresh_interferer_rows(run);
 
       {
         OBS_SPAN("sim.slot_loop");
@@ -826,11 +930,18 @@ class fast_engine {
 
           if (num_intf > 0) {
             // With no interferers the oracle's sample_active draws
-            // nothing and fills nothing, so the call is elided.
-            field_.sample_active(gen, interferers_active_);
-            if (run < config_.interferer_start_run)
-              std::fill(interferers_active_.begin(),
-                        interferers_active_.end(), char{0});
+            // nothing and fills nothing, so the call is elided. The
+            // batched tier reads the next pre-generated activity row
+            // instead of consuming main-stream draws (its derived
+            // per-run stream; see refresh_interferer_rows).
+            if (batched_) {
+              next_interferer_row();
+            } else {
+              field_.sample_active(gen, interferers_active_);
+              if (run < config_.interferer_start_run)
+                std::fill(interferers_active_.begin(),
+                          interferers_active_.end(), char{0});
+            }
           }
 
           success_.assign(active_.size(), 0);
@@ -843,10 +954,15 @@ class fast_engine {
             // sub-ranges feed the counterfactual reception probabilities
             // in exactly the oracle's vector order.
             powers_.clear();
+            powers_mw_.clear();
             for (std::size_t j = 0; j < active_.size(); ++j) {
               if (j == i || active_chan_val_[j] != ch) continue;
               powers_.push_back(cross_rssi(active_[j]->sender,
                                            tx.receiver, ci, ch));
+              if (poly_rx_)
+                powers_mw_.push_back(
+                    cross_mw_[cross_index(active_[j]->sender,
+                                          tx.receiver, ci)]);
             }
             const std::size_t internal_count = powers_.size();
             obs_internal_pairs_ += internal_count;
@@ -857,10 +973,12 @@ class fast_engine {
                                     static_cast<std::size_t>(ncl_) +
                                 static_cast<std::size_t>(ci)])
                 continue;
-              powers_.push_back(
-                  ext_power_[static_cast<std::size_t>(k) *
-                                 static_cast<std::size_t>(n_) +
-                             static_cast<std::size_t>(tx.receiver)]);
+              const std::size_t pi =
+                  static_cast<std::size_t>(k) *
+                      static_cast<std::size_t>(n_) +
+                  static_cast<std::size_t>(tx.receiver);
+              powers_.push_back(ext_power_[pi]);
+              if (poly_rx_) powers_mw_.push_back(ext_power_mw_[pi]);
             }
             const std::size_t external_count =
                 powers_.size() - internal_count;
@@ -874,8 +992,8 @@ class fast_engine {
             } else {
               const double signal =
                   link_signal<true>(li, tx.sender, tx.receiver, ci, ch);
-              p = phy::reception_probability(
-                  capture_, signal, powers_.data(), powers_.size());
+              p = rx_prob<true>(li, tx.sender, tx.receiver, ci, ch,
+                                signal, 0, powers_.size());
               auto& counts = counts_[static_cast<std::size_t>(li)];
               const bool faulted =
                   faults_on_ &&
@@ -888,19 +1006,17 @@ class fast_engine {
                 // nothing external is active.
                 const double without_internal =
                     external_count > 0
-                        ? phy::reception_probability(
-                              capture_, signal,
-                              powers_.data() + internal_count,
-                              external_count)
+                        ? rx_prob<true>(li, tx.sender, tx.receiver, ci,
+                                        ch, signal, internal_count,
+                                        external_count)
                         : p0<true>(li, tx.sender, tx.receiver, ci, ch);
                 counts.loss_internal += without_internal - p;
               }
               if (external_count > 0 && !faulted) {
                 const double without_external =
                     internal_count > 0
-                        ? phy::reception_probability(capture_, signal,
-                                                     powers_.data(),
-                                                     internal_count)
+                        ? rx_prob<true>(li, tx.sender, tx.receiver, ci,
+                                        ch, signal, 0, internal_count)
                         : p0<true>(li, tx.sender, tx.receiver, ci, ch);
                 counts.loss_external += without_external - p;
               }
@@ -971,82 +1087,164 @@ class fast_engine {
         // evaluated from the warm table.
         std::size_t np = 0;
         miss_queue_.clear();
-        for (std::size_t li = 0; li < link_keys_.size(); ++li) {
-          if (faults_on_ && faults_.node_down(link_keys_[li].sender))
-            continue;  // mute
-          for (int probe = 0; probe < config_.probes_per_run; ++probe) {
-            // Inline of gen.uniform_int(0, ncl-1): identical rejection
-            // loop consuming identical draws, with the range-dependent
-            // threshold precomputed at setup.
-            int ci;
-            for (;;) {
-              const std::uint64_t r = gen();
-              if (r >= probe_threshold_) {
-                ci = static_cast<int>(r % probe_range_);
-                break;
-              }
-            }
-            probe_ci_[np] = ci;
-            // The draw gen.bernoulli(p) would consume, recorded before
-            // p is known (the comparison happens in the last phase).
-            probe_u_[np] = gen.uniform01();
-            ++np;
-            if (p0_inline_ok_) {
-              coord_cache& c =
-                  link_coords_[li * static_cast<std::size_t>(ncl_) +
-                               static_cast<std::size_t>(ci)];
-              if (c.p0_epoch != epoch_) {
-                // Stamp now so duplicates queue once; the value lands
-                // in the fill pass below, before anything reads it.
-                c.p0_epoch = epoch_;
-                miss_queue_.push_back((static_cast<int>(li) << 8) | ci);
-              }
-            }
-          }
-        }
-        for (const int id : miss_queue_) fill_coord(id);
-        std::size_t pi = 0;
-        for (std::size_t li = 0; li < link_keys_.size(); ++li) {
-          const auto& link = link_keys_[li];
-          if (faults_on_ && faults_.node_down(link.sender)) continue;
-          const bool probe_faulted =
-              faults_on_ && (faults_.node_down(link.receiver) ||
-                             faults_.link_down(link.sender, link.receiver));
-          const bool rx_alive =
-              !faults_on_ || !faults_.node_down(link.receiver);
-          auto& counts = counts_[li];
-          for (int probe = 0; probe < config_.probes_per_run;
-               ++probe, ++pi) {
-            const int ci = probe_ci_[pi];
-            // With the inline sigmoid available, every probe coordinate
-            // was stamped and filled above, so the table read needs no
-            // epoch check; otherwise the regular memoized query runs.
-            const double p =
-                p0_inline_ok_
-                    ? link_coords_[li * static_cast<std::size_t>(ncl_) +
-                                   static_cast<std::size_t>(ci)]
-                          .p0
-                    : p0(static_cast<int>(li), link.sender, link.receiver,
-                         ci, list_chan_[static_cast<std::size_t>(ci)]);
-            // Same validation gen.bernoulli(p) performs before its
-            // comparison against the (here pre-recorded) uniform draw.
-            WSAN_REQUIRE(p >= 0.0 && p <= 1.0,
-                         "bernoulli requires p in [0, 1]");
-            ++counts.cf_attempts;
-            counts.cf_successes +=
-                (probe_u_[pi] < p && !probe_faulted) ? 1 : 0;
-            energy.per_node_mj[static_cast<std::size_t>(link.sender)] +=
-                em.tx_packet_mj;  // broadcast: no ACK
-            if (rx_alive) {
+        if (batched_) {
+          // The batched tier takes probe channel picks and Bernoulli
+          // thresholds from a derived per-run stream generated in one
+          // vectorized uniform pass (same pattern as the interferer
+          // rows) instead of draw-by-draw from the main gen stream:
+          // the first |links|*probes values are the channel uniforms,
+          // the second half the outcome thresholds, indexed by (link,
+          // probe) so muted links skip their entries without shifting
+          // anyone else's. Channel picks map through floor(u * ncl)
+          // rather than the oracle's rejection loop — both are uniform
+          // over the list, which is all the statistical contract asks.
+          // Since the dense refill already warmed every coordinate,
+          // pick, compare and accounting fuse into one pass — no
+          // recorded draw arrays, no deferred fill.
+          const std::size_t np_total =
+              link_keys_.size() *
+              static_cast<std::size_t>(config_.probes_per_run);
+          batch_uniform01s(derive_seed(config_.seed, k_probe_stream,
+                                       static_cast<std::uint64_t>(run)),
+                           2 * np_total, probe_uu_.data());
+          const double* uch = probe_uu_.data();
+          const double* uth = probe_uu_.data() + np_total;
+          const double dncl = static_cast<double>(ncl_);
+          for (std::size_t li = 0; li < link_keys_.size(); ++li) {
+            const auto& link = link_keys_[li];
+            if (faults_on_ && faults_.node_down(link.sender))
+              continue;  // mute
+            const bool probe_faulted =
+                faults_on_ &&
+                (faults_.node_down(link.receiver) ||
+                 faults_.link_down(link.sender, link.receiver));
+            const bool rx_alive =
+                !faults_on_ || !faults_.node_down(link.receiver);
+            auto& counts = counts_[li];
+            const std::size_t base =
+                li * static_cast<std::size_t>(config_.probes_per_run);
+            for (int probe = 0; probe < config_.probes_per_run;
+                 ++probe) {
+              int ci = static_cast<int>(
+                  uch[base + static_cast<std::size_t>(probe)] * dncl);
+              // u < 1 keeps u*ncl < ncl except for a possible
+              // round-to-even at the very top of the range; clamp the
+              // (never-taken in practice) overflow instead of trusting
+              // the rounding mode.
+              if (ci >= ncl_) ci = ncl_ - 1;
+              const double p =
+                  dense_on_
+                      ? dense_p0_[li * static_cast<std::size_t>(ncl_) +
+                                  static_cast<std::size_t>(ci)]
+                      : p0(static_cast<int>(li), link.sender,
+                           link.receiver, ci,
+                           list_chan_[static_cast<std::size_t>(ci)]);
+              // Same validation gen.bernoulli(p) performs before the
+              // comparison.
+              WSAN_REQUIRE(p >= 0.0 && p <= 1.0,
+                           "bernoulli requires p in [0, 1]");
+              ++counts.cf_attempts;
+              counts.cf_successes +=
+                  (uth[base + static_cast<std::size_t>(probe)] < p &&
+                   !probe_faulted)
+                      ? 1
+                      : 0;
               energy.per_node_mj[static_cast<std::size_t>(
-                  link.receiver)] += em.rx_packet_mj;
+                  link.sender)] += em.tx_packet_mj;  // broadcast: no ACK
+              if (rx_alive) {
+                energy.per_node_mj[static_cast<std::size_t>(
+                    link.receiver)] += em.rx_packet_mj;
+              }
+              ++energy.data_transmissions;
             }
-            ++energy.data_transmissions;
           }
+        } else {
+          for (std::size_t li = 0; li < link_keys_.size(); ++li) {
+            if (faults_on_ && faults_.node_down(link_keys_[li].sender))
+              continue;  // mute
+            for (int probe = 0; probe < config_.probes_per_run;
+                 ++probe) {
+              // Inline of gen.uniform_int(0, ncl-1): identical
+              // rejection loop consuming identical draws, with the
+              // range-dependent threshold precomputed at setup.
+              int ci;
+              for (;;) {
+                const std::uint64_t r = gen();
+                if (r >= probe_threshold_) {
+                  ci = static_cast<int>(r % probe_range_);
+                  break;
+                }
+              }
+              probe_ci_[np] = ci;
+              // The draw gen.bernoulli(p) would consume, recorded
+              // before p is known (the comparison happens in the last
+              // phase).
+              probe_u_[np] = gen.uniform01();
+              ++np;
+              if (p0_inline_ok_) {
+                coord_cache& c =
+                    link_coords_[li * static_cast<std::size_t>(ncl_) +
+                                 static_cast<std::size_t>(ci)];
+                if (c.p0_epoch != epoch_) {
+                  // Stamp now so duplicates queue once; the value
+                  // lands in the fill pass below, before anything
+                  // reads it.
+                  c.p0_epoch = epoch_;
+                  miss_queue_.push_back((static_cast<int>(li) << 8) |
+                                        ci);
+                }
+              }
+            }
+          }
+          for (const int id : miss_queue_) fill_coord(id);
+          std::size_t pi = 0;
+          for (std::size_t li = 0; li < link_keys_.size(); ++li) {
+            const auto& link = link_keys_[li];
+            if (faults_on_ && faults_.node_down(link.sender)) continue;
+            const bool probe_faulted =
+                faults_on_ &&
+                (faults_.node_down(link.receiver) ||
+                 faults_.link_down(link.sender, link.receiver));
+            const bool rx_alive =
+                !faults_on_ || !faults_.node_down(link.receiver);
+            auto& counts = counts_[li];
+            for (int probe = 0; probe < config_.probes_per_run;
+                 ++probe, ++pi) {
+              const int ci = probe_ci_[pi];
+              // With the inline sigmoid available, every probe
+              // coordinate was stamped and filled above, so the table
+              // read needs no epoch check; otherwise the regular
+              // memoized query runs.
+              const double p =
+                  p0_inline_ok_
+                      ? link_coords_[li * static_cast<std::size_t>(
+                                              ncl_) +
+                                     static_cast<std::size_t>(ci)]
+                            .p0
+                      : p0(static_cast<int>(li), link.sender,
+                           link.receiver, ci,
+                           list_chan_[static_cast<std::size_t>(ci)]);
+              // Same validation gen.bernoulli(p) performs before its
+              // comparison against the (here pre-recorded) uniform
+              // draw.
+              WSAN_REQUIRE(p >= 0.0 && p <= 1.0,
+                           "bernoulli requires p in [0, 1]");
+              ++counts.cf_attempts;
+              counts.cf_successes +=
+                  (probe_u_[pi] < p && !probe_faulted) ? 1 : 0;
+              energy.per_node_mj[static_cast<std::size_t>(
+                  link.sender)] += em.tx_packet_mj;  // broadcast: no ACK
+              if (rx_alive) {
+                energy.per_node_mj[static_cast<std::size_t>(
+                    link.receiver)] += em.rx_packet_mj;
+              }
+              ++energy.data_transmissions;
+            }
+          }
+          // Warm-table reads above are cache hits; account them in
+          // bulk rather than per probe on the hot path.
+          if (p0_inline_ok_) obs_cache_hits_ += pi;
         }
-        // Warm-table reads above are cache hits; account them in bulk
-        // rather than per probe on the hot path.
-        if (p0_inline_ok_) obs_cache_hits_ += pi;
       } else if (config_.probes_per_run > 0) {
         OBS_SPAN("sim.probe_loop");
         for (std::size_t li = 0; li < link_keys_.size(); ++li) {
@@ -1070,12 +1268,17 @@ class fast_engine {
             }
             const channel_t ch = list_chan_[static_cast<std::size_t>(ci)];
             if (num_intf > 0) {
-              field_.sample_active(gen, interferers_active_);
-              if (run < config_.interferer_start_run)
-                std::fill(interferers_active_.begin(),
-                          interferers_active_.end(), char{0});
+              if (batched_) {
+                next_interferer_row();
+              } else {
+                field_.sample_active(gen, interferers_active_);
+                if (run < config_.interferer_start_run)
+                  std::fill(interferers_active_.begin(),
+                            interferers_active_.end(), char{0});
+              }
             }
             powers_.clear();
+            powers_mw_.clear();
             for (int k = 0; k < num_intf; ++k) {
               if (!interferers_active_[static_cast<std::size_t>(k)])
                 continue;
@@ -1083,21 +1286,24 @@ class fast_engine {
                                     static_cast<std::size_t>(ncl_) +
                                 static_cast<std::size_t>(ci)])
                 continue;
-              powers_.push_back(
-                  ext_power_[static_cast<std::size_t>(k) *
-                                 static_cast<std::size_t>(n_) +
-                             static_cast<std::size_t>(link.receiver)]);
+              const std::size_t pi =
+                  static_cast<std::size_t>(k) *
+                      static_cast<std::size_t>(n_) +
+                  static_cast<std::size_t>(link.receiver);
+              powers_.push_back(ext_power_[pi]);
+              if (poly_rx_) powers_mw_.push_back(ext_power_mw_[pi]);
             }
             double p;
             if (powers_.empty()) {
               p = p0(static_cast<int>(li), link.sender, link.receiver,
                      ci, ch);
             } else {
-              p = phy::reception_probability(
-                  capture_,
+              p = rx_prob<false>(
+                  static_cast<int>(li), link.sender, link.receiver, ci,
+                  ch,
                   link_signal<false>(static_cast<int>(li), link.sender,
                                      link.receiver, ci, ch),
-                  powers_.data(), powers_.size());
+                  0, powers_.size());
             }
             ++counts.cf_attempts;
             counts.cf_successes +=
@@ -1180,27 +1386,63 @@ class fast_engine {
       return drift_[idx];
     }
     drift_[idx] =
-        compute_drift_db(config_, maintained_[pair] != 0, a, b, ch);
+        batched_
+            ? compute_drift_db_batched(config_, maintained_[pair] != 0, a,
+                                       b, ch)
+            : compute_drift_db(config_, maintained_[pair] != 0, a, b, ch);
     drift_ready_[idx] = 1;
     return drift_[idx];
   }
 
   /// Temporal fade for the current run: compute_fade_db's seed chain
-  /// with its run-only prefix hoisted into fade_state_/fade_z_ (see
-  /// run()), and the derived rng's Box-Muller collapsed into the
-  /// spare-free kernel (see scaled_first_normal). Pure per (pair,
+  /// with its run-only prefix hoisted into fade_prefix_ (see run()).
+  /// Oracle tier: the derived rng's Box-Muller collapsed into the
+  /// spare-free shared kernel rng::first_normal — bit-identical to
+  /// `sigma * rng(seed).normal()`. Batched tier: the same seed through
+  /// the counter-based batch_normal element transform, so a lazy miss
+  /// produces exactly what the bulk fill would have. Pure per (pair,
   /// channel) within a run, so live_rssi's coordinate cache absorbs
   /// repeats; a dedicated fade table was measured slower (the extra
   /// cache lines per miss cost more than the rare cross-direction
   /// reuse saved).
   double fade(node_id a, node_id b, channel_t ch) {
     ++obs_fade_kernels_;
-    const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
-    const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
-    std::uint64_t state = fade_state_ ^ (fade_z_ + (lo << 32 | hi));
-    state ^= splitmix64_inline(state) + static_cast<std::uint64_t>(ch);
-    return scaled_first_normal(splitmix64_inline(state),
-                               config_.temporal_fading_sigma_db);
+    const std::uint64_t seed = fade_seed(fade_prefix_, a, b, ch);
+    return batched_
+               ? config_.temporal_fading_sigma_db * batch_normal(seed)
+               : config_.temporal_fading_sigma_db * rng::first_normal(seed);
+  }
+
+  /// Reception probability under interference over the sub-range
+  /// [begin, begin + count) of this slot's collected powers,
+  /// dispatched per tier. Oracle: phy::reception_probability verbatim
+  /// over powers_ (bit-identity). Batched: the same standalone x
+  /// capture-sigmoid product with every libm call eliminated — the
+  /// standalone sigmoid is the cached p0 (dense table or epoch memo),
+  /// the SINR denominator sums the pre-converted milliwatt mirror
+  /// powers_mw_ (interferer conversions are memoized at their source:
+  /// ext_power_mw_ at setup, cross_mw_ per run), and mw_to_dbm plus
+  /// the capture sigmoid go through the branch-free poly_log /
+  /// batch_sigmoid kernels. Elementwise pure and deterministic per
+  /// (config, seed); within ~1e-13 relative of the oracle away from
+  /// the sigmoid clamp rails, which the tier's statistical-equivalence
+  /// gate absorbs. poly_rx_ is false when the transition widths failed
+  /// setup validation, so the batched tier still throws exactly as
+  /// the oracle does.
+  template <bool kLog>
+  double rx_prob(int li, node_id sender, node_id receiver, int ci,
+                 channel_t ch, double signal, std::size_t begin,
+                 std::size_t count) {
+    if (!poly_rx_)
+      return phy::reception_probability(capture_, signal,
+                                        powers_.data() + begin, count);
+    double denom_mw = noise_mw_;
+    const double* mw = powers_mw_.data() + begin;
+    for (std::size_t k = 0; k < count; ++k) denom_mw += mw[k];
+    const double sinr =
+        signal - batch_detail::poly_log(denom_mw) * k_10_over_ln10;
+    return p0<kLog>(li, sender, receiver, ci, ch) *
+           batch_sigmoid((sinr - cap_thresh_) / cap_scale_);
   }
 
   /// Marks a (link, channel) coordinate as used by this run's slot
@@ -1242,11 +1484,82 @@ class fast_engine {
     }
     c.sig = c.base + (fade_on_ ? fade(key.sender, key.receiver, ch) : 0.0);
     c.sig_epoch = epoch_;
-    const double x = (c.sig - p0_sens_) / p0_scale_;
-    c.p0 = x > 8.0   ? 1.0
-           : x < -8.0 ? 0.0
-                      : 1.0 / (1.0 + std::exp(-x));
+    c.p0 = phy::clamped_sigmoid((c.sig - p0_sens_) / p0_scale_);
     c.p0_epoch = epoch_;
+  }
+
+  /// Batched-tier setup pass: fills the drift table for every
+  /// (schedule link, channel) coordinate with one vectorized normal
+  /// batch over the drift seed chains. Link pairs are maintained by
+  /// construction (the bitmap is built from the same link set), so the
+  /// sigma is uniform and the intermittence draw does not apply; the
+  /// quadratic non-link pairs that cross_rssi touches stay lazy and go
+  /// through the batched element transform on miss, producing the same
+  /// values this pass would (compute_drift_db_batched is the element
+  /// function of this batch).
+  void prefill_drift_batched() {
+    const double sigma = config_.maintained_drift_sigma_db;
+    std::vector<std::uint64_t> seeds;
+    std::vector<std::size_t> idxs;
+    seeds.reserve(coord_count_);
+    idxs.reserve(coord_count_);
+    for (const auto& key : link_keys_) {
+      const std::size_t pair = pair_offset(key.sender, key.receiver);
+      const std::uint64_t pair_state =
+          drift_pair_state(config_.seed, key.sender, key.receiver);
+      for (int ci = 0; ci < ncl_; ++ci) {
+        const std::size_t idx = pair * static_cast<std::size_t>(ncl_) +
+                                static_cast<std::size_t>(ci);
+        if (drift_ready_[idx]) continue;  // both link directions share it
+        drift_ready_[idx] = 1;
+        if (sigma <= 0.0) {
+          drift_[idx] = 0.0;  // the element function's early-out
+          continue;
+        }
+        seeds.push_back(drift_chan_seed(
+            pair_state, list_chan_[static_cast<std::size_t>(ci)]));
+        idxs.push_back(idx);
+      }
+    }
+    if (seeds.empty()) return;
+    std::vector<double> vals(seeds.size());
+    batch_normals(seeds.data(), seeds.size(), vals.data());
+    for (std::size_t j = 0; j < idxs.size(); ++j)
+      drift_[idxs[j]] = sigma * vals[j];
+  }
+
+  /// Batched-tier interferer activity: the duty-cycle Bernoullis for a
+  /// whole run are generated here in one vectorized uniform pass from
+  /// a derived per-run stream — derive_seed(seed, interferer stream,
+  /// run) — instead of draw-by-draw from the main gen stream. Row r is
+  /// the activity vector handed out by the r-th sample point of the
+  /// run (slot loop first, then probes), so the process keeps the
+  /// oracle's structure: independent Bernoulli(duty_cycle) per
+  /// interferer per sample point, deterministic per (config, run).
+  void refresh_interferer_rows(int run) {
+    intf_cursor_ = 0;
+    const std::size_t total = intf_u_.size();
+    if (run < config_.interferer_start_run) {
+      std::fill(intf_active_.begin(), intf_active_.end(), char{0});
+      return;
+    }
+    batch_uniform01s(derive_seed(config_.seed, k_interferer_stream,
+                                 static_cast<std::uint64_t>(run)),
+                     total, intf_u_.data());
+    const std::size_t num_intf = intf_duty_.size();
+    for (std::size_t i = 0; i < total; ++i) {
+      intf_active_[i] =
+          intf_u_[i] < intf_duty_[i % num_intf] ? char{1} : char{0};
+    }
+  }
+
+  /// Copies the next pre-generated activity row into the shared
+  /// interferers_active_ scratch (same buffer both tiers read).
+  void next_interferer_row() {
+    const std::size_t num_intf = intf_duty_.size();
+    const char* row = intf_active_.data() + intf_cursor_ * num_intf;
+    ++intf_cursor_;
+    interferers_active_.assign(row, row + num_intf);
   }
 
   /// Effective RSSI at experiment time for a schedule link: same sum,
@@ -1259,6 +1572,7 @@ class fast_engine {
   double link_signal(int li, node_id sender, node_id receiver, int ci,
                      channel_t ch) {
     const int id = li * ncl_ + ci;
+    if (dense_on_) return dense_sig_[static_cast<std::size_t>(id)];
     coord_cache& c = link_coords_[static_cast<std::size_t>(id)];
     if constexpr (kLog) {
       if (prefill_on_) mark_used(id, (li << 8) | ci);
@@ -1282,15 +1596,49 @@ class fast_engine {
 
   /// Effective RSSI of a concurrent sender into another link's
   /// receiver (in-network interference cross product). These pairs are
-  /// not schedule links, so there is no cache slot for them; the value
-  /// is the same oracle sum computed directly. Only transmissions
-  /// sharing a reuse cell can collide (one offset maps to one channel
-  /// per slot), so this path runs a handful of times per slot at most.
+  /// not schedule links, so the link-coordinate table has no slot for
+  /// them, but the sum is still pure per (sender, receiver, position)
+  /// within a run — the same collisions repeat every period of a
+  /// hyperperiod, so an epoch-gated memo over the directed pair space
+  /// turns all repeats into a table read (the first touch computes the
+  /// identical oracle sum, so bit-identity is unaffected). The table
+  /// is allocated on first collision: contention-free schedules never
+  /// pay the quadratic footprint.
+  std::size_t cross_index(node_id sender, node_id receiver,
+                          int ci) const {
+    return (static_cast<std::size_t>(sender) *
+                static_cast<std::size_t>(n_) +
+            static_cast<std::size_t>(receiver)) *
+               static_cast<std::size_t>(ncl_) +
+           static_cast<std::size_t>(ci);
+  }
+
   double cross_rssi(node_id sender, node_id receiver, int ci,
                     channel_t ch) {
-    return topo_.rssi_dbm(sender, receiver, ch) +
-           drift(sender, receiver, ci, ch) +
-           (fade_on_ ? fade(sender, receiver, ch) : 0.0);
+    if (cross_epoch_.empty()) {
+      const std::size_t cells = static_cast<std::size_t>(n_) *
+                                static_cast<std::size_t>(n_) *
+                                static_cast<std::size_t>(ncl_);
+      // Uninitialized like drift_: the zeroed epoch bytes gate reads.
+      cross_sig_.reset(new double[cells]);
+      if (poly_rx_) cross_mw_.reset(new double[cells]);
+      cross_epoch_.assign(cells, 0);
+    }
+    const std::size_t idx = cross_index(sender, receiver, ci);
+    if (cross_epoch_[idx] == epoch_) {
+      ++obs_cache_hits_;
+      return cross_sig_[idx];
+    }
+    const double sig = topo_.rssi_dbm(sender, receiver, ch) +
+                       drift(sender, receiver, ci, ch) +
+                       (fade_on_ ? fade(sender, receiver, ch) : 0.0);
+    cross_sig_[idx] = sig;
+    // The poly SINR path consumes interference in milliwatts; convert
+    // once per (pair, position, run) here instead of per reception.
+    if (poly_rx_)
+      cross_mw_[idx] = batch_detail::poly_exp(sig * k_ln10_over_10);
+    cross_epoch_[idx] = epoch_;
+    return sig;
   }
 
   /// Reception probability with zero concurrent interference — the
@@ -1302,6 +1650,7 @@ class fast_engine {
   double p0(int li, node_id sender, node_id receiver, int ci,
             channel_t ch) {
     const int id = li * ncl_ + ci;
+    if (dense_on_) return dense_p0_[static_cast<std::size_t>(id)];
     coord_cache& c = link_coords_[static_cast<std::size_t>(id)];
     if constexpr (kLog) {
       if (prefill_on_) mark_used(id, (li << 8) | ci);
@@ -1315,11 +1664,11 @@ class fast_engine {
     if (p0_inline_ok_) {
       // Inline of phy::reception_probability's zero-interference path,
       // i.e. prr_from_rssi: identical expressions with the parameter
-      // checks and the sigmoid scale hoisted to setup.
+      // checks and the sigmoid scale hoisted to setup. The batched
+      // tier routes the sigmoid through the batch element kernel so a
+      // lazy miss and a bulk fill produce the same value.
       const double x = (signal - p0_sens_) / p0_scale_;
-      c.p0 = x > 8.0   ? 1.0
-             : x < -8.0 ? 0.0
-                        : 1.0 / (1.0 + std::exp(-x));
+      c.p0 = batched_ ? batch_sigmoid(x) : phy::clamped_sigmoid(x);
     } else {
       c.p0 = phy::reception_probability(capture_, signal, nullptr, 0);
     }
@@ -1352,14 +1701,18 @@ class fast_engine {
   // read).
   std::unique_ptr<double[]> drift_;  ///< (pair, position) -> drift dB
   std::vector<char> drift_ready_;
+  // Cross-interference memo (directed pair, position), allocated on
+  // first collision; epoch-gated like the link coordinate caches.
+  std::unique_ptr<double[]> cross_sig_;
+  std::unique_ptr<double[]> cross_mw_;  ///< poly path: dbm_to_mw memo
+  std::vector<std::uint32_t> cross_epoch_;
   std::unique_ptr<coord_cache[]> link_coords_;  ///< (link, position)
   bool p0_inline_ok_ = false;  ///< transition widths validated at setup
   double p0_scale_ = 1.0;      ///< link transition width / 4
   double p0_sens_ = 0.0;       ///< link sensitivity dBm
   std::uint64_t probe_range_ = 1;      ///< |channels| for probe draws
   std::uint64_t probe_threshold_ = 0;  ///< Lemire rejection threshold
-  std::uint64_t fade_state_ = 0;  ///< per-run fade seed chain prefix
-  std::uint64_t fade_z_ = 0;      ///< its mixed first splitmix output
+  fade_run_prefix fade_prefix_;  ///< per-run fade seed chain prefix
   std::uint32_t epoch_ = 1;  ///< current cache epoch (run+1 with fading)
   int run_class_ = 0;        ///< (run * hp) mod |channels|
   std::size_t coord_count_ = 0;  ///< |links| * |channels|
@@ -1383,6 +1736,7 @@ class fast_engine {
 
   std::vector<char> ext_overlap_;   ///< (interferer, list position)
   std::vector<double> ext_power_;   ///< (interferer, node) -> dBm
+  std::vector<double> ext_power_mw_;  ///< poly path: same table in mW
 
   // Reusable per-slot scratch (pre-reserved, cleared in place).
   std::vector<const fast_entry*> active_;
@@ -1390,11 +1744,32 @@ class fast_engine {
   std::vector<channel_t> active_chan_val_;
   std::vector<char> success_;
   std::vector<double> powers_;
+  std::vector<double> powers_mw_;  ///< poly path: powers_ mirror in mW
   std::vector<char> interferers_active_;
 
   // Dense per-link accumulators and result-map pointer cache.
   std::vector<link_run_counts> counts_;
   std::vector<link_observations*> obs_cache_;
+
+  // Batched-tier state (DESIGN.md §10): bulk-fill scratch and the
+  // per-run pre-generated interferer activity table. All sized at
+  // setup; the steady-state loops never allocate in either tier.
+  bool batched_ = false;  ///< config.fade_kernel == batched
+  bool poly_rx_ = false;   ///< batched && p0_inline_ok_: poly SINR path
+  double cap_thresh_ = 0.0;  ///< capture threshold dB
+  double cap_scale_ = 1.0;   ///< capture transition width / 4
+  double noise_mw_ = 0.0;    ///< poly_exp image of the noise floor, mW
+  std::vector<double> probe_uu_;  ///< derived probe stream scratch
+  bool dense_on_ = false;  ///< batched && fade_on_ && p0_inline_ok_
+  std::vector<std::uint64_t> dense_pk_;  ///< pair key per coordinate
+  std::vector<std::uint64_t> dense_ch_;  ///< channel per coordinate
+  std::vector<double> dense_base_;  ///< rssi + drift per coordinate
+  std::vector<double> dense_sig_;   ///< this run's signals
+  std::vector<double> dense_p0_;    ///< this run's clean PRRs
+  std::vector<char> intf_active_;  ///< (sample row, interferer) activity
+  std::vector<double> intf_u_;     ///< uniform scratch for the rows
+  std::vector<double> intf_duty_;  ///< interferer -> duty cycle
+  std::size_t intf_cursor_ = 0;    ///< next unread activity row
 
   std::uint64_t obs_active_transmissions_ = 0;
   std::uint64_t obs_internal_pairs_ = 0;
@@ -1403,6 +1778,38 @@ class fast_engine {
 };
 
 }  // namespace
+
+/// Temporal fading: deterministic per (unordered pair, channel, run).
+/// Fast multipath variation is frequency-selective, which is exactly
+/// why TSCH hops channels: a retry on a different channel sees an
+/// independent fade, so engineered links with retries ride through it,
+/// while a single shared cell pinned to a faded channel does not.
+double compute_fade_db(const sim_config& config, int run, node_id a,
+                       node_id b, channel_t ch) {
+  if (config.temporal_fading_sigma_db <= 0.0) return 0.0;
+  rng pair_gen(fade_seed(fade_prefix(config.seed, run), a, b, ch));
+  return pair_gen.normal(0.0, config.temporal_fading_sigma_db);
+}
+
+/// Calibration drift: static per (unordered pair, channel) offset
+/// between the measured topology (which produced the schedule's graphs)
+/// and the RF world the schedule actually runs in. `maintained` is
+/// whether the pair carries scheduled traffic (re-measured every
+/// health-report epoch).
+double compute_drift_db(const sim_config& config, bool maintained,
+                        node_id a, node_id b, channel_t ch) {
+  const std::uint64_t pair_state = drift_pair_state(config.seed, a, b);
+  double u = 0.0;
+  if (!maintained) {
+    std::uint64_t s = pair_state;
+    rng pair_gen(splitmix64(s));
+    u = pair_gen.uniform01();
+  }
+  const double sigma = drift_sigma(config, maintained, u);
+  if (sigma <= 0.0) return 0.0;
+  rng chan_gen(drift_chan_seed(pair_state, ch));
+  return chan_gen.normal(0.0, sigma);
+}
 
 void validate_sim_config(const sim_config& config) {
   WSAN_REQUIRE(config.runs >= 1, "need at least one run");
@@ -1444,6 +1851,10 @@ sim_result run_simulation(const topo::topology& topo,
   WSAN_REQUIRE(static_cast<int>(channels.size()) == sched.num_offsets(),
                "channel list size must equal the schedule's offset count");
   validate_sim_config(config);
+  WSAN_REQUIRE(config.use_fast_path ||
+                   config.fade_kernel == fade_kernel_kind::oracle,
+               "the batched fade-kernel tier is a mode of the fast "
+               "engine; the naive engine is the bit-identity oracle");
 
   if (!config.use_fast_path)
     return run_simulation_naive(topo, sched, flows, channels, config);

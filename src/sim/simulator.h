@@ -25,6 +25,26 @@
 
 namespace wsan::sim {
 
+/// Correctness tier of the derived-RNG kernels (temporal fades,
+/// calibration drift, interferer duty cycles) — DESIGN.md §10.
+///
+///  * oracle — every derived value reproduces the naive engine's RNG
+///    chain bit-for-bit (xoshiro construction + libm Box-Muller per
+///    value). Both engines stay bit-identical in every output; this is
+///    what sim_equivalence_test pins and what every digest-style
+///    baseline assumes.
+///  * batched — derived values come from the counter-based batched
+///    kernels in common/batch_rng.h, generated in vectorized batches
+///    over the same coordinate-keyed seed chains. Outputs are NOT
+///    bitwise comparable to the oracle tier (different transform, and
+///    interferer activity moves off the main RNG stream onto a derived
+///    per-run stream) but are drawn from the same distributions; the
+///    contract is statistical equivalence, enforced by the K-S gate in
+///    stats/equivalence.h + tests/fade_equivalence_test.cpp. Still
+///    fully deterministic: a (config, seed) pair always produces the
+///    same sim_result.
+enum class fade_kernel_kind { oracle, batched };
+
 struct sim_config {
   /// Number of schedule executions ("the network executes the schedule
   /// 100 times", Section VII-D). ASN runs continuously across
@@ -96,6 +116,13 @@ struct sim_config {
   /// tests/sim_equivalence_test.cpp enforces across seeds, faults,
   /// interferers, and probe settings.
   bool use_fast_path = true;
+  /// Derived-RNG kernel tier (see fade_kernel_kind). The default keeps
+  /// the bit-identity contract; `batched` trades it for statistical
+  /// equivalence and an order-of-magnitude faster fading path. The
+  /// batched tier is a mode of the fast engine only — combining it with
+  /// use_fast_path = false is rejected by run_simulation (the naive
+  /// engine *is* the bit-identity oracle).
+  fade_kernel_kind fade_kernel = fade_kernel_kind::oracle;
   /// Neighbor-discovery probe transmissions per link per run. The
   /// WirelessHART manager reserves contention-free slots for periodic
   /// neighbor-discovery broadcasts (Section VI); these give every link —
@@ -192,6 +219,21 @@ struct sim_result {
   /// streams, energy, counters) — what "bit-identical engines" means.
   friend bool operator==(const sim_result&, const sim_result&) = default;
 };
+
+/// Temporal fading in dB: deterministic per (run, unordered pair,
+/// channel), zero when the configured sigma is. This is the oracle-tier
+/// kernel both engines share; exposed for the drift/fade corner tests
+/// and for consumers that need the ground-truth fade of a coordinate.
+double compute_fade_db(const sim_config& config, int run, node_id a,
+                       node_id b, channel_t ch);
+
+/// Calibration drift in dB: deterministic per (unordered pair, channel).
+/// `maintained` selects the small maintained sigma; unmaintained pairs
+/// draw their intermittence class from a pair-level (channel
+/// independent) stream. Returns exactly 0.0 when the selected sigma is
+/// <= 0. Oracle-tier kernel, exposed like compute_fade_db.
+double compute_drift_db(const sim_config& config, bool maintained,
+                        node_id a, node_id b, channel_t ch);
 
 /// Validates the configuration's numeric invariants (positive run count,
 /// non-negative and finite sigmas, intermittent fraction in [0, 1],

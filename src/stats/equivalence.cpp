@@ -1,0 +1,120 @@
+#include "stats/equivalence.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wsan::stats {
+
+namespace {
+
+ks_gate_finding run_one(const std::string& name,
+                        const std::vector<double>& reference,
+                        const std::vector<double>& candidate,
+                        double alpha) {
+  ks_gate_finding f;
+  f.name = name;
+  f.n_reference = reference.size();
+  f.n_candidate = candidate.size();
+  f.alpha = alpha;
+  const ks_result r = ks_test(reference, candidate, alpha);
+  f.statistic = r.statistic;
+  f.p_value = r.p_value;
+  f.tested = true;
+  f.reject = r.reject;
+  return f;
+}
+
+}  // namespace
+
+std::string ks_gate_result::summary() const {
+  std::ostringstream out;
+  out << (passed ? "PASS" : "FAIL") << ": " << tested_groups << "/"
+      << groups.size() << " groups tested";
+  if (pooled.tested) {
+    out << "; pooled D=" << pooled.statistic << " p=" << pooled.p_value
+        << " (n=" << pooled.n_reference << "/" << pooled.n_candidate
+        << ", alpha=" << pooled.alpha
+        << (pooled.reject ? ", REJECT)" : ")");
+  }
+  // On failure list every rejecting group; on success the single
+  // smallest p-value tells the reader how much margin the gate had.
+  const ks_gate_finding* tightest = nullptr;
+  for (const auto& g : groups) {
+    if (!g.tested) continue;
+    if (g.reject) {
+      out << "\n  REJECT " << g.name << ": D=" << g.statistic
+          << " p=" << g.p_value << " (n=" << g.n_reference << "/"
+          << g.n_candidate << ", alpha=" << g.alpha << ")";
+    }
+    if (tightest == nullptr || g.p_value < tightest->p_value) tightest = &g;
+  }
+  if (passed && tightest != nullptr) {
+    out << "\n  tightest group " << tightest->name
+        << ": D=" << tightest->statistic << " p=" << tightest->p_value
+        << " (alpha=" << tightest->alpha << ")";
+  }
+  return out.str();
+}
+
+ks_gate_result ks_equivalence_gate(const std::vector<ks_gate_group>& groups,
+                                   const ks_gate_config& config) {
+  WSAN_REQUIRE(config.alpha > 0.0 && config.alpha < 1.0,
+               "gate alpha must be in (0, 1)");
+  WSAN_REQUIRE(config.min_samples >= 2,
+               "min_samples must be at least 2 for a two-sample test");
+
+  ks_gate_result result;
+  result.groups.reserve(groups.size());
+
+  // Bonferroni m: count testable groups first so every per-group test
+  // runs at the same adjusted level.
+  std::size_t m = 0;
+  for (const auto& g : groups) {
+    if (g.reference.size() >= config.min_samples &&
+        g.candidate.size() >= config.min_samples) {
+      ++m;
+    }
+  }
+  result.tested_groups = m;
+  const double group_alpha = m == 0 ? config.alpha
+                                    : config.alpha / static_cast<double>(m);
+
+  std::vector<double> pooled_ref;
+  std::vector<double> pooled_cand;
+  bool any_reject = false;
+  for (const auto& g : groups) {
+    pooled_ref.insert(pooled_ref.end(), g.reference.begin(),
+                      g.reference.end());
+    pooled_cand.insert(pooled_cand.end(), g.candidate.begin(),
+                       g.candidate.end());
+    if (g.reference.size() >= config.min_samples &&
+        g.candidate.size() >= config.min_samples) {
+      result.groups.push_back(
+          run_one(g.name, g.reference, g.candidate, group_alpha));
+      any_reject |= result.groups.back().reject;
+    } else {
+      ks_gate_finding skipped;
+      skipped.name = g.name;
+      skipped.n_reference = g.reference.size();
+      skipped.n_candidate = g.candidate.size();
+      result.groups.push_back(skipped);
+    }
+  }
+
+  if (pooled_ref.size() >= config.min_samples &&
+      pooled_cand.size() >= config.min_samples) {
+    result.pooled = run_one("pooled", pooled_ref, pooled_cand, config.alpha);
+    any_reject |= result.pooled.reject;
+  } else {
+    result.pooled.name = "pooled";
+    result.pooled.n_reference = pooled_ref.size();
+    result.pooled.n_candidate = pooled_cand.size();
+  }
+
+  result.passed = !any_reject;
+  return result;
+}
+
+}  // namespace wsan::stats

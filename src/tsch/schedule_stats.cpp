@@ -7,12 +7,6 @@
 
 namespace wsan::tsch {
 
-std::string to_string(const probe_stats& probes) {
-  return "slots=" + std::to_string(probes.slots_scanned) +
-         " cells=" + std::to_string(probes.cells_probed) +
-         " index_hits=" + std::to_string(probes.index_hits);
-}
-
 histogram tx_per_channel_histogram(const schedule& sched) {
   histogram hist;
   for (slot_t s = 0; s < sched.num_slots(); ++s) {

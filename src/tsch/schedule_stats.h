@@ -12,39 +12,6 @@
 
 namespace wsan::tsch {
 
-/// Hot-path instrumentation for the scheduler's slot search and laxity
-/// computation. The counters distinguish work done by scanning cell
-/// contents from work answered by the schedule's occupancy index, so
-/// benches can report how much the index actually saves.
-///
-/// DEPRECATED as an observability surface (kept as a thin façade for
-/// one release; see DESIGN.md "Observability"): the same totals are
-/// published through the obs metrics registry as core.probes.* by
-/// core::schedule_flows, which is where new consumers should read them
-/// (`--metrics FILE`, `wsanctl obs`). The struct remains the hot-path
-/// accumulator — a plain per-trial value with no atomics — and the
-/// scheduler flushes it into the registry once per run.
-struct probe_stats {
-  /// Candidate slots examined for the transmission conflict constraint
-  /// (find_slot) or for laxity unusable-slot accounting.
-  std::size_t slots_scanned = 0;
-  /// (slot, offset) cells examined for the channel constraint.
-  std::size_t cells_probed = 0;
-  /// Constraint checks answered by the occupancy index (bitset lookups
-  /// and cached cell loads) instead of a transmission-list scan.
-  std::size_t index_hits = 0;
-
-  probe_stats& operator+=(const probe_stats& other) {
-    slots_scanned += other.slots_scanned;
-    cells_probed += other.cells_probed;
-    index_hits += other.index_hits;
-    return *this;
-  }
-};
-
-/// "slots=N cells=N index_hits=N" — for bench/debug output.
-std::string to_string(const probe_stats& probes);
-
 /// Histogram of transmissions per occupied (slot, channel-offset) cell.
 /// A bin value of 1 means no channel reuse in that cell.
 histogram tx_per_channel_histogram(const schedule& sched);

@@ -1,13 +1,19 @@
 // bench_diff — compares two wsan-bench-report/1 containers.
 //
 //   bench_diff BASELINE.json CANDIDATE.json [--rel-tol R] [--abs-tol A]
-//              [--out FILE]
+//              [--science-tol S] [--out FILE]
 //
 // The comparison is split along the repo's determinism contract:
 //
 //   * science values — everything that survives exp::science_payload()
-//     — must match BIT-EXACTLY; any difference is a "science change"
-//     (the workload, seed, or algorithm changed, or determinism broke).
+//     — must match BIT-EXACTLY by default; any difference is a
+//     "science change" (the workload, seed, or algorithm changed, or
+//     determinism broke). --science-tol S relaxes this to a relative
+//     band, which is the right oracle for the batched fade-kernel tier
+//     (DESIGN.md §10): its contract is statistical equivalence, so
+//     oracle-vs-batched panel deltas are gated on |rel change| <= S
+//     instead of bit-exactness. S = 0 (the default) keeps the strict
+//     contract.
 //   * measurement values — wall_seconds and every panel series listed
 //     in a report's measurement_keys — are wall-clock noise; they are
 //     compared with a relative tolerance (--rel-tol, default 0.10)
@@ -91,6 +97,10 @@ bool is_measurement_key(const exp::figure_report& report,
 struct tolerances {
   double rel = 0.10;
   double abs = 0.0;
+  /// Relative band for science keys; 0 = bit-exact (the default
+  /// contract). Non-zero only makes sense when comparing across
+  /// kernels whose contract is statistical, not bitwise.
+  double science = 0.0;
 };
 
 void compare_measurement(const std::string& figure,
@@ -173,8 +183,9 @@ diff_result diff_containers(const std::vector<exp::figure_report>& base,
             compare_measurement(b.figure, location, bval, it->second,
                                 tol, out);
           } else if (bval != it->second) {
-            out.science_changes.push_back(
-                {b.figure, location, bval, it->second});
+            delta d{b.figure, location, bval, it->second};
+            if (std::abs(d.rel_change()) > tol.science)
+              out.science_changes.push_back(d);
           }
         }
       }
@@ -248,12 +259,16 @@ int main(int argc, char** argv) {
     const cli_args args(static_cast<int>(rest.size()), rest.data());
     if (base_path.empty() || cand_path.empty()) {
       std::cerr << "usage: bench_diff BASELINE.json CANDIDATE.json "
-                   "[--rel-tol R] [--abs-tol A] [--out FILE]\n";
+                   "[--rel-tol R] [--abs-tol A] [--science-tol S] "
+                   "[--out FILE]\n";
       return 2;
     }
     tolerances tol;
     tol.rel = args.get_double("rel-tol", 0.10);
     tol.abs = args.get_double("abs-tol", 0.0);
+    tol.science = args.get_double("science-tol", 0.0);
+    WSAN_REQUIRE(tol.science >= 0.0 && std::isfinite(tol.science),
+                 "--science-tol must be finite and non-negative");
 
     const auto base = load_container(base_path);
     const auto cand = load_container(cand_path);
@@ -261,7 +276,9 @@ int main(int argc, char** argv) {
 
     for (const auto& s : result.structure)
       std::cout << "structure: " << s << "\n";
-    print_deltas("science changes (must be bit-exact):",
+    print_deltas(tol.science > 0.0
+                     ? "science changes (beyond --science-tol):"
+                     : "science changes (must be bit-exact):",
                  result.science_changes);
     print_deltas("measurement regressions:", result.regressions);
     print_deltas("measurement improvements:", result.improvements);
@@ -273,7 +290,10 @@ int main(int argc, char** argv) {
               << result.drift.size() << " drift value(s), "
               << result.structure.size() << " structure issue(s) (tol "
               << cell(100.0 * tol.rel, 0) << "% rel, " << cell(tol.abs, 2)
-              << " abs)\n";
+              << " abs, science "
+              << (tol.science > 0.0 ? cell(100.0 * tol.science, 2) + "% rel"
+                                    : std::string("bit-exact"))
+              << ")\n";
 
     if (args.has("out")) {
       const auto out_path = args.get("out", "");
@@ -283,6 +303,7 @@ int main(int argc, char** argv) {
       doc["candidate"] = cand_path;
       doc["rel_tol"] = tol.rel;
       doc["abs_tol"] = tol.abs;
+      doc["science_tol"] = tol.science;
       doc["ok"] = !result.failed();
       doc["science_changes"] = deltas_to_json(result.science_changes);
       doc["regressions"] = deltas_to_json(result.regressions);
